@@ -1,0 +1,201 @@
+// Micro-benchmarks (google-benchmark) for the framework's hot kernels:
+// Laurent/potential evaluation, radial table look-ups, spatial-index
+// queries, per-point Stage I/II evaluation, and sparse kernels.
+
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "analytic/interaction.h"
+#include "core/framework.h"
+#include "core/stress_table.h"
+#include "geometry/grid_index.h"
+#include "numeric/cg.h"
+#include "numeric/sparse_cholesky.h"
+#include "tsv/generators.h"
+
+namespace {
+
+using namespace tsv;
+
+const tsvlib::TsvStructure& structure() {
+  static const auto s = tsvlib::TsvStructure::baseline_bcb();
+  return s;
+}
+
+const ana::SingleTsvModel& single_model() {
+  static const ana::SingleTsvModel m(structure(), mat::ThermalLoad{});
+  return m;
+}
+
+std::shared_ptr<const ana::InteractiveStressModel> interactive_model() {
+  static const auto model =
+      std::make_shared<const ana::InteractiveStressModel>(structure(),
+                                                          mat::ThermalLoad{});
+  return model;
+}
+
+void BM_LaurentEvaluate(benchmark::State& state) {
+  num::LaurentSeries f(-16, 16);
+  for (int n = -16; n <= 16; ++n)
+    f.coeff(n) = num::Complex{1.0 / (1.0 + std::abs(n)), 0.01 * n};
+  const num::Complex z{1.3, 0.4};
+  for (auto _ : state) benchmark::DoNotOptimize(f.evaluate(z));
+}
+BENCHMARK(BM_LaurentEvaluate);
+
+void BM_PotentialFieldStress(benchmark::State& state) {
+  const ana::RegionField& rf =
+      interactive_model()->response().response_to_psi(3);
+  const num::Complex z{1.4, 0.3};
+  for (auto _ : state) benchmark::DoNotOptimize(rf.substrate.stress(z));
+}
+BENCHMARK(BM_PotentialFieldStress);
+
+void BM_RadialTableLookup(benchmark::State& state) {
+  const core::RadialStressTable table =
+      core::RadialStressTable::from_analytic(single_model(), 30.0, 4096);
+  const geo::Point c{0, 0};
+  double r = 1.0;
+  for (auto _ : state) {
+    r = r < 24.0 ? r + 0.37 : 1.0;
+    benchmark::DoNotOptimize(table.stress_at(c, {r, 0.7 * r}));
+  }
+}
+BENCHMARK(BM_RadialTableLookup);
+
+void BM_InteractivePairEval(benchmark::State& state) {
+  const auto model = interactive_model();
+  const ana::RegionField& combined = model->combined_for_pitch(10.0);
+  const geo::Point v{0, 0}, a{10, 0};
+  double y = 0.0;
+  for (auto _ : state) {
+    y = y < 20.0 ? y + 0.13 : 0.0;
+    benchmark::DoNotOptimize(
+        model->stress_with_combined(combined, v, a, 10.0, {4.0, y}));
+  }
+}
+BENCHMARK(BM_InteractivePairEval);
+
+void BM_GridIndexQuery(benchmark::State& state) {
+  const tsvlib::Placement p = tsvlib::make_jittered_array(
+      structure(), 1000, 1.0e-2, 10.0, 7);
+  const geo::GridIndex index(p.centers(), p.bounding_box(), 12.5);
+  std::vector<std::uint32_t> out;
+  double x = 0.0;
+  for (auto _ : state) {
+    x = x < 300.0 ? x + 1.7 : 0.0;
+    index.query_radius({x, 150.0}, 25.0, out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_GridIndexQuery);
+
+void BM_Stage1Point(benchmark::State& state) {
+  const tsvlib::Placement p = tsvlib::make_jittered_array(
+      structure(), 100, 1.0e-2, 10.0, 7);
+  core::FrameworkOptions opt;
+  opt.enable_interactive = false;
+  const core::StressFramework fw(p, opt);
+  double x = 0.0;
+  for (auto _ : state) {
+    x = x < 90.0 ? x + 0.71 : 0.0;
+    benchmark::DoNotOptimize(fw.stress_at({x, 45.0}));
+  }
+}
+BENCHMARK(BM_Stage1Point);
+
+void BM_Stage2Point(benchmark::State& state) {
+  const tsvlib::Placement p = tsvlib::make_jittered_array(
+      structure(), 100, 1.0e-2, 10.0, 7);
+  const core::InteractiveStage stage(p, interactive_model());
+  double x = 0.0;
+  for (auto _ : state) {
+    x = x < 90.0 ? x + 0.71 : 0.0;
+    benchmark::DoNotOptimize(stage.stress_at({x, 45.0}));
+  }
+}
+BENCHMARK(BM_Stage2Point);
+
+void BM_SparseMatVec(benchmark::State& state) {
+  const std::size_t nx = static_cast<std::size_t>(state.range(0));
+  std::vector<num::Triplet> t;
+  const auto id = [nx](std::size_t i, std::size_t j) {
+    return static_cast<std::uint32_t>(i * nx + j);
+  };
+  for (std::size_t i = 0; i < nx; ++i)
+    for (std::size_t j = 0; j < nx; ++j) {
+      t.push_back({id(i, j), id(i, j), 4.0});
+      if (i + 1 < nx) {
+        t.push_back({id(i, j), id(i + 1, j), -1.0});
+        t.push_back({id(i + 1, j), id(i, j), -1.0});
+      }
+      if (j + 1 < nx) {
+        t.push_back({id(i, j), id(i, j + 1), -1.0});
+        t.push_back({id(i, j + 1), id(i, j), -1.0});
+      }
+    }
+  const num::SparseMatrix a = num::SparseMatrix::from_triplets(nx * nx, t);
+  num::Vector x(a.size(), 1.0), y;
+  for (auto _ : state) {
+    a.multiply(x, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(a.nonzeros()));
+}
+BENCHMARK(BM_SparseMatVec)->Arg(64)->Arg(256);
+
+void BM_CombineForPitch(benchmark::State& state) {
+  const auto model = interactive_model();
+  double d = 8.0;
+  for (auto _ : state) {
+    // Vary the pitch so the per-pitch cache misses (worst case).
+    d += 1e-4;
+    benchmark::DoNotOptimize(&model->combined_for_pitch(d));
+  }
+}
+// Iteration-capped: every iteration inserts a new cache entry.
+BENCHMARK(BM_CombineForPitch)->Iterations(5000);
+
+void BM_PairTableLookup(benchmark::State& state) {
+  const auto model = interactive_model();
+  const ana::PairStressTable& table = model->table_for_pitch(10.0, 25.0);
+  const geo::Point v{0, 0}, a{10, 0};
+  double y = 0.0;
+  for (auto _ : state) {
+    y = y < 20.0 ? y + 0.13 : 0.0;
+    benchmark::DoNotOptimize(table.stress_at(v, a, {4.0, y}));
+  }
+}
+BENCHMARK(BM_PairTableLookup);
+
+void BM_SparseCholeskyFactorize(benchmark::State& state) {
+  const std::size_t nx = static_cast<std::size_t>(state.range(0));
+  std::vector<num::Triplet> t;
+  const auto id = [nx](std::size_t i, std::size_t j) {
+    return static_cast<std::uint32_t>(i * nx + j);
+  };
+  for (std::size_t i = 0; i < nx; ++i)
+    for (std::size_t j = 0; j < nx; ++j) {
+      t.push_back({id(i, j), id(i, j), 4.0});
+      if (i + 1 < nx) {
+        t.push_back({id(i, j), id(i + 1, j), -1.0});
+        t.push_back({id(i + 1, j), id(i, j), -1.0});
+      }
+      if (j + 1 < nx) {
+        t.push_back({id(i, j), id(i, j + 1), -1.0});
+        t.push_back({id(i, j + 1), id(i, j), -1.0});
+      }
+    }
+  const num::SparseMatrix a = num::SparseMatrix::from_triplets(nx * nx, t);
+  for (auto _ : state) {
+    const num::SparseCholesky chol(a);
+    benchmark::DoNotOptimize(chol.factor_nonzeros());
+  }
+}
+BENCHMARK(BM_SparseCholeskyFactorize)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

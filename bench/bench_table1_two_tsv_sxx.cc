@@ -1,0 +1,16 @@
+// Reproduces Table 1 of the paper: error of sigma_xx for a two-TSV
+// placement with BCB liner, pitch swept 8..30 um, LS vs PF against the FEM
+// golden. Monitored region 60x30 um, thresholds 10/50 MPa, critical region
+// r <= 3.3 um.
+
+#include "common.h"
+
+int main(int argc, char** argv) {
+  const auto config = tsv::bench::BenchConfig::parse(argc, argv);
+  tsv::bench::run_pair_sweep(
+      tsv::tsvlib::TsvStructure::baseline_bcb(),
+      tsv::core::StressMeasure::kSigmaXX,
+      {8.0, 9.0, 10.0, 11.0, 12.0, 18.0, 30.0}, config,
+      "=== Table 1: two TSVs, BCB liner, sigma_xx ===");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Reproduces Table 3 (Appendix A.2): error of von Mises stress for the
+// two-TSV BCB placement, pitch swept 8..30 um, LS vs PF vs FEM golden.
+
+#include "common.h"
+
+int main(int argc, char** argv) {
+  const auto config = tsv::bench::BenchConfig::parse(argc, argv);
+  tsv::bench::run_pair_sweep(
+      tsv::tsvlib::TsvStructure::baseline_bcb(),
+      tsv::core::StressMeasure::kVonMises,
+      {8.0, 9.0, 10.0, 11.0, 12.0, 18.0, 30.0}, config,
+      "=== Table 3: two TSVs, BCB liner, von Mises ===");
+  return 0;
+}

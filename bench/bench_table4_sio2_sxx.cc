@@ -1,0 +1,15 @@
+// Reproduces Table 4 (Appendix A.2): sigma_xx error for the two-TSV
+// placement with SiO2 liner — the weak-mismatch case where LS is already
+// acceptable but PF still improves it.
+
+#include "common.h"
+
+int main(int argc, char** argv) {
+  const auto config = tsv::bench::BenchConfig::parse(argc, argv);
+  tsv::bench::run_pair_sweep(
+      tsv::tsvlib::TsvStructure::baseline_sio2(),
+      tsv::core::StressMeasure::kSigmaXX,
+      {8.0, 9.0, 10.0, 11.0, 12.0, 18.0, 30.0}, config,
+      "=== Table 4: two TSVs, SiO2 liner, sigma_xx ===");
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Reproduces Table 5 (Appendix A.2): von Mises error for the two-TSV
+// placement with SiO2 liner.
+
+#include "common.h"
+
+int main(int argc, char** argv) {
+  const auto config = tsv::bench::BenchConfig::parse(argc, argv);
+  tsv::bench::run_pair_sweep(
+      tsv::tsvlib::TsvStructure::baseline_sio2(),
+      tsv::core::StressMeasure::kVonMises,
+      {8.0, 9.0, 10.0, 11.0, 12.0, 18.0, 30.0}, config,
+      "=== Table 5: two TSVs, SiO2 liner, von Mises ===");
+  return 0;
+}

@@ -1,0 +1,82 @@
+#pragma once
+// Shared plumbing for the paper-table benches: CLI options, the FEM
+// characterization pipeline (Stage-I table + Stage-II K from a single-TSV
+// FEM solve — the paper's methodology with COMSOL), golden solves, and the
+// paper-style error-table printing.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analytic/interaction.h"
+#include "core/framework.h"
+#include "core/metrics.h"
+#include "core/stress_map_table.h"
+#include "core/stress_table.h"
+#include "fem/thermo_solver.h"
+#include "io/table_printer.h"
+#include "tsv/placement.h"
+
+namespace tsv::bench {
+
+struct BenchConfig {
+  double element_size = 0.25;  ///< FEM golden/characterization mesh, um
+  double spacing = 0.5;        ///< simulation-point grid spacing, um
+  double margin = 25.0;        ///< FEM domain margin, um
+  bool fast = false;           ///< --fast: coarse preview (0.5 um mesh)
+  std::string out_dir = ".";   ///< where CSV artifacts go
+
+  /// Parses --fast, --element-size=X, --spacing=X, --out-dir=PATH.
+  static BenchConfig parse(int argc, char** argv);
+};
+
+/// FEM-characterized single-TSV data shared across a sweep. The Stage-I
+/// table is the full 2D stress map of the isolated TSV (the original LS
+/// method's characterization format), so the model and the golden share the
+/// same discretized single-TSV field.
+struct Characterization {
+  std::shared_ptr<const core::StressMapTable> table;
+  double k_fem = 0.0;  ///< effective K, MPa um^2
+  std::shared_ptr<const ana::InclusionResponse> response;
+  std::shared_ptr<const ana::InteractiveStressModel> model;
+  double seconds = 0.0;
+};
+
+Characterization characterize(const tsvlib::TsvStructure& structure,
+                              const mat::ThermalLoad& load,
+                              const BenchConfig& config);
+
+/// Golden FEM solve over `roi` (expanded by the configured margin).
+fem::FemSolution golden_solve(const tsvlib::Placement& placement,
+                              const mat::ThermalLoad& load,
+                              const geo::Box& roi, const BenchConfig& config);
+
+/// Samples a FEM field at the given points.
+std::vector<num::SymTensor2> sample_field(const fem::StressField& field,
+                                          const std::vector<geo::Point>& pts);
+
+/// One LS or PF row of the paper's error tables.
+std::vector<double> stats_row(const core::ErrorStats& st);
+
+/// Column headers matching Tables 1-5.
+std::vector<std::string> table_headers(const std::string& first_column);
+
+/// The two-TSV pitch-sweep experiment shared by Tables 1/3/4/5: for each
+/// pitch, solve the FEM golden on the 60x30 um monitored region, evaluate
+/// LS and PF on the sample grid, and print both error rows. Also reports
+/// run-time ratio (Stage II vs Stage I). Returns the printed stats
+/// (per pitch: {ls, pf}) for scripting.
+struct PairSweepResult {
+  double pitch;
+  core::ErrorStats ls;
+  core::ErrorStats pf;
+  double stage1_seconds;
+  double stage2_seconds;
+};
+
+std::vector<PairSweepResult> run_pair_sweep(
+    const tsvlib::TsvStructure& structure, core::StressMeasure measure,
+    const std::vector<double>& pitches, const BenchConfig& config,
+    const std::string& title);
+
+}  // namespace tsv::bench

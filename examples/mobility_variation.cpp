@@ -1,0 +1,81 @@
+// Carrier-mobility variation map: the stress tensor is converted to a
+// first-order piezoresistive mobility shift for n- and p-type devices —
+// the "device performance" application motivating the paper (its refs
+// [1, 2]: stress-driven placement and stress-aware timing).
+//
+//   build/examples/mobility_variation
+//
+// Writes mobility_nmos.csv / mobility_pmos.csv (percent mobility change)
+// and prints keep-out-zone style statistics: the radius around a TSV where
+// |dmu/mu| exceeds a threshold.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/framework.h"
+#include "io/csv.h"
+#include "tsv/generators.h"
+
+namespace {
+
+// First-order piezoresistance of silicon at room temperature, 1/MPa.
+// (Channel along [110] on a (001) wafer; standard bulk values:
+// n-Si: pi11 = -102.2, pi12 = 53.4, pi44 = -13.6 [1e-11/Pa];
+// p-Si: pi11 = 6.6, pi12 = -1.1, pi44 = 138.1.)
+struct Piezo {
+  double pi_l;  // along channel
+  double pi_t;  // transverse, in plane
+};
+
+// [110]-projected coefficients: pi_l = (pi11 + pi12 + pi44)/2,
+// pi_t = (pi11 + pi12 - pi44)/2, converted to 1/MPa.
+constexpr Piezo kNmos{(-102.2 + 53.4 - 13.6) / 2.0 * 1e-5,
+                      (-102.2 + 53.4 + 13.6) / 2.0 * 1e-5};
+constexpr Piezo kPmos{(6.6 - 1.1 + 138.1) / 2.0 * 1e-5,
+                      (6.6 - 1.1 - 138.1) / 2.0 * 1e-5};
+
+/// dmu/mu = -(pi_l sigma_xx + pi_t sigma_yy), channel along x.
+double mobility_shift(const Piezo& pz, const tsv::num::SymTensor2& s) {
+  return -(pz.pi_l * s.s11 + pz.pi_t * s.s22);
+}
+
+}  // namespace
+
+int main() {
+  using namespace tsv;
+  const tsvlib::TsvStructure structure = tsvlib::TsvStructure::baseline_bcb();
+  const tsvlib::Placement placement = tsvlib::make_five_cross(structure, 10.0);
+  const core::StressFramework framework(placement);
+
+  const geo::Box roi = placement.bounding_box().expanded(15.0);
+  const geo::SampleGrid grid = geo::SampleGrid::with_spacing(roi, 0.25);
+  const std::vector<geo::Point> pts = grid.points();
+  const core::StressResult result = framework.evaluate(pts);
+
+  std::vector<double> dmu_n(pts.size()), dmu_p(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    dmu_n[i] = 100.0 * mobility_shift(kNmos, result.stress[i]);
+    dmu_p[i] = 100.0 * mobility_shift(kPmos, result.stress[i]);
+  }
+  io::write_scalar_field("mobility_nmos.csv", pts, dmu_n);
+  io::write_scalar_field("mobility_pmos.csv", pts, dmu_p);
+  std::printf("wrote mobility_nmos.csv / mobility_pmos.csv (%zu points)\n",
+              pts.size());
+
+  // Keep-out radius: distance from the center TSV beyond which the shift
+  // stays under the threshold on the +x axis.
+  for (const double threshold : {5.0, 2.0, 1.0}) {
+    double koz_n = structure.outer_radius();
+    double koz_p = structure.outer_radius();
+    for (double r = 30.0; r > structure.outer_radius(); r -= 0.1) {
+      const num::SymTensor2 s = framework.stress_at({r, 0.0});
+      if (std::abs(100.0 * mobility_shift(kNmos, s)) > threshold)
+        koz_n = std::max(koz_n, r);
+      if (std::abs(100.0 * mobility_shift(kPmos, s)) > threshold)
+        koz_p = std::max(koz_p, r);
+    }
+    std::printf("|dmu/mu| > %.0f%% keep-out radius: NMOS %.1f um, PMOS %.1f "
+                "um\n", threshold, koz_n, koz_p);
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+#pragma once
+// Interactive-stress evaluation for arbitrary TSV pairs (paper Sec. 3.3 /
+// eq. (18), via the characterized inclusion response).
+//
+// For an ordered pair (victim, aggressor) the model expresses the aggressor's
+// ideal field about the victim, applies the victim's characterized scattering
+// response and returns the correction to linear superposition:
+//   * outside the victim (substrate): the scattered field,
+//   * inside the victim's liner/body: (interior field) - (applied field),
+//     because Stage I already superposed the aggressor's ideal field there.
+//
+// Pitch enters only through the expansion coefficients
+// beta_n = -khat / dhat^(n+1); responses are combined once per pitch and
+// cached, so evaluating many points against the same pair is cheap.
+
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "analytic/mode_solver.h"
+#include "analytic/pair_table.h"
+#include "analytic/single_tsv.h"
+#include "geometry/point.h"
+
+namespace tsv::ana {
+
+class InteractiveStressModel {
+ public:
+  /// `response` is the per-geometry characterization; `single` supplies K.
+  InteractiveStressModel(std::shared_ptr<const InclusionResponse> response,
+                         const SingleTsvModel& single);
+
+  /// Convenience: characterizes the structure internally.
+  InteractiveStressModel(const tsvlib::TsvStructure& structure,
+                         const mat::ThermalLoad& load,
+                         const InclusionResponseOptions& options = {});
+
+  /// Explicit k_hat (= K / R'^2, MPa), e.g. fitted from a FEM
+  /// characterization so that Stage II matches a FEM-derived Stage I table.
+  InteractiveStressModel(std::shared_ptr<const InclusionResponse> response,
+                         double k_hat);
+
+  const InclusionResponse& response() const { return *response_; }
+  double k_hat() const { return k_hat_; }
+
+  /// Combined (pitch-specific) response potentials, victim-centered hat
+  /// frame with the aggressor on the +x axis. Cached per quantized pitch.
+  const RegionField& combined_for_pitch(double pitch) const;
+
+  /// Interactive stress (Cartesian, global frame) at point p induced by the
+  /// ordered pair: `victim` scatters the field of `aggressor`. The total
+  /// pair correction is stress_at(v, a, p) + stress_at(a, v, p).
+  num::SymTensor2 stress_at(const geo::Point& victim,
+                            const geo::Point& aggressor,
+                            const geo::Point& p) const;
+
+  /// As stress_at, but with the combined field precomputed (hot path for
+  /// per-pair point loops).
+  num::SymTensor2 stress_with_combined(const RegionField& combined,
+                                       const geo::Point& victim,
+                                       const geo::Point& aggressor,
+                                       double pitch, const geo::Point& p) const;
+
+  /// Polar look-up table of the pair-local field for a pitch, tabulated out
+  /// to `r_max` and cached per quantized (pitch, r_max). Roughly an order
+  /// of magnitude cheaper per point than the series (bilinear interpolation
+  /// vs three Horner evaluations) at ~1% field accuracy; see the Stage II
+  /// lookup option and bench_ablation.
+  const PairStressTable& table_for_pitch(double pitch, double r_max) const;
+
+ private:
+  std::shared_ptr<const InclusionResponse> response_;
+  double k_hat_ = 0.0;        ///< K / R'^2, MPa
+  double outer_radius_ = 0.0; ///< R', um
+  mutable std::map<long long, RegionField> cache_;
+  mutable std::map<std::pair<long long, long long>, PairStressTable>
+      table_cache_;
+};
+
+}  // namespace tsv::ana

@@ -1,0 +1,150 @@
+#include "analytic/layered_cylinder.h"
+
+#include <cmath>
+
+#include "numeric/dense_matrix.h"
+
+namespace tsv::ana {
+namespace {
+
+// sigma_rr of a layer with u = A r + B / r and eigenstrain e*:
+//   sigma_rr = E/(1-nu) (A - e*) - E/(1+nu) B / r^2
+// sigma_tt = E/(1-nu) (A - e*) + E/(1+nu) B / r^2
+struct LayerTerms {
+  double ca;  // E / (1 - nu)
+  double cb;  // E / (1 + nu)
+};
+
+LayerTerms terms(const mat::Material& m) {
+  return {m.youngs_modulus / (1.0 - m.poisson_ratio),
+          m.youngs_modulus / (1.0 + m.poisson_ratio)};
+}
+
+}  // namespace
+
+LayeredCylinder::LayeredCylinder(std::vector<Layer> layers, double delta_t,
+                                 double reference_cte)
+    : layers_(std::move(layers)),
+      delta_t_(delta_t),
+      reference_cte_(reference_cte) {
+  TSV_REQUIRE(layers_.size() >= 2, "need at least an inclusion and a matrix");
+  for (std::size_t i = 0; i + 2 < layers_.size(); ++i)
+    TSV_REQUIRE(layers_[i].outer_radius < layers_[i + 1].outer_radius,
+                "layer radii must be strictly increasing");
+  for (const auto& l : layers_) l.material.validate();
+  TSV_REQUIRE(layers_.front().outer_radius > 0.0,
+              "innermost radius must be positive");
+
+  const std::size_t n_layers = layers_.size();
+  eigenstrain_.resize(n_layers);
+  for (std::size_t i = 0; i < n_layers; ++i)
+    eigenstrain_[i] = (layers_[i].material.cte - reference_cte_) * delta_t_;
+
+  // Unknowns: A_0 (B_0 = 0), then (A_i, B_i) for interior layers, then
+  // B_last (A_last = eigenstrain of the last layer so far-field stress = 0).
+  const std::size_t n_unknowns = 2 * n_layers - 2;
+  num::Matrix m(n_unknowns, n_unknowns);
+  num::Vector rhs(n_unknowns, 0.0);
+
+  // Index helpers into the unknown vector.
+  const auto a_index = [&](std::size_t layer) -> long {
+    if (layer == 0) return 0;
+    if (layer == n_layers - 1) return -1;  // known: A = e*_last
+    return static_cast<long>(2 * layer - 1);
+  };
+  const auto b_index = [&](std::size_t layer) -> long {
+    if (layer == 0) return -1;  // known: B = 0
+    if (layer == n_layers - 1) return static_cast<long>(n_unknowns - 1);
+    return static_cast<long>(2 * layer);
+  };
+  const double a_last = eigenstrain_.back();
+
+  std::size_t row = 0;
+  for (std::size_t i = 0; i + 1 < n_layers; ++i) {
+    const double r = layers_[i].outer_radius;
+    const double r2 = r * r;
+    const LayerTerms ti = terms(layers_[i].material);
+    const LayerTerms tj = terms(layers_[i + 1].material);
+
+    // Displacement continuity: A_i r + B_i / r = A_j r + B_j / r.
+    {
+      double b = 0.0;
+      if (long k = a_index(i); k >= 0)
+        m(row, static_cast<std::size_t>(k)) += r;
+      if (long k = b_index(i); k >= 0)
+        m(row, static_cast<std::size_t>(k)) += 1.0 / r;
+      if (long k = a_index(i + 1); k >= 0)
+        m(row, static_cast<std::size_t>(k)) -= r;
+      else
+        b += a_last * r;
+      if (long k = b_index(i + 1); k >= 0)
+        m(row, static_cast<std::size_t>(k)) -= 1.0 / r;
+      rhs[row] = b;
+      ++row;
+    }
+    // Radial stress continuity:
+    //   ca_i (A_i - e*_i) - cb_i B_i / r^2 = ca_j (A_j - e*_j) - cb_j B_j/r^2
+    {
+      // Move the constant eigenstrain terms (-ca_i e*_i + ca_j e*_j) to the
+      // right-hand side.
+      double b = ti.ca * eigenstrain_[i] - tj.ca * eigenstrain_[i + 1];
+      if (long k = a_index(i); k >= 0)
+        m(row, static_cast<std::size_t>(k)) += ti.ca;
+      if (long k = b_index(i); k >= 0)
+        m(row, static_cast<std::size_t>(k)) += -ti.cb / r2;
+      if (long k = a_index(i + 1); k >= 0)
+        m(row, static_cast<std::size_t>(k)) -= tj.ca;
+      else
+        b += tj.ca * a_last;
+      if (long k = b_index(i + 1); k >= 0)
+        m(row, static_cast<std::size_t>(k)) -= -tj.cb / r2;
+      rhs[row] = b;
+      ++row;
+    }
+  }
+  TSV_ASSERT(row == n_unknowns);
+
+  const num::Vector x = num::solve_lu(std::move(m), std::move(rhs));
+  coeff_.resize(n_layers);
+  coeff_[0] = {x[0], 0.0};
+  for (std::size_t i = 1; i + 1 < n_layers; ++i)
+    coeff_[i] = {x[2 * i - 1], x[2 * i]};
+  coeff_[n_layers - 1] = {a_last, x[n_unknowns - 1]};
+}
+
+std::size_t LayeredCylinder::layer_of(double r) const {
+  for (std::size_t i = 0; i + 1 < layers_.size(); ++i)
+    if (r <= layers_[i].outer_radius) return i;
+  return layers_.size() - 1;
+}
+
+num::SymTensor2 LayeredCylinder::stress(double r) const {
+  TSV_REQUIRE(r >= 0.0, "negative radius");
+  const std::size_t i = layer_of(r);
+  const LayerTerms t = terms(layers_[i].material);
+  const Coefficients& c = coeff_[i];
+  const double hoop_term = (r > 0.0) ? t.cb * c.b / (r * r) : 0.0;
+  num::SymTensor2 s;
+  s.s11 = t.ca * (c.a - eigenstrain_[i]) - hoop_term;  // srr
+  s.s22 = t.ca * (c.a - eigenstrain_[i]) + hoop_term;  // stt
+  s.s12 = 0.0;
+  return s;
+}
+
+double LayeredCylinder::radial_displacement(double r) const {
+  TSV_REQUIRE(r >= 0.0, "negative radius");
+  const std::size_t i = layer_of(r);
+  const Coefficients& c = coeff_[i];
+  return c.a * r + (r > 0.0 ? c.b / r : 0.0);
+}
+
+double LayeredCylinder::far_field_constant() const {
+  const Layer& last = layers_.back();
+  const Coefficients& c = coeff_.back();
+  // In the outermost layer sigma_rr = -cb * B / r^2 (A cancels against the
+  // eigenstrain when the reference CTE equals the substrate CTE; in general
+  // the A-part is exactly zero by construction of A_last).
+  return -terms(last.material).cb * c.b;
+}
+
+}  // namespace tsv::ana

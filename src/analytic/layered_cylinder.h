@@ -1,0 +1,64 @@
+#pragma once
+// Exact axisymmetric plane-stress thermoelastic solution for a set of
+// concentric material layers embedded in an infinite matrix (the classic
+// Lame problem with thermal eigenstrains).
+//
+// Per layer the radial displacement is u(r) = A r + B / r; the coefficients
+// are fixed by displacement and radial-traction continuity at each interface,
+// finiteness at r = 0 and stress decay at infinity. This provides
+//  * the exact single-TSV stress field in body, liner and substrate, and
+//  * the constant K of paper eq. (6): sigma_rr = K / r^2 in the substrate.
+//
+// Eigenstrains are taken relative to a reference CTE (normally the substrate
+// CTE) so the far field is displacement-free; this does not change stresses.
+
+#include <vector>
+
+#include "materials/material.h"
+#include "numeric/tensor.h"
+
+namespace tsv::ana {
+
+struct Layer {
+  /// Outer radius of this layer, um. The last layer is infinite and its
+  /// value is ignored (pass any positive number).
+  double outer_radius = 0.0;
+  mat::Material material;
+};
+
+class LayeredCylinder {
+ public:
+  /// `layers` from innermost to outermost; the last layer extends to
+  /// infinity. Requires at least 2 layers and strictly increasing radii.
+  LayeredCylinder(std::vector<Layer> layers, double delta_t,
+                  double reference_cte);
+
+  /// Stress components in the cylindrical frame at radius r >= 0:
+  /// {srr, stt, srt = 0} in MPa.
+  num::SymTensor2 stress(double r) const;
+
+  /// Radial displacement u_r(r), um.
+  double radial_displacement(double r) const;
+
+  /// The paper's K (eq. 6): sigma_rr = K / r^2 in the outermost layer.
+  /// Units MPa * um^2.
+  double far_field_constant() const;
+
+  /// Per-layer solution coefficients (A, B) of u = A r + B / r.
+  struct Coefficients {
+    double a = 0.0;
+    double b = 0.0;
+  };
+  const std::vector<Coefficients>& coefficients() const { return coeff_; }
+
+ private:
+  std::size_t layer_of(double r) const;
+
+  std::vector<Layer> layers_;
+  double delta_t_;
+  double reference_cte_;
+  std::vector<Coefficients> coeff_;
+  std::vector<double> eigenstrain_;  // per layer, (alpha - ref) * delta_t
+};
+
+}  // namespace tsv::ana

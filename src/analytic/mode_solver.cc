@@ -1,0 +1,268 @@
+#include "analytic/mode_solver.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "numeric/dense_matrix.h"
+
+namespace tsv::ana {
+namespace {
+
+// One unknown complex coefficient: a single power of phi or psi in one
+// region's Laurent expansion.
+struct UnknownSlot {
+  enum class Region { kCore, kLiner, kSubstrate } region;
+  enum class Kind { kPhi, kPsi } kind;
+  int power;
+};
+
+// Traction and displacement of a one-term potential phi = c z^p (psi = 0) or
+// psi = c z^p (phi = 0) at point z, for a material with shear modulus mu and
+// Kolosov constant kappa. Closed forms keep the collocation matrix assembly
+// cheap and exact.
+struct PointResponse {
+  Complex traction;      // sigma_rr - i sigma_rt on the circle through z
+  Complex displacement;  // ux + i uy
+};
+
+PointResponse eval_phi_term(Complex c, int p, Complex z, double mu,
+                            double kappa) {
+  const auto ipow = [](Complex base, int e) {
+    Complex acc{1.0, 0.0};
+    const bool neg = e < 0;
+    unsigned int n = static_cast<unsigned int>(neg ? -e : e);
+    Complex b = base;
+    while (n != 0) {
+      if (n & 1u) acc *= b;
+      b *= b;
+      n >>= 1u;
+    }
+    return neg ? Complex{1.0, 0.0} / acc : acc;
+  };
+  const double dp = static_cast<double>(p);
+  const Complex zp = ipow(z, p);
+  const Complex zpm1 = ipow(z, p - 1);
+  const Complex zpm2 = ipow(z, p - 2);
+  const Complex dphi = c * dp * zpm1;
+  const Complex ddphi = c * dp * (dp - 1.0) * zpm2;
+  const double r = std::abs(z);
+  const Complex e2it = (z / r) * (z / r);
+  PointResponse out;
+  out.traction = 2.0 * dphi.real() - e2it * (std::conj(z) * ddphi);
+  out.displacement =
+      (kappa * c * zp - z * std::conj(dphi)) / (2.0 * mu);
+  return out;
+}
+
+PointResponse eval_psi_term(Complex c, int p, Complex z, double mu) {
+  const auto ipow = [](Complex base, int e) {
+    Complex acc{1.0, 0.0};
+    const bool neg = e < 0;
+    unsigned int n = static_cast<unsigned int>(neg ? -e : e);
+    Complex b = base;
+    while (n != 0) {
+      if (n & 1u) acc *= b;
+      b *= b;
+      n >>= 1u;
+    }
+    return neg ? Complex{1.0, 0.0} / acc : acc;
+  };
+  const double dp = static_cast<double>(p);
+  const Complex zp = ipow(z, p);
+  const Complex zpm1 = ipow(z, p - 1);
+  const Complex dpsi = c * dp * zpm1;
+  const double r = std::abs(z);
+  const Complex e2it = (z / r) * (z / r);
+  PointResponse out;
+  out.traction = -e2it * dpsi;
+  out.displacement = -std::conj(c * zp) / (2.0 * mu);
+  return out;
+}
+
+PointResponse eval_slot(const UnknownSlot& slot, Complex coeff, Complex z,
+                        const tsvlib::TsvStructure& s) {
+  const mat::Material* m = nullptr;
+  switch (slot.region) {
+    case UnknownSlot::Region::kCore:
+      m = &s.body;
+      break;
+    case UnknownSlot::Region::kLiner:
+      m = &s.liner;
+      break;
+    case UnknownSlot::Region::kSubstrate:
+      m = &s.substrate;
+      break;
+  }
+  const double mu = m->shear_modulus();
+  const double kappa = m->kolosov_plane_stress();
+  return slot.kind == UnknownSlot::Kind::kPhi
+             ? eval_phi_term(coeff, slot.power, z, mu, kappa)
+             : eval_psi_term(coeff, slot.power, z, mu);
+}
+
+}  // namespace
+
+InclusionResponse::InclusionResponse(const tsvlib::TsvStructure& structure,
+                                     const InclusionResponseOptions& options)
+    : structure_(structure), options_(options) {
+  structure_.validate();
+  TSV_REQUIRE(options_.max_basis_power >= 2, "need at least basis power 2");
+  TSV_REQUIRE(options_.series_order >= options_.max_basis_power + 4,
+              "series order must exceed basis power by >= 4");
+  TSV_REQUIRE(options_.collocation_points >= 4 * options_.series_order,
+              "too few collocation points for the series order");
+
+  const int order = options_.series_order;
+  const double k = structure_.radius_ratio();
+  TSV_REQUIRE(k > 0.0 && k < 1.0, "need a liner of positive thickness");
+
+  // Unknown layout.
+  std::vector<UnknownSlot> slots;
+  using R = UnknownSlot::Region;
+  using Kd = UnknownSlot::Kind;
+  // Constant psi terms are omitted: a constant of either potential is a pure
+  // rigid translation, so keeping both phi^0 and psi^0 in a bounded region
+  // would leave a two-dimensional null space in the least-squares system.
+  for (int p = 0; p <= order; ++p) slots.push_back({R::kCore, Kd::kPhi, p});
+  for (int p = 1; p <= order; ++p) slots.push_back({R::kCore, Kd::kPsi, p});
+  for (int p = -order; p <= order; ++p)
+    slots.push_back({R::kLiner, Kd::kPhi, p});
+  for (int p = -order; p <= order; ++p)
+    if (p != 0) slots.push_back({R::kLiner, Kd::kPsi, p});
+  for (int p = -order; p <= -1; ++p)
+    slots.push_back({R::kSubstrate, Kd::kPhi, p});
+  for (int p = -order; p <= -1; ++p)
+    slots.push_back({R::kSubstrate, Kd::kPsi, p});
+  const std::size_t n_complex = slots.size();
+  const std::size_t n_real = 2 * n_complex;
+
+  // Collocation points on both circles.
+  const int m_pts = options_.collocation_points;
+  std::vector<Complex> gamma2(m_pts), gamma1(m_pts);
+  for (int j = 0; j < m_pts; ++j) {
+    const double th =
+        2.0 * std::numbers::pi * (static_cast<double>(j) + 0.5) / m_pts;
+    gamma2[j] = Complex{k * std::cos(th), k * std::sin(th)};
+    gamma1[j] = Complex{std::cos(th), std::sin(th)};
+  }
+
+  // Displacement equations are rescaled to stress magnitude so the
+  // least-squares fit weights both constraint families comparably.
+  const double disp_scale = 2.0 * structure_.substrate.shear_modulus();
+
+  // Row layout: for each circle and point: Re/Im traction, Re/Im displacement.
+  const std::size_t rows_per_point = 4;
+  const std::size_t n_rows = 2 * static_cast<std::size_t>(m_pts) * rows_per_point;
+  num::Matrix a(n_rows, n_real);
+
+  // Sign convention: equations are written as
+  //   gamma2:  field(core) - field(liner) = 0
+  //   gamma1:  field(liner) - field(substrate scattered) = field(applied)
+  const auto fill_columns = [&](std::size_t slot_idx, Complex coeff,
+                                std::size_t col) {
+    const UnknownSlot& slot = slots[slot_idx];
+    for (int j = 0; j < m_pts; ++j) {
+      // Gamma2 (core/liner interface).
+      if (slot.region != R::kSubstrate) {
+        const double sign = slot.region == R::kCore ? 1.0 : -1.0;
+        const PointResponse pr = eval_slot(slot, coeff, gamma2[j], structure_);
+        const std::size_t base = static_cast<std::size_t>(j) * rows_per_point;
+        a(base + 0, col) += sign * pr.traction.real();
+        a(base + 1, col) += sign * pr.traction.imag();
+        a(base + 2, col) += sign * disp_scale * pr.displacement.real();
+        a(base + 3, col) += sign * disp_scale * pr.displacement.imag();
+      }
+      // Gamma1 (liner/substrate interface).
+      if (slot.region != R::kCore) {
+        const double sign = slot.region == R::kLiner ? 1.0 : -1.0;
+        const PointResponse pr = eval_slot(slot, coeff, gamma1[j], structure_);
+        const std::size_t base =
+            (static_cast<std::size_t>(m_pts) + static_cast<std::size_t>(j)) *
+            rows_per_point;
+        a(base + 0, col) += sign * pr.traction.real();
+        a(base + 1, col) += sign * pr.traction.imag();
+        a(base + 2, col) += sign * disp_scale * pr.displacement.real();
+        a(base + 3, col) += sign * disp_scale * pr.displacement.imag();
+      }
+    }
+  };
+  for (std::size_t i = 0; i < n_complex; ++i) {
+    fill_columns(i, Complex{1.0, 0.0}, 2 * i);
+    fill_columns(i, Complex{0.0, 1.0}, 2 * i + 1);
+  }
+
+  // Right-hand sides: applied load (phi = 0, psi = z^n) on Gamma1, substrate
+  // material for the displacement side.
+  const int n_loads = options_.max_basis_power + 1;
+  num::Matrix b(n_rows, static_cast<std::size_t>(n_loads));
+  const double mu_s = structure_.substrate.shear_modulus();
+  for (int n = 0; n < n_loads; ++n) {
+    for (int j = 0; j < m_pts; ++j) {
+      const PointResponse pr =
+          eval_psi_term(Complex{1.0, 0.0}, n, gamma1[j], mu_s);
+      const std::size_t base =
+          (static_cast<std::size_t>(m_pts) + static_cast<std::size_t>(j)) *
+          rows_per_point;
+      b(base + 0, static_cast<std::size_t>(n)) = pr.traction.real();
+      b(base + 1, static_cast<std::size_t>(n)) = pr.traction.imag();
+      b(base + 2, static_cast<std::size_t>(n)) =
+          disp_scale * pr.displacement.real();
+      b(base + 3, static_cast<std::size_t>(n)) =
+          disp_scale * pr.displacement.imag();
+    }
+  }
+
+  const num::Matrix b_copy = b;  // for residual reporting
+  const num::Matrix x = num::solve_least_squares_multi(a, b);
+
+  // Residual check per load: || A x_n - b_n || / max(1, ||b_n||).
+  worst_fit_residual_ = 0.0;
+  for (int n = 0; n < n_loads; ++n) {
+    num::Vector xn(n_real), bn(n_rows);
+    for (std::size_t i = 0; i < n_real; ++i)
+      xn[i] = x(i, static_cast<std::size_t>(n));
+    for (std::size_t i = 0; i < n_rows; ++i)
+      bn[i] = b_copy(i, static_cast<std::size_t>(n));
+    num::Vector ax = a * xn;
+    double rnorm = 0.0, bnorm = 0.0;
+    for (std::size_t i = 0; i < n_rows; ++i) {
+      rnorm += (ax[i] - bn[i]) * (ax[i] - bn[i]);
+      bnorm += bn[i] * bn[i];
+    }
+    const double rel = std::sqrt(rnorm) / std::max(1.0, std::sqrt(bnorm));
+    worst_fit_residual_ = std::max(worst_fit_residual_, rel);
+  }
+
+  // Pack responses.
+  responses_.resize(static_cast<std::size_t>(n_loads));
+  for (int n = 0; n < n_loads; ++n) {
+    num::LaurentSeries phi_c(0, order), psi_c(0, order);
+    num::LaurentSeries phi_l(-order, order), psi_l(-order, order);
+    num::LaurentSeries phi_s(-order, -1), psi_s(-order, -1);
+    for (std::size_t i = 0; i < n_complex; ++i) {
+      const Complex c{x(2 * i, static_cast<std::size_t>(n)),
+                      x(2 * i + 1, static_cast<std::size_t>(n))};
+      const UnknownSlot& slot = slots[i];
+      num::LaurentSeries* target = nullptr;
+      if (slot.region == R::kCore)
+        target = slot.kind == Kd::kPhi ? &phi_c : &psi_c;
+      else if (slot.region == R::kLiner)
+        target = slot.kind == Kd::kPhi ? &phi_l : &psi_l;
+      else
+        target = slot.kind == Kd::kPhi ? &phi_s : &psi_s;
+      target->coeff(slot.power) = c;
+    }
+    RegionField& f = responses_[static_cast<std::size_t>(n)];
+    f.core = PotentialField(std::move(phi_c), std::move(psi_c));
+    f.liner = PotentialField(std::move(phi_l), std::move(psi_l));
+    f.substrate = PotentialField(std::move(phi_s), std::move(psi_s));
+  }
+}
+
+const RegionField& InclusionResponse::response_to_psi(int n) const {
+  TSV_REQUIRE(n >= 0 && n <= options_.max_basis_power,
+              "basis power out of range");
+  return responses_[static_cast<std::size_t>(n)];
+}
+
+}  // namespace tsv::ana

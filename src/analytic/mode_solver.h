@@ -1,0 +1,73 @@
+#pragma once
+// Characterization of the interactive-stress response (paper Sec. 3.3) by
+// boundary collocation on the complex-potential ansatz, eqs. (9)-(17).
+//
+// Problem: an infinite silicon substrate contains a coated circular
+// inclusion (copper core radius k = R/R', liner outer radius 1 in hat
+// space). The aggressor TSV's ideal field — potentials phi = 0,
+// psi(z) = khat / (z - dhat) — loads the inclusion, whose elastic-property
+// mismatch scatters it. Expanding the applied psi about the victim center,
+//
+//   psi(z) = sum_n beta_n z^n,   beta_n = -khat / dhat^(n+1),
+//
+// the only pitch dependence is in beta_n. For each basis load psi = z^n we
+// solve once per TSV geometry for the response potentials in core, liner
+// and substrate (unknown Laurent coefficients fitted by least-squares
+// collocation of traction and displacement continuity on both interfaces —
+// the same conditions as paper eqs. (14)-(17)). These d-independent
+// responses play exactly the role of the paper's h_ij(m) tables.
+//
+// The exact response to a polynomial load is itself a finite Laurent field,
+// so with enough retained powers the collocation fit is exact to rounding;
+// worst_fit_residual() exposes the achieved residual for validation.
+
+#include <vector>
+
+#include "analytic/potentials.h"
+#include "tsv/structure.h"
+
+namespace tsv::ana {
+
+/// Potentials of one elastic field split by region (hat space).
+struct RegionField {
+  PotentialField core;
+  PotentialField liner;
+  PotentialField substrate;  ///< scattered part only (applied is explicit)
+};
+
+struct InclusionResponseOptions {
+  /// Highest applied-psi power n (paper: m_max = 10 series terms; basis
+  /// power n corresponds to traction harmonics up to m = n + 2).
+  int max_basis_power = 12;
+  /// Truncation order N of the unknown series in each region.
+  int series_order = 18;
+  /// Collocation points per interface circle.
+  int collocation_points = 96;
+};
+
+class InclusionResponse {
+ public:
+  explicit InclusionResponse(const tsvlib::TsvStructure& structure,
+                             const InclusionResponseOptions& options = {});
+
+  const tsvlib::TsvStructure& structure() const { return structure_; }
+  const InclusionResponseOptions& options() const { return options_; }
+
+  int max_basis_power() const { return options_.max_basis_power; }
+
+  /// Response to the applied load (phi = 0, psi = z^n), n in
+  /// [0, max_basis_power].
+  const RegionField& response_to_psi(int n) const;
+
+  /// Largest relative collocation residual across all basis loads
+  /// (should be near rounding; > ~1e-6 indicates an under-resolved series).
+  double worst_fit_residual() const { return worst_fit_residual_; }
+
+ private:
+  tsvlib::TsvStructure structure_;
+  InclusionResponseOptions options_;
+  std::vector<RegionField> responses_;
+  double worst_fit_residual_ = 0.0;
+};
+
+}  // namespace tsv::ana

@@ -1,0 +1,105 @@
+#include "analytic/pair_table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "analytic/interaction.h"
+
+namespace tsv::ana {
+
+PairStressTable::PairStressTable(const InteractiveStressModel& model,
+                                 const RegionField& combined, double pitch,
+                                 double r_max, const PairTableOptions& options)
+    : pitch_(pitch), r_max_(r_max), n_theta_(options.n_theta) {
+  TSV_REQUIRE(pitch > 0.0 && r_max > 0.0, "pitch and r_max must be positive");
+  TSV_REQUIRE(options.n_theta >= 8, "need at least 8 theta samples");
+  dtheta_ = std::numbers::pi / static_cast<double>(n_theta_ - 1);
+
+  const tsvlib::TsvStructure& s = model.response().structure();
+  const double r_body = s.body_radius;
+  const double r_outer = s.outer_radius();
+  TSV_REQUIRE(r_max > r_outer, "r_max must reach into the substrate");
+
+  const auto build = [&](Segment& seg, double r0, double r1, double dr) {
+    seg.r0 = r0;
+    seg.r1 = r1;
+    seg.nr = std::max<std::size_t>(
+        2, 1 + static_cast<std::size_t>(std::ceil((r1 - r0) / dr)));
+    seg.values.reserve(seg.nr * n_theta_);
+    // Stay a whisker inside the segment so the region dispatch in
+    // stress_with_combined never lands on the wrong side of an interface.
+    const double eps = 1e-9 * (r1 - r0 + 1.0);
+    for (std::size_t ir = 0; ir < seg.nr; ++ir) {
+      double r = r0 + (r1 - r0) * static_cast<double>(ir) /
+                          static_cast<double>(seg.nr - 1);
+      r = std::min(std::max(r, r0 + (ir == 0 ? 0.0 : 0.0)), r1);
+      if (ir == 0 && r0 > 0.0) r = r0 + eps;
+      if (ir == seg.nr - 1) r = r1 - eps;
+      for (std::size_t it = 0; it < n_theta_; ++it) {
+        const double th = dtheta_ * static_cast<double>(it);
+        const geo::Point p{r * std::cos(th), r * std::sin(th)};
+        seg.values.push_back(model.stress_with_combined(
+            combined, {0.0, 0.0}, {pitch, 0.0}, pitch, p));
+      }
+    }
+  };
+  build(segments_[0], 0.0, r_body, options.dr_core);
+  build(segments_[1], r_body, r_outer, options.dr_liner);
+  build(segments_[2], r_outer, r_max, options.dr_substrate);
+}
+
+std::size_t PairStressTable::sample_count() const {
+  std::size_t n = 0;
+  for (const auto& s : segments_) n += s.values.size();
+  return n;
+}
+
+num::SymTensor2 PairStressTable::sample_segment(const Segment& s, double r,
+                                                double theta) const {
+  const double fr = (r - s.r0) / (s.r1 - s.r0) *
+                    static_cast<double>(s.nr - 1);
+  const double ft = theta / dtheta_;
+  const std::size_t ir =
+      std::min(static_cast<std::size_t>(std::max(fr, 0.0)), s.nr - 2);
+  const std::size_t it =
+      std::min(static_cast<std::size_t>(std::max(ft, 0.0)), n_theta_ - 2);
+  const double tr = std::clamp(fr - static_cast<double>(ir), 0.0, 1.0);
+  const double tt = std::clamp(ft - static_cast<double>(it), 0.0, 1.0);
+  const auto at = [&](std::size_t jr, std::size_t jt) {
+    return s.values[jr * n_theta_ + jt];
+  };
+  return (1.0 - tr) * (1.0 - tt) * at(ir, it) + tr * (1.0 - tt) * at(ir + 1, it) +
+         (1.0 - tr) * tt * at(ir, it + 1) + tr * tt * at(ir + 1, it + 1);
+}
+
+num::SymTensor2 PairStressTable::stress_local(double r, double theta) const {
+  TSV_REQUIRE(r >= 0.0, "negative radius");
+  if (r >= r_max_) return {};
+  // Fold onto [0, pi]: the pair field is mirror-symmetric about its axis.
+  double th = std::remainder(theta, 2.0 * std::numbers::pi);
+  bool mirrored = false;
+  if (th < 0.0) {
+    th = -th;
+    mirrored = true;
+  }
+  const Segment& seg = r < segments_[0].r1
+                           ? segments_[0]
+                           : (r < segments_[1].r1 ? segments_[1]
+                                                  : segments_[2]);
+  num::SymTensor2 out = sample_segment(seg, r, th);
+  if (mirrored) out.s12 = -out.s12;
+  return out;
+}
+
+num::SymTensor2 PairStressTable::stress_at(const geo::Point& victim,
+                                           const geo::Point& aggressor,
+                                           const geo::Point& p) const {
+  const double beta = geo::angle_of(victim, aggressor);
+  const double r = geo::distance(victim, p);
+  const double theta = (r > 0.0) ? geo::angle_of(victim, p) - beta : 0.0;
+  const num::SymTensor2 local = stress_local(r, theta);
+  return num::cylindrical_to_cartesian(local, beta);
+}
+
+}  // namespace tsv::ana

@@ -1,0 +1,77 @@
+#pragma once
+// Polar look-up table for the pair-local interactive stress field.
+//
+// Stage II evaluates the combined response potentials (three Horner series
+// plus transforms) per (simulation point, ordered pair). For large designs
+// the same pitch recurs constantly (arrays) and every pair touches tens of
+// thousands of points, so tabulating the pair-local field once per pitch
+// and bilinearly interpolating is markedly cheaper — the same "table
+// look-up" trick the paper's Stage I uses.
+//
+// The table lives in the pair frame (victim at the origin, aggressor on the
+// +x axis at distance d): polar samples (r, theta) with theta in [0, pi]
+// (the field is mirror-symmetric: sxx/syy even, sxy odd). The radial grid
+// is split at the material interfaces r = R and r = R' so the hoop-stress
+// jumps are never interpolated across.
+
+#include <array>
+#include <vector>
+
+#include "geometry/point.h"
+#include "numeric/tensor.h"
+
+namespace tsv::ana {
+
+class InteractiveStressModel;
+struct RegionField;
+
+struct PairTableOptions {
+  std::size_t n_theta = 181;       ///< samples over [0, pi]
+  double dr_core = 0.25;           ///< radial step in the body, um
+  double dr_liner = 0.08;          ///< radial step in the liner, um
+  double dr_substrate = 0.1;       ///< radial step in the substrate, um
+};
+
+class PairStressTable {
+ public:
+
+  /// Tabulates the interactive field of `model` for the given pitch out to
+  /// radius r_max (um) from the victim center.
+  PairStressTable(const InteractiveStressModel& model,
+                  const RegionField& combined, double pitch, double r_max,
+                  const PairTableOptions& options = {});
+
+  double pitch() const { return pitch_; }
+  double r_max() const { return r_max_; }
+  std::size_t sample_count() const;
+
+  /// Interactive stress in the pair-local frame at polar (r, theta);
+  /// zero beyond r_max.
+  num::SymTensor2 stress_local(double r, double theta) const;
+
+  /// Interactive stress in the global frame for an ordered pair whose pitch
+  /// matches this table.
+  num::SymTensor2 stress_at(const geo::Point& victim,
+                            const geo::Point& aggressor,
+                            const geo::Point& p) const;
+
+ private:
+  struct Segment {
+    double r0 = 0.0;
+    double r1 = 0.0;
+    std::size_t nr = 0;  ///< radial samples (>= 2)
+    /// Row-major: radial index outer, theta inner.
+    std::vector<num::SymTensor2> values;
+  };
+
+  num::SymTensor2 sample_segment(const Segment& s, double r,
+                                 double theta) const;
+
+  double pitch_ = 0.0;
+  double r_max_ = 0.0;
+  std::size_t n_theta_ = 0;
+  double dtheta_ = 0.0;
+  std::array<Segment, 3> segments_;
+};
+
+}  // namespace tsv::ana

@@ -1,0 +1,218 @@
+#include "analytic/paper_constants.h"
+
+#include <cmath>
+
+#include "numeric/check.h"
+
+namespace tsv::ana {
+namespace {
+
+double kpow(double k, int e) { return std::pow(k, e); }
+
+}  // namespace
+
+PaperParams PaperParams::from(const tsvlib::TsvStructure& s, double delta_t) {
+  s.validate();
+  PaperParams p{};
+  p.ec = s.body.youngs_modulus;
+  p.el = s.liner.youngs_modulus;
+  p.es = s.substrate.youngs_modulus;
+  p.vc = s.body.poisson_ratio;
+  p.vl = s.liner.poisson_ratio;
+  p.vs = s.substrate.poisson_ratio;
+  p.ac = s.body.cte;
+  p.al = s.liner.cte;
+  p.as = s.substrate.cte;
+  p.t = delta_t;
+  p.r_body = s.body_radius;
+  p.r_outer = s.outer_radius();
+  p.k = s.radius_ratio();
+  return p;
+}
+
+double paper_k_constant(const PaperParams& p) {
+  const double k2 = p.k * p.k;
+  const double c1 = (1.0 - p.vc) / p.ec;  // (1-vc)/Ec
+  const double l_plus = (1.0 + p.vl) / p.el;
+  const double l_minus = (1.0 - p.vl) / p.el;
+  const double s_plus = (1.0 + p.vs) / p.es;
+  const double num =
+      (c1 + l_plus) * (p.al - p.as) + (c1 + l_plus) * (p.ac - p.al) * k2 -
+      (c1 - l_minus) * (p.ac - p.as) * k2;
+  const double den = (c1 + l_plus) * (s_plus + l_minus) -
+                     (c1 - l_minus) * (s_plus - l_plus) * k2;
+  return -p.t * p.r_outer * p.r_outer * num / den;
+}
+
+double paper_a1(const PaperParams& p) {
+  const double ratio = p.ec / p.el;
+  return (1.0 + ratio * (3.0 - p.vl) / (1.0 + p.vc)) /
+         (1.0 - ratio * (1.0 + p.vl) / (1.0 + p.vc));
+}
+
+double paper_a2(const PaperParams& p) {
+  const double ratio = p.ec / p.el;
+  return (1.0 - ratio * (3.0 - p.vl) / (3.0 - p.vc)) /
+         (1.0 + ratio * (1.0 + p.vl) / (3.0 - p.vc));
+}
+
+double paper_g1(const PaperParams& p, int m) {
+  TSV_REQUIRE(std::abs(m) >= 2, "G1 defined for |m| >= 2");
+  const double k = p.k;
+  const double k2 = k * k;
+  const double a1 = paper_a1(p);
+  const double a2 = paper_a2(p);
+  const double m2 = static_cast<double>(m) * m;
+  const double el = p.el;
+  const double common = a1 * a2 * kpow(k, 4) - a1 * kpow(k, 2 * m + 2) -
+                        a2 * kpow(k, 2 - 2 * m) +
+                        (1.0 - k2) * (1.0 - k2) * (m2 - 1.0) + 1.0;
+  // PAPER-OCR: the printed first bracket shows (1 - k^2)(m^2 - 1) without the
+  // square; F1 and G2 carry (1 - k^2)^2 (m^2 - 1), so we use the squared form
+  // consistently.
+  const double b1 = (4.0 * a1 * kpow(k, 2 * m + 2) - 4.0) / el +
+                    ((1.0 + p.vl) / el - (1.0 + p.vs) / p.es) * common;
+  const double b2 = (4.0 * a2 * kpow(k, 2 - 2 * m) - 4.0) / el +
+                    ((1.0 + p.vl) / el + (3.0 - p.vs) / p.es) * common;
+  return 16.0 * (k2 - 1.0) * (k2 - 1.0) / (el * el) + b1 * b2 / (m2 - 1.0);
+}
+
+double paper_g2(const PaperParams& p, int m) {
+  TSV_REQUIRE(std::abs(m) >= 2, "G2 defined for |m| >= 2");
+  const double k = p.k;
+  const double k2 = k * k;
+  const double a1 = paper_a1(p);
+  const double a2 = paper_a2(p);
+  const double m2 = static_cast<double>(m) * m;
+  const double common = a1 * a2 * kpow(k, 4) - a1 * kpow(k, 2 * m + 2) -
+                        a2 * kpow(k, 2 - 2 * m) + 1.0 +
+                        (1.0 - k2) * (1.0 - k2) * (m2 - 1.0);
+  return 16.0 / (p.el * p.es) * (1.0 - k2) * common;
+}
+
+double paper_g3(const PaperParams& p, int m) {
+  TSV_REQUIRE(std::abs(m) >= 2, "G3 defined for |m| >= 2");
+  const double k = p.k;
+  const double k2 = k * k;
+  const double a1 = paper_a1(p);
+  const double a2 = paper_a2(p);
+  const double m2 = static_cast<double>(m) * m;
+  const double el = p.el;
+  const double common = a1 * a2 * kpow(k, 4) - a1 * kpow(k, 2 - 2 * m) -
+                        a2 * kpow(k, 2 * m + 2) +
+                        (1.0 - k2) * (1.0 - k2) * (m2 - 1.0) + 1.0;
+  const double b1 = (4.0 * a1 * kpow(k, 2 - 2 * m) - 4.0) / el +
+                    ((1.0 + p.vl) / el - (1.0 + p.vs) / p.es) * common;
+  // PAPER-OCR: printed G3 repeats the (1+vl)/El - (1+vs)/Es factor in the
+  // second bracket; the G1 pattern (mirrored under m -> -m) suggests
+  // (1+vl)/El + (3-vs)/Es, which we use.
+  const double b2 = (4.0 * a2 * kpow(k, 2 * m + 2) - 4.0) / el +
+                    ((1.0 + p.vl) / el + (3.0 - p.vs) / p.es) * common;
+  return 16.0 * (k2 - 1.0) * (k2 - 1.0) / (el * el) + b1 * b2 / (m2 - 1.0);
+}
+
+double paper_f_big(const PaperParams& p, int m) {
+  TSV_REQUIRE(std::abs(m) >= 2, "F defined for |m| >= 2");
+  if (m <= -2) return paper_g2(p, m) / paper_g1(p, m);
+  return paper_g3(p, m) / paper_g1(p, -m);
+}
+
+double paper_f1(const PaperParams& p, int m) {
+  const double k = p.k;
+  const double k2 = k * k;
+  const double a1 = paper_a1(p);
+  const double a2 = paper_a2(p);
+  const double m2 = static_cast<double>(m) * m;
+  return a1 * a2 * kpow(k, 4) - a1 * kpow(k, 2 * m + 2) -
+         a2 * kpow(k, 2 - 2 * m) + 1.0 +
+         (1.0 - k2) * (1.0 - k2) * (m2 - 1.0);
+}
+
+double paper_f2(const PaperParams& p, int m) {
+  const double k2 = p.k * p.k;
+  const double dm = static_cast<double>(m);
+  return (1.0 - k2) * (dm + 1.0) * paper_f_big(p, m) +
+         (paper_a2(p) * kpow(p.k, 2 - 2 * m) - 1.0) *
+             (paper_f_big(p, -m) + dm + 1.0);
+}
+
+double paper_f3(const PaperParams& p, int m) {
+  const double k2 = p.k * p.k;
+  const double dm = static_cast<double>(m);
+  return (1.0 - k2) * (dm + 1.0) * (paper_f_big(p, m) - dm + 1.0) +
+         (paper_a1(p) * kpow(p.k, 2 - 2 * m) - 1.0) * paper_f_big(p, -m);
+}
+
+double paper_h_big(const PaperParams& p, int m) {
+  TSV_REQUIRE(std::abs(m) >= 2, "H defined for |m| >= 2");
+  if (m <= -2) return paper_f2(p, m) / paper_f1(p, m);
+  return paper_f3(p, m) / paper_f1(p, -m);
+}
+
+double paper_h(const PaperParams& p, int i, int j, int m) {
+  TSV_REQUIRE(i >= 1 && i <= 3 && j >= 1 && j <= 8, "h_ij index out of range");
+  TSV_REQUIRE(m >= 2, "eq. (18) sums over m >= 2");
+  const double dm = static_cast<double>(m);
+  const double k2 = p.k * p.k;
+  const double a1 = paper_a1(p);
+  const double a2 = paper_a2(p);
+  const double hm = paper_h_big(p, m);
+  const double hmm = paper_h_big(p, -m);
+  const double fm = paper_f_big(p, m);
+  const double fmm = paper_f_big(p, -m);
+  switch (i) {
+    case 1:
+      switch (j) {
+        case 1:
+          return (1.0 - a2) * (2.0 - dm) * hm;
+        case 2:
+          return (dm - 1.0) + (a1 - 1.0) * kpow(p.k, 2 - 2 * m) * hmm +
+                 (a2 - 1.0) * k2 * (dm - 1.0) * hm;
+        case 5:
+          return (1.0 - a2) * (2.0 + dm) * hm;
+        case 7:
+          return (1.0 - a2) * dm * hm;
+        default:
+          return 0.0;  // h13, h14, h16, h18
+      }
+    case 2:
+      switch (j) {
+        case 1:
+          return (2.0 - dm) * hm;
+        case 2:
+          return (dm - 1.0) + (1.0 - dm) * k2 * hm +
+                 a1 * kpow(p.k, 2 - 2 * m) * hmm;
+        case 3:
+          return (2.0 + dm) * hmm;
+        case 4:
+          return (dm + 1.0) * k2 * hmm + a2 * kpow(p.k, 2 * m + 2) * hm;
+        case 5:
+          return dm * hm;
+        case 6:
+          return dm * hmm;
+        case 7:
+          return (2.0 + dm) * hm;
+        case 8:
+          return (2.0 - dm) * hmm;
+        default:
+          return 0.0;
+      }
+    case 3:
+      switch (j) {
+        case 3:
+          return -(2.0 + dm) * fm;
+        case 4:
+          return fmm - (dm + 1.0) * fm;
+        case 6:
+          return (dm - 2.0) * fm;
+        case 8:
+          return -dm * fm;
+        default:
+          return 0.0;  // h31, h32, h35, h37
+      }
+    default:
+      return 0.0;
+  }
+}
+
+}  // namespace tsv::ana

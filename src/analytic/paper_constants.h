@@ -1,0 +1,50 @@
+#pragma once
+// Faithful transcription of the paper's Appendix A.4: the closed-form K and
+// the h_ij(m) coefficient functions of eq. (18).
+//
+// The only available source text is OCR'd and visibly damaged in places
+// (e.g. "E'l", a dropped square on one (1-k^2) factor in G1, and a repeated
+// factor in G3 where the G1 pattern suggests a different sign/term). We
+// transcribe as printed where unambiguous and adopt the structurally
+// consistent reading where the print is self-contradictory; every such spot
+// is marked with a PAPER-OCR comment. The collocation-based mode solver
+// (mode_solver.h) is the authoritative implementation; tests compare the two
+// and EXPERIMENTS.md records the observed agreement.
+
+#include "tsv/structure.h"
+
+namespace tsv::ana {
+
+/// Inputs of the Appendix A.4 formulas.
+struct PaperParams {
+  double ec, el, es;  ///< Young's moduli: copper, liner, substrate (MPa)
+  double vc, vl, vs;  ///< Poisson ratios
+  double ac, al, as;  ///< CTEs (1/K)
+  double t;           ///< thermal load, K (paper: -250)
+  double r_body;      ///< R, um
+  double r_outer;     ///< R', um
+  double k;           ///< R / R'
+
+  static PaperParams from(const tsvlib::TsvStructure& s, double delta_t);
+};
+
+/// Closed-form K (MPa * um^2) of Appendix A.4; compare with
+/// LayeredCylinder::far_field_constant().
+double paper_k_constant(const PaperParams& p);
+
+/// Coefficient machinery of Appendix A.4. Valid for |m| >= 2.
+double paper_a1(const PaperParams& p);
+double paper_a2(const PaperParams& p);
+double paper_g1(const PaperParams& p, int m);
+double paper_g2(const PaperParams& p, int m);
+double paper_g3(const PaperParams& p, int m);
+double paper_f_big(const PaperParams& p, int m);   ///< F(m)
+double paper_f1(const PaperParams& p, int m);
+double paper_f2(const PaperParams& p, int m);
+double paper_f3(const PaperParams& p, int m);
+double paper_h_big(const PaperParams& p, int m);   ///< H(m)
+
+/// h_ij(m): i = 1 (TSV body), 2 (liner), 3 (substrate); j = 1..8.
+double paper_h(const PaperParams& p, int i, int j, int m);
+
+}  // namespace tsv::ana

@@ -1,0 +1,85 @@
+#include "analytic/paper_series.h"
+
+#include <cmath>
+
+#include "analytic/single_tsv.h"
+
+namespace tsv::ana {
+
+PaperInteractiveModel::PaperInteractiveModel(
+    const tsvlib::TsvStructure& structure, double delta_t, int m_max)
+    : params_(PaperParams::from(structure, delta_t)), m_max_(m_max) {
+  TSV_REQUIRE(m_max >= 2, "need at least the m = 2 harmonic");
+  // Use the exact K (the paper's closed form is cross-checked in tests).
+  const SingleTsvModel single(structure, mat::ThermalLoad{delta_t});
+  k_ = single.k_constant();
+}
+
+num::SymTensor2 PaperInteractiveModel::stress_cylindrical(double r,
+                                                          double theta,
+                                                          double d) const {
+  TSV_REQUIRE(r >= 0.0, "negative radius");
+  TSV_REQUIRE(d > 0.0, "pitch must be positive");
+  const double rp = params_.r_outer;  // R'
+  const double rp2 = rp * rp;
+  int i;  // region index of eq. (18)
+  if (r < params_.r_body) {
+    i = 1;
+  } else if (r < rp) {
+    i = 2;
+  } else {
+    i = 3;
+  }
+  const double pref = k_ / rp2;
+
+  // The growing terms (r/d)^m apply in body and liner (h3j = 0 kills them in
+  // the substrate), the decaying (R'^2/(rd))^m terms in liner and substrate
+  // (h1j = 0 in the body). Evaluating only the live family avoids 0 * inf at
+  // r -> 0 and overflow for r >> R'.
+  const bool use_grow = i <= 2;
+  const bool use_decay = i >= 2;
+  double srr = 0.0, stt = 0.0, srt = 0.0;
+  for (int m = 2; m <= m_max_; ++m) {
+    const double cosm = std::cos(m * theta);
+    const double sinm = std::sin(m * theta);
+    if (use_grow) {
+      // grow = (r/d)^m, grow_rr = (r/d)^m * R'^2/r^2 = R'^2 r^(m-2) / d^m
+      const double grow = std::pow(r / d, m);
+      const double grow_rr = rp2 * std::pow(r, m - 2) / std::pow(d, m);
+      const double h1 = paper_h(params_, i, 1, m);
+      const double h2 = paper_h(params_, i, 2, m);
+      const double h5 = paper_h(params_, i, 5, m);
+      const double h7 = paper_h(params_, i, 7, m);
+      srr += cosm * (grow * h1 - grow_rr * h2);
+      stt += cosm * (grow * h5 + grow_rr * h2);
+      srt += sinm * (grow * h7 + grow_rr * h2);
+    }
+    if (use_decay) {
+      const double decay = std::pow(rp2 / (r * d), m);
+      const double decay_rr = decay * rp2 / (r * r);
+      const double h3 = paper_h(params_, i, 3, m);
+      const double h4 = paper_h(params_, i, 4, m);
+      const double h6 = paper_h(params_, i, 6, m);
+      const double h8 = paper_h(params_, i, 8, m);
+      srr += cosm * (decay * h3 - decay_rr * h4);
+      stt += cosm * (decay * h6 + decay_rr * h4);
+      srt += sinm * (decay * h8 - decay_rr * h4);
+    }
+  }
+  return num::SymTensor2{pref * srr, pref * stt, pref * srt};
+}
+
+num::SymTensor2 PaperInteractiveModel::stress_at(const geo::Point& victim,
+                                                 const geo::Point& aggressor,
+                                                 const geo::Point& p) const {
+  const double d = geo::distance(victim, aggressor);
+  const double beta = geo::angle_of(victim, aggressor);
+  const double r = geo::distance(victim, p);
+  // theta of eq. (18) is measured from the victim->aggressor ray.
+  const double theta = geo::angle_of(victim, p) - beta;
+  const num::SymTensor2 cyl = stress_cylindrical(r, theta, d);
+  // Cylindrical frame at absolute angle beta + theta.
+  return num::cylindrical_to_cartesian(cyl, beta + theta);
+}
+
+}  // namespace tsv::ana

@@ -1,0 +1,38 @@
+#pragma once
+// Evaluation of the paper's closed-form interactive-stress series, eq. (18),
+// built on the Appendix A.4 transcription in paper_constants.h. Kept as an
+// independent implementation to compare against the collocation-based
+// mode solver; see DESIGN.md for the OCR caveats.
+
+#include "analytic/paper_constants.h"
+#include "geometry/point.h"
+#include "numeric/tensor.h"
+
+namespace tsv::ana {
+
+class PaperInteractiveModel {
+ public:
+  /// `m_max` is the highest retained harmonic (paper: 10, i.e. 9 terms).
+  PaperInteractiveModel(const tsvlib::TsvStructure& structure, double delta_t,
+                        int m_max = 10);
+
+  int m_max() const { return m_max_; }
+  double k_constant() const { return k_; }
+
+  /// Interactive stress in the victim-centered cylindrical frame of system S
+  /// (aggressor at distance d on the theta = 0 ray): {srr, stt, srt}.
+  /// r is the distance from the victim center; valid in all three regions.
+  num::SymTensor2 stress_cylindrical(double r, double theta, double d) const;
+
+  /// Cartesian global-frame interactive stress at p for an ordered pair.
+  num::SymTensor2 stress_at(const geo::Point& victim,
+                            const geo::Point& aggressor,
+                            const geo::Point& p) const;
+
+ private:
+  PaperParams params_;
+  double k_ = 0.0;  ///< paper K, from the exact layered-cylinder solution
+  int m_max_;
+};
+
+}  // namespace tsv::ana

@@ -1,0 +1,36 @@
+#include "analytic/single_tsv.h"
+
+#include <cmath>
+
+namespace tsv::ana {
+namespace {
+
+std::vector<Layer> layers_of(const tsvlib::TsvStructure& s) {
+  s.validate();
+  if (s.liner_thickness > 0.0) {
+    return {{s.body_radius, s.body},
+            {s.outer_radius(), s.liner},
+            {0.0, s.substrate}};
+  }
+  return {{s.body_radius, s.body}, {0.0, s.substrate}};
+}
+
+}  // namespace
+
+SingleTsvModel::SingleTsvModel(const tsvlib::TsvStructure& structure,
+                               const mat::ThermalLoad& load)
+    : structure_(structure),
+      solution_(layers_of(structure), load.delta_t, structure.substrate.cte) {
+  k_ = solution_.far_field_constant();
+}
+
+num::SymTensor2 SingleTsvModel::stress_at(const geo::Point& center,
+                                          const geo::Point& p) const {
+  const double r = geo::distance(center, p);
+  const num::SymTensor2 cyl = solution_.stress(r);
+  if (r == 0.0) return cyl;  // isotropic at the center, no rotation needed
+  const double theta = geo::angle_of(center, p);
+  return num::cylindrical_to_cartesian(cyl, theta);
+}
+
+}  // namespace tsv::ana

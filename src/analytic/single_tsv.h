@@ -1,0 +1,54 @@
+#pragma once
+// The ideal (isolated) single-TSV stress field of Sec. 3.2, backed by the
+// exact layered-cylinder solution. In the substrate it reduces to paper
+// eq. (6): sigma_rr = K / r'^2 = -sigma_tt, sigma_rt = 0; inside the liner
+// and body it carries the exact axisymmetric field, which linear
+// superposition also needs when a simulation point falls inside a TSV.
+
+#include "analytic/layered_cylinder.h"
+#include "geometry/point.h"
+#include "materials/material.h"
+#include "numeric/tensor.h"
+#include "tsv/structure.h"
+
+namespace tsv::ana {
+
+class SingleTsvModel {
+ public:
+  SingleTsvModel(const tsvlib::TsvStructure& structure,
+                 const mat::ThermalLoad& load);
+
+  const tsvlib::TsvStructure& structure() const { return structure_; }
+
+  /// K of eq. (6), MPa*um^2.
+  double k_constant() const { return k_; }
+  /// K / R'^2: substrate radial stress right at the liner interface, MPa.
+  double k_hat() const { return k_ / (outer_radius() * outer_radius()); }
+
+  double outer_radius() const { return structure_.outer_radius(); }
+  double body_radius() const { return structure_.body_radius; }
+
+  /// Stress in the cylindrical frame at distance r from the TSV center
+  /// (valid in all three regions).
+  num::SymTensor2 stress_cylindrical(double r) const {
+    return solution_.stress(r);
+  }
+
+  /// Cartesian stress at point p induced by a TSV centered at `center`.
+  num::SymTensor2 stress_at(const geo::Point& center,
+                            const geo::Point& p) const;
+
+  /// Radial displacement at distance r from the center, um.
+  double radial_displacement(double r) const {
+    return solution_.radial_displacement(r);
+  }
+
+  const LayeredCylinder& solution() const { return solution_; }
+
+ private:
+  tsvlib::TsvStructure structure_;
+  LayeredCylinder solution_;
+  double k_ = 0.0;
+};
+
+}  // namespace tsv::ana

@@ -1,0 +1,99 @@
+#include "core/interactive_stage.h"
+
+namespace tsv::core {
+namespace {
+
+geo::Box index_bounds(const tsvlib::Placement& p) {
+  return p.empty() ? geo::Box{{0.0, 0.0}, {1.0, 1.0}} : p.bounding_box();
+}
+
+}  // namespace
+
+InteractiveStage::InteractiveStage(
+    const tsvlib::Placement& placement,
+    std::shared_ptr<const ana::InteractiveStressModel> model,
+    const InteractiveOptions& options)
+    : placement_(placement),
+      model_(std::move(model)),
+      options_(options),
+      tsv_index_(placement.centers(), index_bounds(placement),
+                 std::max(options.pair_pitch_cutoff / 2.0, 1.0)) {
+  TSV_REQUIRE(model_ != nullptr, "null interactive model");
+  TSV_REQUIRE(options_.pair_pitch_cutoff > 0.0 &&
+                  options_.influence_radius > 0.0,
+              "cutoffs must be positive");
+}
+
+num::SymTensor2 InteractiveStage::stress_at(const geo::Point& p) const {
+  const auto& centers = placement_.centers();
+  std::vector<std::uint32_t> victims;
+  tsv_index_.query_radius(p, options_.influence_radius, victims);
+  num::SymTensor2 sum;
+  std::vector<std::uint32_t> aggressors;
+  for (const std::uint32_t v : victims) {
+    tsv_index_.query_radius(centers[v], options_.pair_pitch_cutoff,
+                            aggressors);
+    for (const std::uint32_t a : aggressors) {
+      if (a == v) continue;
+      sum += model_->stress_at(centers[v], centers[a], p);
+    }
+  }
+  return sum;
+}
+
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+InteractiveStage::ordered_pairs() const {
+  const auto& centers = placement_.centers();
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  std::vector<std::uint32_t> nearby;
+  for (std::uint32_t v = 0; v < centers.size(); ++v) {
+    tsv_index_.query_radius(centers[v], options_.pair_pitch_cutoff, nearby);
+    for (const std::uint32_t a : nearby) {
+      if (a != v) pairs.emplace_back(v, a);
+    }
+  }
+  return pairs;
+}
+
+std::vector<num::SymTensor2> InteractiveStage::evaluate(
+    const std::vector<geo::Point>& points) const {
+  std::vector<num::SymTensor2> out(points.size());
+  if (placement_.size() < 2 || points.empty()) return out;
+
+  // Index the simulation points so each pair only touches points within the
+  // victim's influence radius.
+  geo::Point lo = points.front(), hi = points.front();
+  for (const auto& p : points) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+  const geo::GridIndex point_index(
+      points, geo::Box{lo, {hi.x + 1e-9, hi.y + 1e-9}},
+      std::max(options_.influence_radius / 2.0, 1.0));
+
+  const auto& centers = placement_.centers();
+  std::vector<std::uint32_t> affected;
+  for (const auto& [v, a] : ordered_pairs()) {
+    const geo::Point& victim = centers[v];
+    const geo::Point& aggressor = centers[a];
+    const double pitch = geo::distance(victim, aggressor);
+    point_index.query_radius(victim, options_.influence_radius, affected);
+    if (options_.use_lookup_table) {
+      const ana::PairStressTable& table =
+          model_->table_for_pitch(pitch, options_.influence_radius);
+      for (const std::uint32_t n : affected)
+        out[n] += table.stress_at(victim, aggressor, points[n]);
+    } else {
+      const ana::RegionField& combined = model_->combined_for_pitch(pitch);
+      for (const std::uint32_t n : affected) {
+        out[n] += model_->stress_with_combined(combined, victim, aggressor,
+                                               pitch, points[n]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tsv::core

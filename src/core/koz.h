@@ -1,0 +1,59 @@
+#pragma once
+// Keep-out-zone (KOZ) and reliability analysis on top of the stress
+// framework — the downstream applications the paper motivates (its refs
+// [1, 2]: stress-driven placement with TSV keep-out zones and stress-aware
+// timing; ref [4]: interfacial crack analysis).
+//
+// A keep-out zone is the region around a TSV where a stress-derived metric
+// (von Mises for reliability, mobility shift for timing) exceeds a limit,
+// so devices must not be placed there. Interactive stress makes KOZs
+// non-circular and placement-dependent; this module measures them from the
+// evaluated field rather than assuming the isolated-TSV radius.
+
+#include <functional>
+#include <vector>
+
+#include "core/framework.h"
+#include "core/metrics.h"
+#include "geometry/point.h"
+#include "tsv/placement.h"
+
+namespace tsv::core {
+
+struct KozOptions {
+  StressMeasure measure = StressMeasure::kVonMises;
+  double limit = 100.0;        ///< MPa; metric above this is keep-out
+  double max_radius = 25.0;    ///< um, search cap per TSV
+  std::size_t rays = 64;       ///< angular resolution of the KOZ contour
+  double radial_step = 0.1;    ///< um, contour search resolution
+};
+
+/// Keep-out contour of one TSV: per ray, the largest radius at which the
+/// metric still exceeds the limit (at least the TSV outer radius).
+struct KozContour {
+  std::size_t tsv_index = 0;
+  std::vector<double> radius;  ///< per ray, um; rays uniform in [0, 2 pi)
+  double max_radius = 0.0;
+  double min_radius = 0.0;
+  double area = 0.0;  ///< um^2, polygonal area of the contour
+};
+
+/// Computes the KOZ contour of every TSV under the given framework.
+std::vector<KozContour> compute_koz(const StressFramework& framework,
+                                    const tsvlib::Placement& placement,
+                                    const KozOptions& options = {});
+
+/// Summary across a placement.
+struct KozReport {
+  double mean_radius = 0.0;      ///< mean of per-TSV max radii, um
+  double worst_radius = 0.0;     ///< largest keep-out radius anywhere, um
+  std::size_t worst_tsv = 0;
+  double total_area = 0.0;       ///< sum of KOZ areas, um^2
+  /// Largest KOZ asymmetry (max/min radius per TSV) — 1.0 for isolated
+  /// TSVs; interactive stress between close TSVs stretches the contour.
+  double worst_asymmetry = 1.0;
+};
+
+KozReport summarize_koz(const std::vector<KozContour>& contours);
+
+}  // namespace tsv::core

@@ -1,0 +1,32 @@
+#include "core/line_scan.h"
+
+#include "numeric/check.h"
+
+namespace tsv::core {
+
+LineScan make_line_scan(const geo::Point& from, const geo::Point& to,
+                        std::size_t samples) {
+  TSV_REQUIRE(samples >= 2, "need at least two samples");
+  LineScan scan;
+  scan.arc.reserve(samples);
+  scan.points.reserve(samples);
+  const double len = geo::distance(from, to);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double t =
+        static_cast<double>(i) / static_cast<double>(samples - 1);
+    scan.arc.push_back(t * len);
+    scan.points.push_back(from + t * (to - from));
+  }
+  return scan;
+}
+
+std::vector<num::SymTensor2> sample_line(
+    const LineScan& scan,
+    const std::function<num::SymTensor2(const geo::Point&)>& field) {
+  std::vector<num::SymTensor2> out;
+  out.reserve(scan.points.size());
+  for (const auto& p : scan.points) out.push_back(field(p));
+  return out;
+}
+
+}  // namespace tsv::core

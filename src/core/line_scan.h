@@ -1,0 +1,28 @@
+#pragma once
+// Line scans of a stress field (Fig. 3 of the paper: sigma_xx along the line
+// through the centers of two TSVs).
+
+#include <functional>
+#include <vector>
+
+#include "geometry/point.h"
+#include "numeric/tensor.h"
+
+namespace tsv::core {
+
+/// A sampled line: positions (arc length from `from`) and points.
+struct LineScan {
+  std::vector<double> arc;
+  std::vector<geo::Point> points;
+};
+
+/// `samples` points from `from` to `to` inclusive.
+LineScan make_line_scan(const geo::Point& from, const geo::Point& to,
+                        std::size_t samples);
+
+/// Evaluates a stress functor at the scan points.
+std::vector<num::SymTensor2> sample_line(
+    const LineScan& scan,
+    const std::function<num::SymTensor2(const geo::Point&)>& field);
+
+}  // namespace tsv::core

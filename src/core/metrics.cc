@@ -1,0 +1,112 @@
+#include "core/metrics.h"
+
+#include <cmath>
+
+namespace tsv::core {
+
+double extract(StressMeasure m, const num::SymTensor2& s) {
+  switch (m) {
+    case StressMeasure::kSigmaXX:
+      return s.s11;
+    case StressMeasure::kSigmaYY:
+      return s.s22;
+    case StressMeasure::kSigmaXY:
+      return s.s12;
+    case StressMeasure::kVonMises:
+      return num::von_mises_plane_stress(s);
+    case StressMeasure::kMaxTensile:
+      return num::max_tensile(s);
+  }
+  TSV_ASSERT(false);
+  return 0.0;
+}
+
+const char* to_string(StressMeasure m) {
+  switch (m) {
+    case StressMeasure::kSigmaXX:
+      return "sigma_xx";
+    case StressMeasure::kSigmaYY:
+      return "sigma_yy";
+    case StressMeasure::kSigmaXY:
+      return "sigma_xy";
+    case StressMeasure::kVonMises:
+      return "von_mises";
+    case StressMeasure::kMaxTensile:
+      return "max_tensile";
+  }
+  return "unknown";
+}
+
+ErrorStats compare_fields(StressMeasure measure,
+                          const std::vector<geo::Point>& points,
+                          const std::vector<num::SymTensor2>& model,
+                          const std::vector<num::SymTensor2>& golden,
+                          const tsvlib::Placement& placement,
+                          const MetricsOptions& options) {
+  TSV_REQUIRE(points.size() == model.size() && model.size() == golden.size(),
+              "field sizes must match the point list");
+  ErrorStats st;
+  st.n_points = points.size();
+
+  double sum_all = 0.0;
+  double sum10 = 0.0, sum_rate10 = 0.0;
+  double sum50 = 0.0, sum_rate50 = 0.0;
+  double sum_crit = 0.0, sum_rate_crit = 0.0;
+  const double crit_r2 = options.critical_radius * options.critical_radius;
+
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const double g = extract(measure, golden[i]);
+    const double v = extract(measure, model[i]);
+    const double err = std::abs(v - g);
+    const double mag = std::abs(g);
+    sum_all += err;
+    if (mag >= options.threshold_low) {
+      sum10 += err;
+      sum_rate10 += err / mag;
+      ++st.n_thr10;
+    }
+    if (mag >= options.threshold_high) {
+      sum50 += err;
+      sum_rate50 += err / mag;
+      ++st.n_thr50;
+      bool critical = false;
+      for (const auto& c : placement.centers()) {
+        if (geo::distance_squared(c, points[i]) <= crit_r2) {
+          critical = true;
+          break;
+        }
+      }
+      if (critical) {
+        sum_crit += err;
+        sum_rate_crit += err / mag;
+        ++st.n_critical;
+      }
+    }
+  }
+
+  const auto mean = [](double s, std::size_t n) {
+    return n > 0 ? s / static_cast<double>(n) : 0.0;
+  };
+  st.avg_error = mean(sum_all, st.n_points);
+  st.avg_error_thr10 = mean(sum10, st.n_thr10);
+  st.rate_thr10 = 100.0 * mean(sum_rate10, st.n_thr10);
+  st.avg_error_thr50 = mean(sum50, st.n_thr50);
+  st.rate_thr50 = 100.0 * mean(sum_rate50, st.n_thr50);
+  st.critical_avg_error_thr50 = mean(sum_crit, st.n_critical);
+  st.critical_rate_thr50 = 100.0 * mean(sum_rate_crit, st.n_critical);
+  return st;
+}
+
+double max_abs_error(StressMeasure measure,
+                     const std::vector<num::SymTensor2>& model,
+                     const std::vector<num::SymTensor2>& golden) {
+  TSV_REQUIRE(model.size() == golden.size(), "field size mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < model.size(); ++i) {
+    worst = std::max(worst, std::abs(extract(measure, model[i]) -
+                                     extract(measure, golden[i])));
+  }
+  return worst;
+}
+
+}  // namespace tsv::core

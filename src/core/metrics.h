@@ -1,0 +1,58 @@
+#pragma once
+// Error-metric engine reproducing the paper's table columns: average error
+// over the monitored region, thresholded averages and error rates, and the
+// critical-region variants (Sec. 5.1).
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "geometry/point.h"
+#include "numeric/tensor.h"
+#include "tsv/placement.h"
+
+namespace tsv::core {
+
+/// Scalar stress measure extracted from the tensor field.
+enum class StressMeasure { kSigmaXX, kSigmaYY, kSigmaXY, kVonMises,
+                           kMaxTensile };
+
+double extract(StressMeasure m, const num::SymTensor2& s);
+const char* to_string(StressMeasure m);
+
+struct ErrorStats {
+  double avg_error = 0.0;          ///< mean |model - golden|, MPa, all points
+  double avg_error_thr10 = 0.0;    ///< restricted to |golden| >= 10 MPa
+  double rate_thr10 = 0.0;         ///< mean |err|/|golden| (%), same subset
+  double avg_error_thr50 = 0.0;
+  double rate_thr50 = 0.0;
+  double critical_avg_error_thr50 = 0.0;  ///< critical region, thr 50
+  double critical_rate_thr50 = 0.0;
+  std::size_t n_points = 0;
+  std::size_t n_thr10 = 0;
+  std::size_t n_thr50 = 0;
+  std::size_t n_critical = 0;
+};
+
+struct MetricsOptions {
+  double threshold_low = 10.0;    ///< MPa
+  double threshold_high = 50.0;   ///< MPa
+  /// Critical region: within this distance of any TSV center (paper: 3.3 um).
+  double critical_radius = 3.3;
+};
+
+/// Compares a model field against the golden field at `points`.
+/// All three vectors must align index-wise.
+ErrorStats compare_fields(StressMeasure measure,
+                          const std::vector<geo::Point>& points,
+                          const std::vector<num::SymTensor2>& model,
+                          const std::vector<num::SymTensor2>& golden,
+                          const tsvlib::Placement& placement,
+                          const MetricsOptions& options = {});
+
+/// Maximum |model - golden| of the measure over the points.
+double max_abs_error(StressMeasure measure,
+                     const std::vector<num::SymTensor2>& model,
+                     const std::vector<num::SymTensor2>& golden);
+
+}  // namespace tsv::core

@@ -1,0 +1,28 @@
+#pragma once
+// Abstraction over "the characterized stress field of one isolated TSV",
+// the quantity Stage I superposes. Two implementations exist:
+//   * RadialStressTable — 1D axisymmetric table (exact for the analytic
+//     model, azimuthally averaged for FEM characterizations);
+//   * StressMapTable — full 2D map sampled from a FEM solve, faithful to
+//     the original linear-superposition method [Jung DAC'11], which stores
+//     per-component stress maps of a single TSV.
+
+#include "geometry/point.h"
+#include "numeric/tensor.h"
+
+namespace tsv::core {
+
+class SingleTsvField {
+ public:
+  virtual ~SingleTsvField() = default;
+
+  /// Cartesian stress at p contributed by a TSV centered at `center`.
+  /// Must return zero beyond coverage_radius().
+  virtual num::SymTensor2 stress_at(const geo::Point& center,
+                                    const geo::Point& p) const = 0;
+
+  /// Radius around the TSV center the characterization covers, um.
+  virtual double coverage_radius() const = 0;
+};
+
+}  // namespace tsv::core

@@ -1,0 +1,61 @@
+#include "core/stress_map_table.h"
+
+#include <cmath>
+
+namespace tsv::core {
+
+StressMapTable::StressMapTable(std::vector<num::SymTensor2> values,
+                               std::size_t n, double half_extent)
+    : values_(std::move(values)), n_(n), half_extent_(half_extent) {
+  TSV_REQUIRE(n_ >= 2, "map needs at least 2 points per axis");
+  TSV_REQUIRE(half_extent_ > 0.0, "half extent must be positive");
+  TSV_REQUIRE(values_.size() == n_ * n_, "value count does not match grid");
+  inv_spacing_ = static_cast<double>(n_ - 1) / (2.0 * half_extent_);
+}
+
+StressMapTable StressMapTable::from_fem(const fem::StressField& field,
+                                        const geo::Point& center,
+                                        double half_extent, double spacing) {
+  TSV_REQUIRE(spacing > 0.0, "spacing must be positive");
+  const std::size_t n =
+      1 + static_cast<std::size_t>(std::llround(2.0 * half_extent / spacing));
+  std::vector<num::SymTensor2> values;
+  values.reserve(n * n);
+  for (std::size_t iy = 0; iy < n; ++iy) {
+    for (std::size_t ix = 0; ix < n; ++ix) {
+      const geo::Point p{
+          center.x - half_extent +
+              2.0 * half_extent * static_cast<double>(ix) /
+                  static_cast<double>(n - 1),
+          center.y - half_extent +
+              2.0 * half_extent * static_cast<double>(iy) /
+                  static_cast<double>(n - 1)};
+      values.push_back(field.sample(p));
+    }
+  }
+  return StressMapTable(std::move(values), n, half_extent);
+}
+
+num::SymTensor2 StressMapTable::stress_at(const geo::Point& center,
+                                          const geo::Point& p) const {
+  const double lx = p.x - center.x + half_extent_;
+  const double ly = p.y - center.y + half_extent_;
+  const double fx = lx * inv_spacing_;
+  const double fy = ly * inv_spacing_;
+  if (fx < 0.0 || fy < 0.0 || fx > static_cast<double>(n_ - 1) ||
+      fy > static_cast<double>(n_ - 1)) {
+    return {};
+  }
+  const std::size_t ix = std::min(static_cast<std::size_t>(fx), n_ - 2);
+  const std::size_t iy = std::min(static_cast<std::size_t>(fy), n_ - 2);
+  const double tx = fx - static_cast<double>(ix);
+  const double ty = fy - static_cast<double>(iy);
+  const auto at = [&](std::size_t jx, std::size_t jy) {
+    return values_[jy * n_ + jx];
+  };
+  return (1.0 - tx) * (1.0 - ty) * at(ix, iy) +
+         tx * (1.0 - ty) * at(ix + 1, iy) +
+         (1.0 - tx) * ty * at(ix, iy + 1) + tx * ty * at(ix + 1, iy + 1);
+}
+
+}  // namespace tsv::core

@@ -1,0 +1,117 @@
+#include "core/stress_table.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace tsv::core {
+
+RadialStressTable::RadialStressTable(std::vector<double> srr,
+                                     std::vector<double> stt,
+                                     double max_radius)
+    : srr_(std::move(srr)), stt_(std::move(stt)), max_radius_(max_radius) {
+  TSV_REQUIRE(srr_.size() == stt_.size(), "component tables differ in size");
+  TSV_REQUIRE(srr_.size() >= 2, "table needs at least two samples");
+  TSV_REQUIRE(max_radius_ > 0.0, "max radius must be positive");
+  inv_dr_ = static_cast<double>(srr_.size() - 1) / max_radius_;
+}
+
+RadialStressTable RadialStressTable::from_analytic(
+    const ana::SingleTsvModel& model, double max_radius, std::size_t samples) {
+  TSV_REQUIRE(samples >= 2, "need at least two samples");
+  std::vector<double> srr(samples), stt(samples);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double r = max_radius * static_cast<double>(i) /
+                     static_cast<double>(samples - 1);
+    const num::SymTensor2 s = model.stress_cylindrical(r);
+    srr[i] = s.s11;
+    stt[i] = s.s22;
+  }
+  return RadialStressTable(std::move(srr), std::move(stt), max_radius);
+}
+
+RadialStressTable RadialStressTable::from_fem(const fem::StressField& field,
+                                              const geo::Point& center,
+                                              double max_radius,
+                                              std::size_t samples,
+                                              std::size_t rays) {
+  TSV_REQUIRE(samples >= 2, "need at least two samples");
+  TSV_REQUIRE(rays >= 1, "need at least one ray");
+  std::vector<double> srr(samples, 0.0), stt(samples, 0.0);
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double r = max_radius * static_cast<double>(i) /
+                     static_cast<double>(samples - 1);
+    for (std::size_t j = 0; j < rays; ++j) {
+      // Offset the rays off the axes so samples do not sit on mesh lines.
+      const double th = 2.0 * std::numbers::pi *
+                        (static_cast<double>(j) + 0.382) /
+                        static_cast<double>(rays);
+      const geo::Point p{center.x + r * std::cos(th),
+                         center.y + r * std::sin(th)};
+      const num::SymTensor2 cart = field.sample(p);
+      const num::SymTensor2 cyl = num::cartesian_to_cylindrical(cart, th);
+      srr[i] += cyl.s11;
+      stt[i] += cyl.s22;
+    }
+    srr[i] /= static_cast<double>(rays);
+    stt[i] /= static_cast<double>(rays);
+  }
+  return RadialStressTable(std::move(srr), std::move(stt), max_radius);
+}
+
+num::SymTensor2 RadialStressTable::cylindrical(double r) const {
+  TSV_REQUIRE(r >= 0.0, "negative radius");
+  if (r >= max_radius_) return {};
+  const double f = r * inv_dr_;
+  const std::size_t i = static_cast<std::size_t>(f);
+  const double t = f - static_cast<double>(i);
+  const std::size_t j = std::min(i + 1, srr_.size() - 1);
+  num::SymTensor2 s;
+  s.s11 = srr_[i] * (1.0 - t) + srr_[j] * t;
+  s.s22 = stt_[i] * (1.0 - t) + stt_[j] * t;
+  return s;
+}
+
+num::SymTensor2 RadialStressTable::stress_at(const geo::Point& center,
+                                             const geo::Point& p) const {
+  const double r = geo::distance(center, p);
+  const num::SymTensor2 cyl = cylindrical(r);
+  if (r == 0.0) return cyl;
+  return num::cylindrical_to_cartesian(cyl, geo::angle_of(center, p));
+}
+
+double RadialStressTable::max_srr() const {
+  double m = 0.0;
+  for (double v : srr_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double effective_k_from_fem(const fem::StressField& field,
+                            const geo::Point& center, double r_min,
+                            double r_max, std::size_t samples,
+                            std::size_t rays) {
+  TSV_REQUIRE(r_max > r_min && r_min > 0.0, "invalid fit range");
+  TSV_REQUIRE(samples >= 2 && rays >= 1, "need samples and rays");
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const double r = r_min + (r_max - r_min) * static_cast<double>(i) /
+                                 static_cast<double>(samples - 1);
+    for (std::size_t j = 0; j < rays; ++j) {
+      const double th = 2.0 * std::numbers::pi *
+                        (static_cast<double>(j) + 0.382) /
+                        static_cast<double>(rays);
+      const geo::Point p{center.x + r * std::cos(th),
+                         center.y + r * std::sin(th)};
+      const num::SymTensor2 cyl =
+          num::cartesian_to_cylindrical(field.sample(p), th);
+      // Use the deviatoric combination (srr - stt)/2 * r^2, which equals K
+      // exactly for the eq. (6) field and cancels any residual hydrostatic
+      // discretization artifact.
+      sum += 0.5 * (cyl.s11 - cyl.s22) * r * r;
+      ++count;
+    }
+  }
+  return sum / static_cast<double>(count);
+}
+
+}  // namespace tsv::core

@@ -1,0 +1,68 @@
+#pragma once
+// Radial stress look-up table for the single-TSV field, the "table look-up
+// method" of Stage I (paper Sec. 4). The axisymmetric field is fully
+// described by (srr(r), stt(r)); entries are linearly interpolated.
+//
+// Tables can be characterized from the exact analytical solution (default)
+// or from a FEM solve of an isolated TSV (the paper's approach with COMSOL);
+// tests show the two agree to discretization error.
+
+#include <vector>
+
+#include "analytic/single_tsv.h"
+#include "core/single_tsv_field.h"
+#include "fem/field.h"
+#include "geometry/point.h"
+#include "numeric/tensor.h"
+
+namespace tsv::core {
+
+class RadialStressTable : public SingleTsvField {
+ public:
+  /// Uniformly spaced table on [0, max_radius] with `samples` entries.
+  RadialStressTable(std::vector<double> srr, std::vector<double> stt,
+                    double max_radius);
+
+  /// Characterizes from the exact single-TSV model.
+  static RadialStressTable from_analytic(const ana::SingleTsvModel& model,
+                                         double max_radius,
+                                         std::size_t samples = 4096);
+
+  /// Characterizes from a FEM stress field of a single TSV centered at
+  /// `center` by averaging srr/stt over `rays` azimuthal directions.
+  static RadialStressTable from_fem(const fem::StressField& field,
+                                    const geo::Point& center,
+                                    double max_radius,
+                                    std::size_t samples = 1024,
+                                    std::size_t rays = 16);
+
+  double max_radius() const { return max_radius_; }
+
+  /// {srr, stt, 0} at distance r from the TSV center; zero beyond the table.
+  num::SymTensor2 cylindrical(double r) const;
+
+  /// Cartesian stress at p for a TSV centered at `center`.
+  num::SymTensor2 stress_at(const geo::Point& center,
+                            const geo::Point& p) const override;
+  double coverage_radius() const override { return max_radius_; }
+
+  /// Largest |srr| entry (sanity/diagnostics).
+  double max_srr() const;
+
+ private:
+  std::vector<double> srr_, stt_;
+  double max_radius_;
+  double inv_dr_;
+};
+
+/// Fits the effective far-field constant K (paper eq. 6) of a FEM
+/// single-TSV field: the mean of sigma_rr * r^2 over rays and radii in
+/// [r_min, r_max]. Using the FEM-effective K (rather than the exact
+/// analytic one) keeps Stage II consistent with a FEM-characterized Stage I
+/// table — the paper's own methodology with COMSOL.
+double effective_k_from_fem(const fem::StressField& field,
+                            const geo::Point& center, double r_min,
+                            double r_max, std::size_t samples = 48,
+                            std::size_t rays = 32);
+
+}  // namespace tsv::core

@@ -1,0 +1,57 @@
+#include "core/superposition.h"
+
+namespace tsv::core {
+namespace {
+
+geo::Box index_bounds(const tsvlib::Placement& p) {
+  return p.empty() ? geo::Box{{0.0, 0.0}, {1.0, 1.0}} : p.bounding_box();
+}
+
+}  // namespace
+
+LinearSuperposition::LinearSuperposition(
+    const tsvlib::Placement& placement,
+    std::shared_ptr<const SingleTsvField> table,
+    const SuperpositionOptions& options)
+    : placement_(placement),
+      table_(std::move(table)),
+      options_(options),
+      index_(placement.centers(), index_bounds(placement),
+             std::max(options.influence_radius / 2.0, 1.0)) {
+  TSV_REQUIRE(table_ != nullptr, "null single-TSV field");
+  TSV_REQUIRE(options_.influence_radius > 0.0,
+              "influence radius must be positive");
+}
+
+LinearSuperposition::LinearSuperposition(const tsvlib::Placement& placement,
+                                         RadialStressTable table,
+                                         const SuperpositionOptions& options)
+    : LinearSuperposition(
+          placement,
+          std::make_shared<const RadialStressTable>(std::move(table)),
+          options) {}
+
+num::SymTensor2 LinearSuperposition::stress_at(const geo::Point& p) const {
+  std::vector<std::uint32_t> nearby;
+  index_.query_radius(p, options_.influence_radius, nearby);
+  num::SymTensor2 sum;
+  for (const std::uint32_t i : nearby)
+    sum += table_->stress_at(placement_.centers()[i], p);
+  return sum;
+}
+
+std::vector<num::SymTensor2> LinearSuperposition::evaluate(
+    const std::vector<geo::Point>& points) const {
+  std::vector<num::SymTensor2> out(points.size());
+  std::vector<std::uint32_t> nearby;
+  for (std::size_t n = 0; n < points.size(); ++n) {
+    index_.query_radius(points[n], options_.influence_radius, nearby);
+    num::SymTensor2 sum;
+    for (const std::uint32_t i : nearby)
+      sum += table_->stress_at(placement_.centers()[i], points[n]);
+    out[n] = sum;
+  }
+  return out;
+}
+
+}  // namespace tsv::core

@@ -1,0 +1,51 @@
+#pragma once
+// Stage I of Algorithm 1: linear superposition [Jung/Pan/Lim DAC'11].
+// Each simulation point accumulates the isolated-TSV field of every TSV
+// within the influence radius, found through a uniform-grid spatial index.
+
+#include <memory>
+#include <vector>
+
+#include "core/stress_table.h"
+#include "geometry/grid_index.h"
+#include "tsv/placement.h"
+
+namespace tsv::core {
+
+struct SuperpositionOptions {
+  /// TSVs farther than this from a simulation point are ignored
+  /// (paper: 25 um; the field decays as 1/r^2).
+  double influence_radius = 25.0;
+};
+
+class LinearSuperposition {
+ public:
+  LinearSuperposition(const tsvlib::Placement& placement,
+                      std::shared_ptr<const SingleTsvField> table,
+                      const SuperpositionOptions& options = {});
+
+  /// Convenience overload taking a radial table by value.
+  LinearSuperposition(const tsvlib::Placement& placement,
+                      RadialStressTable table,
+                      const SuperpositionOptions& options = {});
+
+  const tsvlib::Placement& placement() const { return placement_; }
+  const SingleTsvField& table() const { return *table_; }
+  const geo::GridIndex& index() const { return index_; }
+  const SuperpositionOptions& options() const { return options_; }
+
+  /// Stage-I stress at one point.
+  num::SymTensor2 stress_at(const geo::Point& p) const;
+
+  /// Stage-I stress at many points (reuses the query scratch buffer).
+  std::vector<num::SymTensor2> evaluate(
+      const std::vector<geo::Point>& points) const;
+
+ private:
+  tsvlib::Placement placement_;
+  std::shared_ptr<const SingleTsvField> table_;
+  SuperpositionOptions options_;
+  geo::GridIndex index_;
+};
+
+}  // namespace tsv::core

@@ -1,0 +1,136 @@
+#include "fem/assembly.h"
+
+#include "fem/blending.h"
+#include "fem/element.h"
+
+namespace tsv::fem {
+namespace {
+
+const mat::Material& material_of(const tsvlib::TsvStructure& s,
+                                 MaterialRegion r) {
+  switch (r) {
+    case MaterialRegion::kBody:
+      return s.body;
+    case MaterialRegion::kLiner:
+      return s.liner;
+    case MaterialRegion::kSubstrate:
+      return s.substrate;
+  }
+  TSV_ASSERT(false);
+  return s.substrate;
+}
+
+}  // namespace
+
+AssembledSystem assemble(const StructuredMesh& mesh,
+                         const tsvlib::TsvStructure& structure,
+                         const mat::ThermalLoad& load,
+                         mat::PlaneAssumption plane,
+                         const BoundaryDisplacement& boundary,
+                         bool blend_interfaces) {
+  AssembledSystem sys;
+  const std::size_t n_nodes = mesh.node_count();
+
+  // Dof numbering: skip boundary (Dirichlet) nodes; record their values.
+  sys.dof_map.assign(2 * n_nodes, AssembledSystem::kConstrained);
+  sys.prescribed.assign(2 * n_nodes, 0.0);
+  std::uint32_t next = 0;
+  for (std::size_t iy = 0; iy <= mesh.ny(); ++iy) {
+    for (std::size_t ix = 0; ix <= mesh.nx(); ++ix) {
+      const std::size_t node = mesh.node_index(ix, iy);
+      if (mesh.is_boundary_node(ix, iy)) {
+        if (boundary != nullptr) {
+          const geo::Point u = boundary(mesh.node(ix, iy));
+          sys.prescribed[2 * node] = u.x;
+          sys.prescribed[2 * node + 1] = u.y;
+        }
+        continue;
+      }
+      sys.dof_map[2 * node] = next++;
+      sys.dof_map[2 * node + 1] = next++;
+    }
+  }
+  sys.free_dof_count = next;
+
+  // Element matrices per pure material (uniform mesh: one per region);
+  // interface elements get a Voigt-blended constitutive law below.
+  const double dx = mesh.dx();
+  const double dy = mesh.dy();
+  std::array<num::Matrix, 3> d_mat;
+  std::array<num::Vector, 3> eps_th;
+  std::array<num::Matrix, 3> ke;
+  std::array<num::Vector, 3> fe;
+  for (int r = 0; r < 3; ++r) {
+    const auto region = static_cast<MaterialRegion>(r);
+    const mat::Material& m = material_of(structure, region);
+    d_mat[r] = mat::constitutive_matrix(m, plane);
+    eps_th[r] = mat::thermal_eigenstrain(m, load.delta_t,
+                                         structure.substrate.cte, plane);
+    ke[r] = element_stiffness(d_mat[r], dx, dy);
+    fe[r] = element_thermal_load(d_mat[r], eps_th[r], dx, dy);
+  }
+
+  std::vector<num::Triplet> triplets;
+  triplets.reserve(mesh.element_count() * 64);
+  sys.load.assign(sys.free_dof_count, 0.0);
+
+  num::Matrix ke_mixed;
+  num::Vector fe_mixed;
+  for (std::size_t ey = 0; ey < mesh.ny(); ++ey) {
+    for (std::size_t ex = 0; ex < mesh.nx(); ++ex) {
+      const int r = static_cast<int>(mesh.material(ex, ey));
+      const num::Matrix* ke_e = &ke[r];
+      const num::Vector* fe_e = &fe[r];
+      if (blend_interfaces && mesh.is_mixed(ex, ey)) {
+        const BlendedLaw law =
+            hill_blend(d_mat, eps_th, mesh.fractions(ex, ey));
+        ke_mixed = element_stiffness(law.d, dx, dy);
+        fe_mixed = element_load_from_eigenstress(law.eigenstress, dx, dy);
+        ke_e = &ke_mixed;
+        fe_e = &fe_mixed;
+      }
+      const auto nodes = mesh.element_nodes(ex, ey);
+      std::array<std::uint32_t, 8> dofs;
+      for (std::size_t a = 0; a < 4; ++a) {
+        dofs[2 * a] = sys.dof_map[2 * nodes[a]];
+        dofs[2 * a + 1] = sys.dof_map[2 * nodes[a] + 1];
+      }
+      std::array<std::size_t, 8> full_dofs;
+      for (std::size_t a = 0; a < 4; ++a) {
+        full_dofs[2 * a] = 2 * nodes[a];
+        full_dofs[2 * a + 1] = 2 * nodes[a] + 1;
+      }
+      for (std::size_t i = 0; i < 8; ++i) {
+        if (dofs[i] == AssembledSystem::kConstrained) continue;
+        sys.load[dofs[i]] += (*fe_e)[i];
+        for (std::size_t j = 0; j < 8; ++j) {
+          if (dofs[j] == AssembledSystem::kConstrained) {
+            // Inhomogeneous Dirichlet: move K_ij * u_j to the load.
+            const double u_j = sys.prescribed[full_dofs[j]];
+            if (u_j != 0.0) sys.load[dofs[i]] -= (*ke_e)(i, j) * u_j;
+            continue;
+          }
+          triplets.push_back({dofs[i], dofs[j], (*ke_e)(i, j)});
+        }
+      }
+    }
+  }
+  sys.stiffness = num::SparseMatrix::from_triplets(sys.free_dof_count, triplets);
+  return sys;
+}
+
+num::Vector expand_solution(const AssembledSystem& system,
+                            const num::Vector& reduced,
+                            std::size_t node_count) {
+  TSV_REQUIRE(reduced.size() == system.free_dof_count,
+              "reduced solution size mismatch");
+  num::Vector full = system.prescribed;
+  full.resize(2 * node_count, 0.0);
+  for (std::size_t d = 0; d < 2 * node_count; ++d) {
+    if (system.dof_map[d] != AssembledSystem::kConstrained)
+      full[d] = reduced[system.dof_map[d]];
+  }
+  return full;
+}
+
+}  // namespace tsv::fem

@@ -1,0 +1,52 @@
+#pragma once
+// Global assembly of the thermo-elastic system K u = f with Dirichlet
+// conditions on the outer boundary. Eigenstrains are measured relative to
+// the substrate CTE, so the exact far field decays; the boundary values can
+// either be zero (crude, leaves an O(u(L)/L * E) hydrostatic artifact) or
+// prescribed from the analytic far-field asymptote (default in the solver).
+
+#include <functional>
+#include <vector>
+
+#include "fem/mesh.h"
+#include "materials/elasticity.h"
+#include "numeric/sparse.h"
+
+namespace tsv::fem {
+
+struct AssembledSystem {
+  num::SparseMatrix stiffness;  ///< reduced (free dofs only)
+  num::Vector load;
+  /// Maps node dof (2*node + comp) to reduced index, or kConstrained.
+  std::vector<std::uint32_t> dof_map;
+  /// Prescribed values at constrained dofs (zero elsewhere), full length.
+  num::Vector prescribed;
+  std::size_t free_dof_count = 0;
+
+  static constexpr std::uint32_t kConstrained = 0xffffffffu;
+};
+
+/// Displacement prescribed on the outer boundary; returns (ux, uy) packed in
+/// a Point. Null means homogeneous (zero).
+using BoundaryDisplacement = std::function<geo::Point(const geo::Point&)>;
+
+/// Assembles stiffness and thermal load for the mesh. Materials per region
+/// come from the placement structure; eigenstrains are relative to the
+/// substrate CTE. `boundary` supplies inhomogeneous Dirichlet values.
+/// `blend_interfaces` applies a Hill-averaged constitutive law on elements
+/// cut by a material interface (measured to bias the soft-liner structure
+/// stiff; off by default — see DESIGN.md and the ablation bench).
+AssembledSystem assemble(const StructuredMesh& mesh,
+                         const tsvlib::TsvStructure& structure,
+                         const mat::ThermalLoad& load,
+                         mat::PlaneAssumption plane,
+                         const BoundaryDisplacement& boundary = nullptr,
+                         bool blend_interfaces = false);
+
+/// Expands a reduced solution to the full (2 * node_count) displacement
+/// vector, inserting the prescribed values at constrained dofs.
+num::Vector expand_solution(const AssembledSystem& system,
+                            const num::Vector& reduced,
+                            std::size_t node_count);
+
+}  // namespace tsv::fem

@@ -1,0 +1,49 @@
+#include "fem/blending.h"
+
+namespace tsv::fem {
+namespace {
+
+num::Matrix inverse3(const num::Matrix& m) {
+  num::Matrix inv(3, 3);
+  for (std::size_t c = 0; c < 3; ++c) {
+    num::Vector e(3, 0.0);
+    e[c] = 1.0;
+    const num::Vector col = num::solve_lu(m, e);
+    for (std::size_t r = 0; r < 3; ++r) inv(r, c) = col[r];
+  }
+  return inv;
+}
+
+}  // namespace
+
+BlendedLaw hill_blend(const std::array<num::Matrix, 3>& d_mat,
+                      const std::array<num::Vector, 3>& eps_th,
+                      const std::array<double, 3>& f) {
+  // Voigt: D_v = sum f D, eigenstress sum f D eps*.
+  num::Matrix d_voigt(3, 3);
+  num::Vector s_voigt(3, 0.0);
+  // Reuss: C_r = sum f D^{-1}, eps*_r = sum f eps*.
+  num::Matrix c_reuss(3, 3);
+  num::Vector eps_reuss(3, 0.0);
+  for (int q = 0; q < 3; ++q) {
+    if (f[q] == 0.0) continue;
+    d_voigt += d_mat[q] * f[q];
+    const num::Vector de = d_mat[q] * eps_th[q];
+    for (std::size_t c = 0; c < 3; ++c) {
+      s_voigt[c] += f[q] * de[c];
+      eps_reuss[c] += f[q] * eps_th[q][c];
+    }
+    c_reuss += inverse3(d_mat[q]) * f[q];
+  }
+  const num::Matrix d_reuss = inverse3(c_reuss);
+  const num::Vector s_reuss = d_reuss * eps_reuss;
+
+  BlendedLaw out;
+  out.d = (d_voigt + d_reuss) * 0.5;
+  out.eigenstress.assign(3, 0.0);
+  for (std::size_t c = 0; c < 3; ++c)
+    out.eigenstress[c] = 0.5 * (s_voigt[c] + s_reuss[c]);
+  return out;
+}
+
+}  // namespace tsv::fem

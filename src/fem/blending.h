@@ -1,0 +1,28 @@
+#pragma once
+// Constitutive blending for interface elements cut by a material boundary.
+//
+// A Cartesian element partially covered by TSV body/liner/substrate needs an
+// effective constitutive law. Pure Voigt (strain-uniform, arithmetic) biases
+// stiff — disastrous for the thin compliant BCB liner in series loading;
+// pure Reuss (stress-uniform, harmonic) biases soft. The Hill average (the
+// mean of both bounds) is a standard compromise that removes most of the
+// staircase bias; the single-TSV FEM-vs-exact test quantifies the residual.
+
+#include <array>
+
+#include "numeric/dense_matrix.h"
+
+namespace tsv::fem {
+
+struct BlendedLaw {
+  num::Matrix d;            ///< 3x3 effective constitutive matrix
+  num::Vector eigenstress;  ///< effective D * eps* (3-vector)
+};
+
+/// `d_mat[q]` and `eps_th[q]` are the per-region constitutive matrices and
+/// thermal eigenstrains; `f` the region volume fractions (sum 1).
+BlendedLaw hill_blend(const std::array<num::Matrix, 3>& d_mat,
+                      const std::array<num::Vector, 3>& eps_th,
+                      const std::array<double, 3>& f);
+
+}  // namespace tsv::fem

@@ -1,0 +1,109 @@
+#include "fem/element.h"
+
+#include "numeric/quadrature.h"
+
+namespace tsv::fem {
+
+std::array<double, 4> shape_values(double xi, double eta) {
+  return {0.25 * (1.0 - xi) * (1.0 - eta), 0.25 * (1.0 + xi) * (1.0 - eta),
+          0.25 * (1.0 + xi) * (1.0 + eta), 0.25 * (1.0 - xi) * (1.0 + eta)};
+}
+
+ShapeGradients shape_gradients(double xi, double eta, double dx, double dy) {
+  // d/dx = (2/dx) d/dxi, d/dy = (2/dy) d/deta for the axis-aligned rectangle.
+  const double jx = 2.0 / dx;
+  const double jy = 2.0 / dy;
+  ShapeGradients g;
+  g.ddx = {-0.25 * (1.0 - eta) * jx, 0.25 * (1.0 - eta) * jx,
+           0.25 * (1.0 + eta) * jx, -0.25 * (1.0 + eta) * jx};
+  g.ddy = {-0.25 * (1.0 - xi) * jy, -0.25 * (1.0 + xi) * jy,
+           0.25 * (1.0 + xi) * jy, 0.25 * (1.0 - xi) * jy};
+  return g;
+}
+
+num::Matrix strain_displacement(double xi, double eta, double dx, double dy) {
+  const ShapeGradients g = shape_gradients(xi, eta, dx, dy);
+  num::Matrix b(3, 8);
+  for (std::size_t a = 0; a < 4; ++a) {
+    b(0, 2 * a) = g.ddx[a];
+    b(1, 2 * a + 1) = g.ddy[a];
+    b(2, 2 * a) = g.ddy[a];
+    b(2, 2 * a + 1) = g.ddx[a];
+  }
+  return b;
+}
+
+num::Matrix element_stiffness(const num::Matrix& d, double dx, double dy) {
+  TSV_REQUIRE(d.rows() == 3 && d.cols() == 3, "D must be 3x3");
+  num::Matrix ke(8, 8);
+  const double det_j = dx * dy / 4.0;  // area scaling per unit parent area
+  for (const auto& qx : num::gauss2()) {
+    for (const auto& qy : num::gauss2()) {
+      const num::Matrix b = strain_displacement(qx.xi, qy.xi, dx, dy);
+      const num::Matrix bt_d_b = b.transposed() * d * b;
+      const double w = qx.weight * qy.weight * det_j;
+      for (std::size_t i = 0; i < 8; ++i)
+        for (std::size_t j = 0; j < 8; ++j) ke(i, j) += w * bt_d_b(i, j);
+    }
+  }
+  return ke;
+}
+
+num::Vector element_thermal_load(const num::Matrix& d,
+                                 const num::Vector& eigenstrain, double dx,
+                                 double dy) {
+  TSV_REQUIRE(eigenstrain.size() == 3, "eigenstrain must have 3 components");
+  const num::Vector d_eps = d * eigenstrain;
+  num::Vector fe(8, 0.0);
+  const double det_j = dx * dy / 4.0;
+  for (const auto& qx : num::gauss2()) {
+    for (const auto& qy : num::gauss2()) {
+      const num::Matrix b = strain_displacement(qx.xi, qy.xi, dx, dy);
+      const double w = qx.weight * qy.weight * det_j;
+      for (std::size_t i = 0; i < 8; ++i) {
+        double s = 0.0;
+        for (std::size_t r = 0; r < 3; ++r) s += b(r, i) * d_eps[r];
+        fe[i] += w * s;
+      }
+    }
+  }
+  return fe;
+}
+
+num::Vector element_load_from_eigenstress(const num::Vector& eigenstress,
+                                          double dx, double dy) {
+  TSV_REQUIRE(eigenstress.size() == 3, "eigenstress must have 3 components");
+  num::Vector fe(8, 0.0);
+  const double det_j = dx * dy / 4.0;
+  for (const auto& qx : num::gauss2()) {
+    for (const auto& qy : num::gauss2()) {
+      const num::Matrix b = strain_displacement(qx.xi, qy.xi, dx, dy);
+      const double w = qx.weight * qy.weight * det_j;
+      for (std::size_t i = 0; i < 8; ++i) {
+        double s = 0.0;
+        for (std::size_t r = 0; r < 3; ++r) s += b(r, i) * eigenstress[r];
+        fe[i] += w * s;
+      }
+    }
+  }
+  return fe;
+}
+
+num::SymTensor2 element_strain(const num::Vector& u_e, double xi, double eta,
+                               double dx, double dy) {
+  TSV_REQUIRE(u_e.size() == 8, "element displacement vector must have 8 dofs");
+  const num::Matrix b = strain_displacement(xi, eta, dx, dy);
+  num::SymTensor2 e;
+  double exx = 0.0, eyy = 0.0, gxy = 0.0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    exx += b(0, i) * u_e[i];
+    eyy += b(1, i) * u_e[i];
+    gxy += b(2, i) * u_e[i];
+  }
+  e.s11 = exx;
+  e.s22 = eyy;
+  e.s12 = 0.5 * gxy;
+  return e;
+}
+
+}  // namespace tsv::fem

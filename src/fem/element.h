@@ -1,0 +1,45 @@
+#pragma once
+// Q4 bilinear isoparametric plane element on an axis-aligned rectangle.
+// Since the structured mesh is uniform, the Jacobian is constant and the
+// element matrices depend only on (dx, dy, D) — computed once per material.
+
+#include <array>
+
+#include "numeric/dense_matrix.h"
+#include "numeric/tensor.h"
+
+namespace tsv::fem {
+
+/// Shape functions N_a(xi, eta), a = 0..3, corners CCW from (-1,-1).
+std::array<double, 4> shape_values(double xi, double eta);
+
+/// Shape gradients in physical coordinates for a dx-by-dy rectangle:
+/// returns {dN/dx, dN/dy} per corner.
+struct ShapeGradients {
+  std::array<double, 4> ddx;
+  std::array<double, 4> ddy;
+};
+ShapeGradients shape_gradients(double xi, double eta, double dx, double dy);
+
+/// 3x8 strain-displacement matrix B at (xi, eta): eps = B u_e with
+/// u_e = (u0x, u0y, ..., u3x, u3y) and eps = (exx, eyy, gxy).
+num::Matrix strain_displacement(double xi, double eta, double dx, double dy);
+
+/// 8x8 stiffness K_e = integral B^T D B dA over the rectangle (2x2 Gauss).
+num::Matrix element_stiffness(const num::Matrix& d, double dx, double dy);
+
+/// 8-vector thermal load f_e = integral B^T D eps* dA (eps* constant).
+num::Vector element_thermal_load(const num::Matrix& d,
+                                 const num::Vector& eigenstrain, double dx,
+                                 double dy);
+
+/// As element_thermal_load, but with the eigenstress sigma* = D eps* given
+/// directly (used for Voigt-blended interface elements).
+num::Vector element_load_from_eigenstress(const num::Vector& eigenstress,
+                                          double dx, double dy);
+
+/// Strain at (xi, eta) from the element displacement vector.
+num::SymTensor2 element_strain(const num::Vector& u_e, double xi, double eta,
+                               double dx, double dy);
+
+}  // namespace tsv::fem

@@ -1,0 +1,27 @@
+#include "fem/field.h"
+
+namespace tsv::fem {
+
+StressField::StressField(
+    std::shared_ptr<const StructuredMesh> mesh,
+    std::vector<std::array<num::SymTensor2, 4>> corner_stress)
+    : mesh_(std::move(mesh)), corner_stress_(std::move(corner_stress)) {
+  TSV_REQUIRE(mesh_ != nullptr, "null mesh");
+  TSV_REQUIRE(corner_stress_.size() == mesh_->element_count(),
+              "corner stress array does not match the mesh");
+}
+
+num::SymTensor2 StressField::sample(const geo::Point& p) const {
+  const StructuredMesh::Location loc = mesh_->locate(p);
+  const auto& c = corner_stress_[mesh_->element_index(loc.ex, loc.ey)];
+  const double xi = loc.xi;
+  const double eta = loc.eta;
+  const std::array<double, 4> n = {
+      0.25 * (1.0 - xi) * (1.0 - eta), 0.25 * (1.0 + xi) * (1.0 - eta),
+      0.25 * (1.0 + xi) * (1.0 + eta), 0.25 * (1.0 - xi) * (1.0 + eta)};
+  num::SymTensor2 out;
+  for (std::size_t a = 0; a < 4; ++a) out += n[a] * c[a];
+  return out;
+}
+
+}  // namespace tsv::fem

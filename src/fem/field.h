@@ -1,0 +1,37 @@
+#pragma once
+// Nodal stress field on a structured mesh with material-aware averaging:
+// each element stores stresses at its four corners, averaged only across
+// neighbouring elements of the same material so interface discontinuities
+// stay sharp. Sampling is bilinear inside the element containing the point.
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "fem/mesh.h"
+#include "numeric/tensor.h"
+
+namespace tsv::fem {
+
+class StressField {
+ public:
+  StressField(std::shared_ptr<const StructuredMesh> mesh,
+              std::vector<std::array<num::SymTensor2, 4>> corner_stress);
+
+  const StructuredMesh& mesh() const { return *mesh_; }
+
+  /// Cartesian stress at p (clamped into the domain).
+  num::SymTensor2 sample(const geo::Point& p) const;
+
+  /// Corner values of one element (CCW order, matching element_nodes).
+  const std::array<num::SymTensor2, 4>& corners(std::size_t ex,
+                                                std::size_t ey) const {
+    return corner_stress_[mesh_->element_index(ex, ey)];
+  }
+
+ private:
+  std::shared_ptr<const StructuredMesh> mesh_;
+  std::vector<std::array<num::SymTensor2, 4>> corner_stress_;
+};
+
+}  // namespace tsv::fem

@@ -1,0 +1,105 @@
+#include "fem/mesh.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsv::fem {
+
+StructuredMesh::StructuredMesh(const geo::Box& domain, double element_size,
+                               const tsvlib::Placement& placement)
+    : domain_(domain) {
+  TSV_REQUIRE(element_size > 0.0, "element size must be positive");
+  TSV_REQUIRE(domain.width() > 0.0 && domain.height() > 0.0,
+              "domain must have positive area");
+  nx_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(domain.width() / element_size)));
+  ny_ = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(domain.height() / element_size)));
+  dx_ = domain.width() / static_cast<double>(nx_);
+  dy_ = domain.height() / static_cast<double>(ny_);
+
+  const auto& s = placement.structure();
+  const double r_body2 = s.body_radius * s.body_radius;
+  const double r_outer2 = s.outer_radius() * s.outer_radius();
+  materials_.assign(nx_ * ny_, MaterialRegion::kSubstrate);
+  fractions_.assign(nx_ * ny_, {1.0, 0.0, 0.0});
+
+  // Sub-cell sampling resolution for interface elements.
+  constexpr int kSub = 6;
+  const auto region_of = [&](const geo::Point& pt,
+                             const geo::Point& c) -> int {
+    const double d2 = geo::distance_squared(pt, c);
+    if (d2 < r_body2) return 1;   // body
+    if (d2 < r_outer2) return 2;  // liner
+    return 0;                     // substrate
+  };
+
+  // Only elements near a TSV need the circle test; iterate TSVs and stamp.
+  for (const geo::Point& c : placement.centers()) {
+    const double r_outer = s.outer_radius();
+    const long ex0 = std::max(
+        0L, static_cast<long>((c.x - r_outer - domain_.lo.x) / dx_) - 1);
+    const long ex1 = std::min(
+        static_cast<long>(nx_) - 1,
+        static_cast<long>((c.x + r_outer - domain_.lo.x) / dx_) + 1);
+    const long ey0 = std::max(
+        0L, static_cast<long>((c.y - r_outer - domain_.lo.y) / dy_) - 1);
+    const long ey1 = std::min(
+        static_cast<long>(ny_) - 1,
+        static_cast<long>((c.y + r_outer - domain_.lo.y) / dy_) + 1);
+    for (long ey = ey0; ey <= ey1; ++ey) {
+      for (long ex = ex0; ex <= ex1; ++ex) {
+        const std::size_t e = element_index(static_cast<std::size_t>(ex),
+                                            static_cast<std::size_t>(ey));
+        const geo::Point lo{domain_.lo.x + static_cast<double>(ex) * dx_,
+                            domain_.lo.y + static_cast<double>(ey) * dy_};
+        std::array<double, 3> frac{0.0, 0.0, 0.0};
+        for (int sy = 0; sy < kSub; ++sy) {
+          for (int sx = 0; sx < kSub; ++sx) {
+            const geo::Point pt{
+                lo.x + (static_cast<double>(sx) + 0.5) * dx_ / kSub,
+                lo.y + (static_cast<double>(sy) + 0.5) * dy_ / kSub};
+            frac[static_cast<std::size_t>(region_of(pt, c))] += 1.0;
+          }
+        }
+        for (double& f : frac) f /= static_cast<double>(kSub * kSub);
+        if (frac[1] == 0.0 && frac[2] == 0.0) continue;  // untouched by TSV
+        // Merge with any previous TSV's stamp (TSVs never overlap, so the
+        // substrate fraction just shrinks).
+        std::array<double, 3>& dst = fractions_[e];
+        dst[1] += frac[1];
+        dst[2] += frac[2];
+        dst[0] = 1.0 - dst[1] - dst[2];
+        // Majority material for recovery bucketing.
+        const std::size_t major = static_cast<std::size_t>(
+            std::max_element(dst.begin(), dst.end()) - dst.begin());
+        materials_[e] = static_cast<MaterialRegion>(
+            major == 0 ? 0 : (major == 1 ? 1 : 2));
+      }
+    }
+  }
+}
+
+std::array<std::size_t, 4> StructuredMesh::element_nodes(std::size_t ex,
+                                                         std::size_t ey) const {
+  return {node_index(ex, ey), node_index(ex + 1, ey), node_index(ex + 1, ey + 1),
+          node_index(ex, ey + 1)};
+}
+
+StructuredMesh::Location StructuredMesh::locate(const geo::Point& p) const {
+  Location loc;
+  const double fx = (p.x - domain_.lo.x) / dx_;
+  const double fy = (p.y - domain_.lo.y) / dy_;
+  const auto clamp_cell = [](double f, std::size_t n) {
+    if (f < 0.0) return std::size_t{0};
+    std::size_t c = static_cast<std::size_t>(f);
+    return std::min(c, n - 1);
+  };
+  loc.ex = clamp_cell(fx, nx_);
+  loc.ey = clamp_cell(fy, ny_);
+  loc.xi = std::clamp(2.0 * (fx - static_cast<double>(loc.ex)) - 1.0, -1.0, 1.0);
+  loc.eta = std::clamp(2.0 * (fy - static_cast<double>(loc.ey)) - 1.0, -1.0, 1.0);
+  return loc;
+}
+
+}  // namespace tsv::fem

@@ -1,0 +1,133 @@
+#include "fem/stress_recovery.h"
+
+#include "fem/blending.h"
+
+#include <cmath>
+
+#include "fem/element.h"
+#include "numeric/quadrature.h"
+
+namespace tsv::fem {
+namespace {
+
+const mat::Material& material_of(const tsvlib::TsvStructure& s,
+                                 MaterialRegion r) {
+  switch (r) {
+    case MaterialRegion::kBody:
+      return s.body;
+    case MaterialRegion::kLiner:
+      return s.liner;
+    case MaterialRegion::kSubstrate:
+      return s.substrate;
+  }
+  TSV_ASSERT(false);
+  return s.substrate;
+}
+
+}  // namespace
+
+StressField recover_stress(std::shared_ptr<const StructuredMesh> mesh,
+                           const tsvlib::TsvStructure& structure,
+                           const mat::ThermalLoad& load,
+                           mat::PlaneAssumption plane,
+                           const num::Vector& displacement,
+                           bool blend_interfaces) {
+  TSV_REQUIRE(mesh != nullptr, "null mesh");
+  TSV_REQUIRE(displacement.size() == 2 * mesh->node_count(),
+              "displacement vector size mismatch");
+  const StructuredMesh& m = *mesh;
+  const double dx = m.dx();
+  const double dy = m.dy();
+
+  // Constitutive data per region, plus the eigenstress D * eps* used by the
+  // Voigt-blended interface elements.
+  std::array<num::Matrix, 3> d_mat;
+  std::array<num::Vector, 3> eps_th;
+  std::array<num::Vector, 3> d_eps;
+  for (int r = 0; r < 3; ++r) {
+    const mat::Material& mt =
+        material_of(structure, static_cast<MaterialRegion>(r));
+    d_mat[r] = mat::constitutive_matrix(mt, plane);
+    eps_th[r] = mat::thermal_eigenstrain(mt, load.delta_t,
+                                         structure.substrate.cte, plane);
+    d_eps[r] = d_mat[r] * eps_th[r];
+  }
+
+  // Gauss points in CCW corner order matching shape_values.
+  constexpr double g = 0.57735026918962576451;
+  const std::array<std::pair<double, double>, 4> gauss_ccw = {
+      {{-g, -g}, {g, -g}, {g, g}, {-g, g}}};
+  const double s3 = std::sqrt(3.0);
+
+  // Extrapolation weights: corner a value = sum_b N_b(sqrt3 * corner_a) * gp_b.
+  const std::array<std::pair<double, double>, 4> corners = {
+      {{-1.0, -1.0}, {1.0, -1.0}, {1.0, 1.0}, {-1.0, 1.0}}};
+  std::array<std::array<double, 4>, 4> w;
+  for (std::size_t a = 0; a < 4; ++a) {
+    const auto n = shape_values(corners[a].first * s3, corners[a].second * s3);
+    w[a] = n;
+  }
+
+  // Pass 1: raw extrapolated corner stresses per element, accumulated per
+  // (node, material).
+  const std::size_t n_nodes = m.node_count();
+  std::vector<std::array<num::SymTensor2, 3>> acc(n_nodes);
+  std::vector<std::array<std::uint16_t, 3>> cnt(
+      n_nodes, std::array<std::uint16_t, 3>{0, 0, 0});
+  std::vector<std::array<num::SymTensor2, 4>> raw(m.element_count());
+
+  num::Vector u_e(8);
+  for (std::size_t ey = 0; ey < m.ny(); ++ey) {
+    for (std::size_t ex = 0; ex < m.nx(); ++ex) {
+      const auto nodes = m.element_nodes(ex, ey);
+      for (std::size_t a = 0; a < 4; ++a) {
+        u_e[2 * a] = displacement[2 * nodes[a]];
+        u_e[2 * a + 1] = displacement[2 * nodes[a] + 1];
+      }
+      const int r = static_cast<int>(m.material(ex, ey));
+      const bool mixed = blend_interfaces && m.is_mixed(ex, ey);
+      BlendedLaw law;
+      if (mixed) law = hill_blend(d_mat, eps_th, m.fractions(ex, ey));
+      std::array<num::SymTensor2, 4> gp_stress;
+      for (std::size_t b = 0; b < 4; ++b) {
+        const num::SymTensor2 strain = element_strain(
+            u_e, gauss_ccw[b].first, gauss_ccw[b].second, dx, dy);
+        if (mixed) {
+          // sigma = D_blend eps - eigenstress_blend
+          const num::SymTensor2 s = mat::stress_from_strain(
+              law.d, strain, num::Vector{0.0, 0.0, 0.0});
+          gp_stress[b] = s - num::SymTensor2{law.eigenstress[0],
+                                             law.eigenstress[1],
+                                             law.eigenstress[2]};
+        } else {
+          gp_stress[b] = mat::stress_from_strain(d_mat[r], strain, eps_th[r]);
+        }
+      }
+      auto& out = raw[m.element_index(ex, ey)];
+      for (std::size_t a = 0; a < 4; ++a) {
+        num::SymTensor2 v;
+        for (std::size_t b = 0; b < 4; ++b) v += w[a][b] * gp_stress[b];
+        out[a] = v;
+        acc[nodes[a]][r] += v;
+        ++cnt[nodes[a]][r];
+      }
+    }
+  }
+
+  // Pass 2: replace corner values by the per-(node, material) average.
+  std::vector<std::array<num::SymTensor2, 4>> averaged(m.element_count());
+  for (std::size_t ey = 0; ey < m.ny(); ++ey) {
+    for (std::size_t ex = 0; ex < m.nx(); ++ex) {
+      const auto nodes = m.element_nodes(ex, ey);
+      const int r = static_cast<int>(m.material(ex, ey));
+      auto& out = averaged[m.element_index(ex, ey)];
+      for (std::size_t a = 0; a < 4; ++a) {
+        TSV_ASSERT(cnt[nodes[a]][r] > 0);
+        out[a] = acc[nodes[a]][r] * (1.0 / static_cast<double>(cnt[nodes[a]][r]));
+      }
+    }
+  }
+  return StressField(std::move(mesh), std::move(averaged));
+}
+
+}  // namespace tsv::fem

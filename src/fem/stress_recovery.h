@@ -1,0 +1,24 @@
+#pragma once
+// Stress recovery: Gauss-point stresses extrapolated to element corners,
+// then averaged per (node, material) so that interfaces remain sharp.
+
+#include <memory>
+
+#include "fem/assembly.h"
+#include "fem/field.h"
+#include "fem/mesh.h"
+#include "materials/elasticity.h"
+#include "numeric/dense_matrix.h"
+
+namespace tsv::fem {
+
+/// Builds a sampled stress field from the full displacement vector
+/// (2 * node_count entries, constrained dofs included as zeros).
+StressField recover_stress(std::shared_ptr<const StructuredMesh> mesh,
+                           const tsvlib::TsvStructure& structure,
+                           const mat::ThermalLoad& load,
+                           mat::PlaneAssumption plane,
+                           const num::Vector& displacement,
+                           bool blend_interfaces = false);
+
+}  // namespace tsv::fem

@@ -1,0 +1,88 @@
+#include "fem/thermo_solver.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "analytic/single_tsv.h"
+#include "fem/assembly.h"
+#include "fem/stress_recovery.h"
+#include "numeric/sparse_cholesky.h"
+
+namespace tsv::fem {
+
+FemSolution solve_thermo_elastic(const tsvlib::Placement& placement,
+                                 const mat::ThermalLoad& load,
+                                 const geo::Box& domain,
+                                 const FemOptions& options) {
+  TSV_REQUIRE(!placement.empty(), "placement has no TSVs");
+  const geo::Box full_domain = domain.expanded(options.margin);
+  auto mesh = std::make_shared<const StructuredMesh>(
+      full_domain, options.element_size, placement);
+
+  // Prescribe the exact asymptotic far field on the clamped boundary: the
+  // superposed radial displacement of the isolated TSVs (exact up to
+  // interaction terms, which decay an order faster). A plain u = 0 boundary
+  // would leave an O(E u(L) / L) hydrostatic artifact across the domain.
+  BoundaryDisplacement boundary;
+  if (options.analytic_far_field) {
+    const auto single = std::make_shared<ana::SingleTsvModel>(
+        placement.structure(), load);
+    const std::vector<geo::Point> centers = placement.centers();
+    boundary = [single, centers](const geo::Point& p) {
+      geo::Point u{0.0, 0.0};
+      for (const geo::Point& c : centers) {
+        const double r = geo::distance(c, p);
+        if (r <= 0.0) continue;
+        const double ur = single->radial_displacement(r);
+        u += geo::Point{(p.x - c.x) / r * ur, (p.y - c.y) / r * ur};
+      }
+      return u;
+    };
+  }
+
+  AssembledSystem sys =
+      assemble(*mesh, placement.structure(), load, options.plane, boundary,
+               options.blend_interfaces);
+
+  num::Vector reduced;
+  num::CgResult cg;
+  if (options.solver == LinearSolver::kDirectCholesky) {
+    const num::SparseCholesky chol(sys.stiffness);
+    reduced = chol.solve(sys.load);
+    cg.converged = true;
+    cg.iterations = 1;
+    const num::Vector r = sys.stiffness.multiply(reduced);
+    double rn = 0.0, bn = 0.0;
+    for (std::size_t i = 0; i < r.size(); ++i) {
+      rn += (r[i] - sys.load[i]) * (r[i] - sys.load[i]);
+      bn += sys.load[i] * sys.load[i];
+    }
+    cg.relative_residual = bn > 0.0 ? std::sqrt(rn / bn) : 0.0;
+  } else {
+    cg = num::conjugate_gradient(sys.stiffness, sys.load, reduced, options.cg);
+  }
+  if (!cg.converged) {
+    std::ostringstream os;
+    os << "FEM linear solve did not converge: " << cg.iterations
+       << " iterations, relative residual " << cg.relative_residual;
+    throw std::runtime_error(os.str());
+  }
+
+  num::Vector full = expand_solution(sys, reduced, mesh->node_count());
+  StressField stress = recover_stress(mesh, placement.structure(), load,
+                                      options.plane, full,
+                                      options.blend_interfaces);
+  return FemSolution{std::move(stress), std::move(full), cg,
+                     sys.free_dof_count};
+}
+
+FemSolution solve_thermo_elastic(const tsvlib::Placement& placement,
+                                 const mat::ThermalLoad& load,
+                                 double roi_margin, const FemOptions& options) {
+  return solve_thermo_elastic(placement, load,
+                              placement.bounding_box().expanded(roi_margin),
+                              options);
+}
+
+}  // namespace tsv::fem

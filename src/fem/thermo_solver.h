@@ -1,0 +1,63 @@
+#pragma once
+// High-level FEM driver: placement -> stress field. This is the library's
+// golden reference, substituting for the commercial FEM tool (COMSOL) the
+// paper used.
+
+#include <memory>
+#include <optional>
+
+#include "fem/field.h"
+#include "fem/mesh.h"
+#include "materials/elasticity.h"
+#include "numeric/cg.h"
+#include "tsv/placement.h"
+
+namespace tsv::fem {
+
+enum class LinearSolver {
+  kConjugateGradient,  ///< IC(0)-preconditioned CG (default, scales best)
+  kDirectCholesky,     ///< simplicial LL^T with RCM; small/mid systems only
+                       ///< (fill grows ~ n * bandwidth on 2D meshes)
+};
+
+struct FemOptions {
+  LinearSolver solver = LinearSolver::kConjugateGradient;
+  /// Target element edge length, um. 0.25 resolves the liner with two
+  /// elements; 0.5 is a fast preview.
+  double element_size = 0.25;
+  /// Extra substrate margin around the region of interest, um. The far
+  /// boundary is clamped (u = 0); stress decays ~1/r^2, so 25-30 um keeps
+  /// the boundary artifact below ~1% in the monitored region.
+  double margin = 30.0;
+  mat::PlaneAssumption plane = mat::PlaneAssumption::kPlaneStress;
+  /// Prescribe the analytic asymptotic displacement on the far boundary
+  /// instead of u = 0 (greatly reduces the finite-domain artifact).
+  bool analytic_far_field = true;
+  /// Hill-blend the constitutive law on interface-cut elements. Measured to
+  /// bias the soft-liner TSV stiff (see DESIGN.md); keep off unless running
+  /// the ablation bench.
+  bool blend_interfaces = false;
+  num::CgOptions cg;
+};
+
+struct FemSolution {
+  StressField stress;
+  num::Vector displacement;  ///< full vector, 2 dofs per node
+  num::CgResult cg;
+  std::size_t free_dofs = 0;
+};
+
+/// Solves the thermo-elastic problem on `domain` expanded by options.margin.
+/// Throws std::runtime_error if the linear solver fails to converge.
+FemSolution solve_thermo_elastic(const tsvlib::Placement& placement,
+                                 const mat::ThermalLoad& load,
+                                 const geo::Box& domain,
+                                 const FemOptions& options = {});
+
+/// Convenience: domain = placement bounding box expanded by `roi_margin`.
+FemSolution solve_thermo_elastic(const tsvlib::Placement& placement,
+                                 const mat::ThermalLoad& load,
+                                 double roi_margin = 25.0,
+                                 const FemOptions& options = {});
+
+}  // namespace tsv::fem

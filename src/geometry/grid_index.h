@@ -1,0 +1,46 @@
+#pragma once
+// Uniform-bucket spatial index over 2D points. Used by the framework to find
+// the TSVs within the influence radius of a simulation point (Stage I) and
+// the nearby TSV pairs (Stage II) in O(1) per query for bounded density.
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace tsv::geo {
+
+class GridIndex {
+ public:
+  /// Builds an index over `points`, bucketed on `bounds` with square cells of
+  /// size `cell`. Points outside bounds are clamped into the edge cells, so
+  /// queries remain correct for them.
+  GridIndex(const std::vector<Point>& points, const Box& bounds, double cell);
+
+  std::size_t size() const { return points_.size(); }
+
+  /// Indices of all points with distance(p, q) <= radius, in index order.
+  std::vector<std::uint32_t> query_radius(const Point& q, double radius) const;
+
+  /// Appends to `out` instead of allocating (hot-path variant). `out` is
+  /// cleared first.
+  void query_radius(const Point& q, double radius,
+                    std::vector<std::uint32_t>& out) const;
+
+  /// Nearest point index to q, or size() when the index is empty.
+  std::uint32_t nearest(const Point& q) const;
+
+ private:
+  std::size_t cell_of(const Point& p) const;
+
+  std::vector<Point> points_;
+  Box bounds_;
+  double cell_ = 1.0;
+  std::size_t nx_ = 1;
+  std::size_t ny_ = 1;
+  // CSR-style bucket layout.
+  std::vector<std::size_t> bucket_ptr_;
+  std::vector<std::uint32_t> bucket_items_;
+};
+
+}  // namespace tsv::geo

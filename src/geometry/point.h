@@ -1,0 +1,83 @@
+#pragma once
+// 2D points/vectors and axis-aligned boxes. All coordinates are micrometers
+// unless a caller documents otherwise.
+
+#include <cmath>
+
+#include "numeric/check.h"
+
+namespace tsv::geo {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point& operator+=(const Point& o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Point& operator-=(const Point& o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  Point& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+};
+
+inline Point operator+(Point a, const Point& b) { return a += b; }
+inline Point operator-(Point a, const Point& b) { return a -= b; }
+inline Point operator*(Point a, double s) { return a *= s; }
+inline Point operator*(double s, Point a) { return a *= s; }
+
+inline double dot(const Point& a, const Point& b) {
+  return a.x * b.x + a.y * b.y;
+}
+inline double norm(const Point& p) { return std::hypot(p.x, p.y); }
+inline double distance(const Point& a, const Point& b) { return norm(a - b); }
+inline double distance_squared(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+/// Angle of the vector from `from` to `to` against the +x axis, in (-pi, pi].
+inline double angle_of(const Point& from, const Point& to) {
+  return std::atan2(to.y - from.y, to.x - from.x);
+}
+
+/// Axis-aligned bounding box (closed).
+struct Box {
+  Point lo;
+  Point hi;
+
+  Box() = default;
+  Box(Point lo_, Point hi_) : lo(lo_), hi(hi_) {
+    TSV_REQUIRE(lo.x <= hi.x && lo.y <= hi.y, "inverted box");
+  }
+
+  static Box centered(Point center, double width, double height) {
+    TSV_REQUIRE(width >= 0.0 && height >= 0.0, "negative box extent");
+    return Box{{center.x - width / 2.0, center.y - height / 2.0},
+               {center.x + width / 2.0, center.y + height / 2.0}};
+  }
+
+  double width() const { return hi.x - lo.x; }
+  double height() const { return hi.y - lo.y; }
+  Point center() const { return {(lo.x + hi.x) / 2.0, (lo.y + hi.y) / 2.0}; }
+
+  bool contains(const Point& p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+
+  Box expanded(double margin) const {
+    TSV_REQUIRE(margin >= -std::min(width(), height()) / 2.0,
+                "expansion collapses box");
+    return Box{{lo.x - margin, lo.y - margin}, {hi.x + margin, hi.y + margin}};
+  }
+};
+
+}  // namespace tsv::geo

@@ -1,0 +1,32 @@
+#include "geometry/sample_grid.h"
+
+#include <cmath>
+
+namespace tsv::geo {
+
+SampleGrid::SampleGrid(const Box& box, std::size_t nx, std::size_t ny)
+    : box_(box), nx_(nx), ny_(ny) {
+  TSV_REQUIRE(nx >= 1 && ny >= 1, "grid needs at least one point per axis");
+  dx_ = nx > 1 ? box.width() / static_cast<double>(nx - 1) : 0.0;
+  dy_ = ny > 1 ? box.height() / static_cast<double>(ny - 1) : 0.0;
+}
+
+SampleGrid SampleGrid::with_spacing(const Box& box, double spacing) {
+  TSV_REQUIRE(spacing > 0.0, "spacing must be positive");
+  const std::size_t nx =
+      1 + static_cast<std::size_t>(std::llround(box.width() / spacing));
+  const std::size_t ny =
+      1 + static_cast<std::size_t>(std::llround(box.height() / spacing));
+  return SampleGrid(box, std::max<std::size_t>(nx, 1),
+                    std::max<std::size_t>(ny, 1));
+}
+
+std::vector<Point> SampleGrid::points() const {
+  std::vector<Point> out;
+  out.reserve(size());
+  for (std::size_t iy = 0; iy < ny_; ++iy)
+    for (std::size_t ix = 0; ix < nx_; ++ix) out.push_back(point(ix, iy));
+  return out;
+}
+
+}  // namespace tsv::geo

@@ -1,0 +1,51 @@
+#pragma once
+// Regular grids of simulation points. The framework evaluates stress on such
+// grids; the metrics engine compares fields on them.
+
+#include <cstddef>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace tsv::geo {
+
+/// A regular nx x ny grid of points covering a box inclusively (points on
+/// both edges). Iteration order is row-major, y outer.
+class SampleGrid {
+ public:
+  /// Grid with the given point counts per axis (each >= 1).
+  SampleGrid(const Box& box, std::size_t nx, std::size_t ny);
+
+  /// Grid with approximately the given spacing; point counts are rounded so
+  /// that the box is covered exactly.
+  static SampleGrid with_spacing(const Box& box, double spacing);
+
+  const Box& box() const { return box_; }
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  std::size_t size() const { return nx_ * ny_; }
+  double dx() const { return dx_; }
+  double dy() const { return dy_; }
+
+  Point point(std::size_t i) const {
+    TSV_ASSERT(i < size());
+    return point(i % nx_, i / nx_);
+  }
+  Point point(std::size_t ix, std::size_t iy) const {
+    TSV_ASSERT(ix < nx_ && iy < ny_);
+    return {box_.lo.x + static_cast<double>(ix) * dx_,
+            box_.lo.y + static_cast<double>(iy) * dy_};
+  }
+
+  /// Materializes all points (row-major, y outer).
+  std::vector<Point> points() const;
+
+ private:
+  Box box_;
+  std::size_t nx_ = 1;
+  std::size_t ny_ = 1;
+  double dx_ = 0.0;
+  double dy_ = 0.0;
+};
+
+}  // namespace tsv::geo

@@ -1,0 +1,67 @@
+#include "io/csv.h"
+
+#include <stdexcept>
+
+#include "numeric/check.h"
+
+namespace tsv::io {
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
+  if (!out_) throw std::runtime_error("cannot open for write: " + path);
+  out_.precision(10);
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  TSV_REQUIRE(!columns.empty(), "empty header");
+  columns_ = columns.size();
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << columns[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  TSV_REQUIRE(columns_ == 0 || values.size() == columns_,
+              "row width does not match header");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+  if (!out_) throw std::runtime_error("write failed: " + path_);
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  TSV_REQUIRE(columns_ == 0 || values.size() == columns_,
+              "row width does not match header");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << values[i];
+  }
+  out_ << '\n';
+  if (!out_) throw std::runtime_error("write failed: " + path_);
+}
+
+void write_scalar_field(const std::string& path,
+                        const std::vector<geo::Point>& points,
+                        const std::vector<double>& values) {
+  TSV_REQUIRE(points.size() == values.size(), "size mismatch");
+  CsvWriter w(path);
+  w.header({"x", "y", "value"});
+  for (std::size_t i = 0; i < points.size(); ++i)
+    w.row(std::vector<double>{points[i].x, points[i].y, values[i]});
+}
+
+void write_tensor_field(const std::string& path,
+                        const std::vector<geo::Point>& points,
+                        const std::vector<num::SymTensor2>& values) {
+  TSV_REQUIRE(points.size() == values.size(), "size mismatch");
+  CsvWriter w(path);
+  w.header({"x", "y", "sxx", "syy", "sxy"});
+  for (std::size_t i = 0; i < points.size(); ++i)
+    w.row(std::vector<double>{points[i].x, points[i].y, values[i].s11,
+                              values[i].s22, values[i].s12});
+}
+
+}  // namespace tsv::io

@@ -1,0 +1,40 @@
+#pragma once
+// Minimal CSV writing for field dumps and experiment outputs.
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "geometry/point.h"
+#include "numeric/tensor.h"
+
+namespace tsv::io {
+
+/// Streaming CSV writer: header row then value rows. Throws on I/O failure.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path);
+
+  void header(const std::vector<std::string>& columns);
+  void row(const std::vector<double>& values);
+  void row(const std::vector<std::string>& values);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+};
+
+/// Writes a scalar field sampled at points: x,y,value.
+void write_scalar_field(const std::string& path,
+                        const std::vector<geo::Point>& points,
+                        const std::vector<double>& values);
+
+/// Writes a tensor field: x,y,sxx,syy,sxy.
+void write_tensor_field(const std::string& path,
+                        const std::vector<geo::Point>& points,
+                        const std::vector<num::SymTensor2>& values);
+
+}  // namespace tsv::io

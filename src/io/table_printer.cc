@@ -1,0 +1,67 @@
+#include "io/table_printer.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "numeric/check.h"
+
+namespace tsv::io {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  TSV_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+std::string TablePrinter::format(double v, int precision) {
+  std::ostringstream os;
+  os << std::setprecision(precision) << v;
+  return os.str();
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  TSV_REQUIRE(cells.size() == headers_.size(), "row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::add_row(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> s;
+  s.reserve(cells.size());
+  for (double v : cells) s.push_back(format(v, precision));
+  add_row(std::move(s));
+}
+
+void TablePrinter::add_row(const std::string& label,
+                           const std::vector<double>& cells, int precision) {
+  std::vector<std::string> s;
+  s.reserve(cells.size() + 1);
+  s.push_back(label);
+  for (double v : cells) s.push_back(format(v, precision));
+  add_row(std::move(s));
+}
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  const auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c ? "  " : "") << std::setw(static_cast<int>(width[c]))
+          << cells[c];
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace tsv::io

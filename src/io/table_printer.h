@@ -1,0 +1,32 @@
+#pragma once
+// Fixed-width console tables for the benchmark harnesses (the paper-table
+// reproductions print through this).
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tsv::io {
+
+class TablePrinter {
+ public:
+  /// Column headers; widths adapt to the longest cell per column.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  /// Formats doubles with the given precision (significant digits).
+  void add_row(const std::vector<double>& cells, int precision = 3);
+  /// Mixed row: first cell text, rest numeric.
+  void add_row(const std::string& label, const std::vector<double>& cells,
+               int precision = 3);
+
+  void print(std::ostream& out) const;
+
+  static std::string format(double v, int precision);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tsv::io

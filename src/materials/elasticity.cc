@@ -1,0 +1,52 @@
+#include "materials/elasticity.h"
+
+namespace tsv::mat {
+
+num::Matrix constitutive_matrix(const Material& m, PlaneAssumption plane) {
+  m.validate();
+  const double e = m.youngs_modulus;
+  const double nu = m.poisson_ratio;
+  num::Matrix d(3, 3);
+  if (plane == PlaneAssumption::kPlaneStress) {
+    const double f = e / (1.0 - nu * nu);
+    d(0, 0) = f;
+    d(0, 1) = f * nu;
+    d(1, 0) = f * nu;
+    d(1, 1) = f;
+    d(2, 2) = f * (1.0 - nu) / 2.0;
+  } else {
+    const double f = e / ((1.0 + nu) * (1.0 - 2.0 * nu));
+    d(0, 0) = f * (1.0 - nu);
+    d(0, 1) = f * nu;
+    d(1, 0) = f * nu;
+    d(1, 1) = f * (1.0 - nu);
+    d(2, 2) = f * (1.0 - 2.0 * nu) / 2.0;
+  }
+  return d;
+}
+
+num::Vector thermal_eigenstrain(const Material& m, double delta_t,
+                                double reference_cte, PlaneAssumption plane) {
+  double eps = (m.cte - reference_cte) * delta_t;
+  if (plane == PlaneAssumption::kPlaneStrain) {
+    // Out-of-plane constraint amplifies the in-plane thermal strain.
+    eps *= (1.0 + m.poisson_ratio);
+  }
+  return {eps, eps, 0.0};
+}
+
+num::SymTensor2 stress_from_strain(const num::Matrix& d,
+                                   const num::SymTensor2& strain,
+                                   const num::Vector& eigenstrain) {
+  TSV_REQUIRE(eigenstrain.size() == 3, "eigenstrain must have 3 components");
+  const double exx = strain.s11 - eigenstrain[0];
+  const double eyy = strain.s22 - eigenstrain[1];
+  const double gxy = 2.0 * strain.s12 - eigenstrain[2];
+  num::SymTensor2 s;
+  s.s11 = d(0, 0) * exx + d(0, 1) * eyy + d(0, 2) * gxy;
+  s.s22 = d(1, 0) * exx + d(1, 1) * eyy + d(1, 2) * gxy;
+  s.s12 = d(2, 0) * exx + d(2, 1) * eyy + d(2, 2) * gxy;
+  return s;
+}
+
+}  // namespace tsv::mat

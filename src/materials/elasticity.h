@@ -1,0 +1,30 @@
+#pragma once
+// Plane-stress / plane-strain constitutive matrices and eigenstrain handling.
+
+#include "materials/material.h"
+#include "numeric/dense_matrix.h"
+#include "numeric/tensor.h"
+
+namespace tsv::mat {
+
+enum class PlaneAssumption { kPlaneStress, kPlaneStrain };
+
+/// 3x3 constitutive matrix D mapping engineering strain (exx, eyy, gxy) to
+/// stress (sxx, syy, sxy).
+num::Matrix constitutive_matrix(const Material& m, PlaneAssumption plane);
+
+/// Thermal eigenstrain vector (exx, eyy, gxy) for a temperature change
+/// delta_t, measured relative to a reference CTE (pass 0 for absolute).
+/// Using the substrate CTE as reference removes the stress-free uniform
+/// expansion of the chip and makes far-field displacements vanish.
+num::Vector thermal_eigenstrain(const Material& m, double delta_t,
+                                double reference_cte,
+                                PlaneAssumption plane);
+
+/// sigma = D * (eps - eps_thermal) for in-plane symmetric tensors with
+/// engineering shear (gxy = 2 exy).
+num::SymTensor2 stress_from_strain(const num::Matrix& d,
+                                   const num::SymTensor2& strain,
+                                   const num::Vector& eigenstrain);
+
+}  // namespace tsv::mat

@@ -1,0 +1,15 @@
+#include "materials/material.h"
+
+namespace tsv::mat {
+
+// Values from the paper, Sec. 5: Young's modulus (GPa) Cu=110, BCB=3,
+// SiO2=71, Si=188; CTE (ppm/K) Cu=17, BCB=40, SiO2=0.5, Si=2.3.
+// Poisson ratios are not listed in the paper; we use the standard values
+// from the cited TSV-stress literature (Jung et al., DAC'11 / Ryu et al.).
+
+Material copper() { return {"Cu", 110.0e3, 0.35, 17.0e-6}; }
+Material bcb() { return {"BCB", 3.0e3, 0.34, 40.0e-6}; }
+Material silicon_dioxide() { return {"SiO2", 71.0e3, 0.16, 0.5e-6}; }
+Material silicon() { return {"Si", 188.0e3, 0.28, 2.3e-6}; }
+
+}  // namespace tsv::mat

@@ -1,0 +1,52 @@
+#pragma once
+// Linear elastic, isotropic material properties and the material set used by
+// the paper (Sec. 5): copper TSV body, BCB or SiO2 liner, silicon substrate.
+//
+// Unit system used throughout the library:
+//   length  um
+//   stress  MPa   (1 MPa = 1e6 Pa; Young's moduli below are in MPa)
+//   temperature K
+//   CTE     1/K
+// With these units forces come out in MPa*um^2 = uN, which never needs to be
+// inspected directly.
+
+#include <string>
+
+#include "numeric/check.h"
+
+namespace tsv::mat {
+
+/// Isotropic linear-elastic material with thermal expansion.
+struct Material {
+  std::string name;
+  double youngs_modulus = 0.0;   ///< E, MPa
+  double poisson_ratio = 0.0;    ///< nu, dimensionless
+  double cte = 0.0;              ///< alpha, 1/K
+
+  /// Shear modulus mu = E / (2(1+nu)), MPa.
+  double shear_modulus() const { return youngs_modulus / (2.0 * (1.0 + poisson_ratio)); }
+  /// Kolosov constant for plane stress: kappa = (3 - nu) / (1 + nu).
+  double kolosov_plane_stress() const {
+    return (3.0 - poisson_ratio) / (1.0 + poisson_ratio);
+  }
+
+  void validate() const {
+    TSV_REQUIRE(youngs_modulus > 0.0, "Young's modulus must be positive");
+    TSV_REQUIRE(poisson_ratio > -1.0 && poisson_ratio < 0.5,
+                "Poisson ratio out of (-1, 0.5)");
+  }
+};
+
+/// Paper's material table (DAC'13 Sec. 5), E in MPa.
+Material copper();
+Material bcb();
+Material silicon_dioxide();
+Material silicon();
+
+/// Thermal loading of the anneal process: stress-free at anneal temperature,
+/// observed after cooling by delta_t (the paper uses delta_t = -250 K).
+struct ThermalLoad {
+  double delta_t = -250.0;  ///< K (cooling is negative)
+};
+
+}  // namespace tsv::mat

@@ -1,0 +1,159 @@
+#include "numeric/cg.h"
+
+#include <cmath>
+#include <memory>
+
+#include "numeric/ichol.h"
+
+namespace tsv::num {
+namespace {
+
+/// SSOR preconditioner application: z = (D/w + L)^{-1} D/w' ... implemented
+/// in the standard symmetric Gauss-Seidel form
+///   (D + wL) D^{-1} (D + wU) z = w(2-w) r  (up to a constant scaling, which
+/// CG absorbs into the search direction).
+class SsorApplier {
+ public:
+  SsorApplier(const SparseMatrix& a, double omega)
+      : a_(a), omega_(omega), diag_(a.diagonal()) {}
+
+  void apply(const Vector& r, Vector& z) const {
+    const auto& rp = a_.row_ptr();
+    const auto& ci = a_.col_idx();
+    const auto& v = a_.values();
+    const std::size_t n = a_.size();
+    z.assign(n, 0.0);
+    // Forward sweep: (D/omega + L) y = r.
+    for (std::size_t i = 0; i < n; ++i) {
+      double s = r[i];
+      for (std::size_t k = rp[i]; k < rp[i + 1]; ++k) {
+        if (ci[k] < i) s -= v[k] * z[ci[k]];
+      }
+      z[i] = s * omega_ / diag_[i];
+    }
+    // Scale by D/omega.
+    for (std::size_t i = 0; i < n; ++i) z[i] *= diag_[i] / omega_;
+    // Backward sweep: (D/omega + U) z = y.
+    for (std::size_t ii = n; ii-- > 0;) {
+      double s = z[ii];
+      for (std::size_t k = rp[ii]; k < rp[ii + 1]; ++k) {
+        if (ci[k] > ii) s -= v[k] * z[ci[k]];
+      }
+      z[ii] = s * omega_ / diag_[ii];
+    }
+  }
+
+ private:
+  const SparseMatrix& a_;
+  double omega_;
+  Vector diag_;
+};
+
+}  // namespace
+
+std::string to_string(Preconditioner p) {
+  switch (p) {
+    case Preconditioner::kNone:
+      return "none";
+    case Preconditioner::kJacobi:
+      return "jacobi";
+    case Preconditioner::kSsor:
+      return "ssor";
+    case Preconditioner::kIncompleteCholesky:
+      return "ic0";
+  }
+  return "unknown";
+}
+
+CgResult conjugate_gradient(const SparseMatrix& a, const Vector& b, Vector& x,
+                            const CgOptions& options) {
+  const std::size_t n = a.size();
+  TSV_REQUIRE(b.size() == n, "rhs size mismatch");
+  if (x.size() != n) x.assign(n, 0.0);
+
+  CgResult result;
+  result.used = options.preconditioner;
+
+  std::unique_ptr<IncompleteCholesky> ic;
+  std::unique_ptr<SsorApplier> ssor;
+  Vector diag;
+  if (options.preconditioner == Preconditioner::kIncompleteCholesky) {
+    ic = std::make_unique<IncompleteCholesky>(a);
+    if (!ic->ok()) {
+      // Retry with a diagonal shift; fall back to SSOR if it still breaks.
+      ic = std::make_unique<IncompleteCholesky>(a, 0.05);
+      if (!ic->ok()) {
+        ic.reset();
+        result.used = Preconditioner::kSsor;
+      }
+    }
+  }
+  if (result.used == Preconditioner::kSsor)
+    ssor = std::make_unique<SsorApplier>(a, options.ssor_omega);
+  if (result.used == Preconditioner::kJacobi) {
+    diag = a.diagonal();
+    for (double& d : diag)
+      TSV_REQUIRE(d != 0.0, "Jacobi preconditioner needs nonzero diagonal");
+  }
+
+  const auto precondition = [&](const Vector& r, Vector& z) {
+    switch (result.used) {
+      case Preconditioner::kNone:
+        z = r;
+        break;
+      case Preconditioner::kJacobi:
+        z.resize(n);
+        for (std::size_t i = 0; i < n; ++i) z[i] = r[i] / diag[i];
+        break;
+      case Preconditioner::kSsor:
+        ssor->apply(r, z);
+        break;
+      case Preconditioner::kIncompleteCholesky:
+        ic->apply(r, z);
+        break;
+    }
+  };
+
+  const double norm_b = norm2(b);
+  if (norm_b == 0.0) {
+    x.assign(n, 0.0);
+    result.converged = true;
+    return result;
+  }
+
+  Vector r = b;
+  Vector ax = a.multiply(x);
+  for (std::size_t i = 0; i < n; ++i) r[i] -= ax[i];
+
+  Vector z;
+  precondition(r, z);
+  Vector p = z;
+  double rz = dot(r, z);
+  Vector ap(n);
+
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    result.relative_residual = norm2(r) / norm_b;
+    if (result.relative_residual <= options.rel_tolerance) {
+      result.converged = true;
+      result.iterations = it;
+      return result;
+    }
+    a.multiply(p, ap);
+    const double p_ap = dot(p, ap);
+    if (p_ap <= 0.0) break;  // not SPD (or breakdown): report non-convergence
+    const double alpha = rz / p_ap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    precondition(r, z);
+    const double rz_next = dot(r, z);
+    const double beta = rz_next / rz;
+    rz = rz_next;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    result.iterations = it + 1;
+  }
+  result.relative_residual = norm2(r) / norm_b;
+  result.converged = result.relative_residual <= options.rel_tolerance;
+  return result;
+}
+
+}  // namespace tsv::num

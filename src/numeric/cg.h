@@ -1,0 +1,39 @@
+#pragma once
+// Preconditioned conjugate gradient for symmetric positive-definite systems
+// (the FEM stiffness equations). Preconditioners: Jacobi, SSOR, IC(0).
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "numeric/sparse.h"
+
+namespace tsv::num {
+
+enum class Preconditioner { kNone, kJacobi, kSsor, kIncompleteCholesky };
+
+struct CgOptions {
+  double rel_tolerance = 1e-10;  ///< on ||r|| / ||b||
+  std::size_t max_iterations = 20000;
+  Preconditioner preconditioner = Preconditioner::kIncompleteCholesky;
+  double ssor_omega = 1.2;
+};
+
+struct CgResult {
+  bool converged = false;
+  std::size_t iterations = 0;
+  double relative_residual = 0.0;
+  /// Which preconditioner actually ran (IC(0) falls back to SSOR on
+  /// factorization breakdown).
+  Preconditioner used = Preconditioner::kNone;
+};
+
+/// Solves A x = b; x is used as the initial guess and overwritten with the
+/// solution. Throws std::invalid_argument on shape mismatch; a non-converged
+/// run is reported through the result, not an exception.
+CgResult conjugate_gradient(const SparseMatrix& a, const Vector& b, Vector& x,
+                            const CgOptions& options = {});
+
+std::string to_string(Preconditioner p);
+
+}  // namespace tsv::num

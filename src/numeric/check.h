@@ -1,0 +1,45 @@
+#pragma once
+// Lightweight precondition / invariant checking used across the library.
+//
+// TSV_REQUIRE is always on (cheap argument validation on public APIs, throws
+// std::invalid_argument). TSV_ASSERT guards internal invariants and throws
+// std::logic_error; it compiles away in TSV_NO_INTERNAL_CHECKS builds.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace tsv {
+
+[[noreturn]] inline void fail_require(const char* cond, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": requirement failed: " << cond;
+  if (!msg.empty()) os << " (" << msg << ')';
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void fail_assert(const char* cond, const char* file,
+                                     int line) {
+  std::ostringstream os;
+  os << file << ':' << line << ": internal invariant violated: " << cond;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace tsv
+
+#define TSV_REQUIRE(cond, msg)                                   \
+  do {                                                           \
+    if (!(cond)) ::tsv::fail_require(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#ifdef TSV_NO_INTERNAL_CHECKS
+#define TSV_ASSERT(cond) \
+  do {                   \
+  } while (false)
+#else
+#define TSV_ASSERT(cond)                                  \
+  do {                                                    \
+    if (!(cond)) ::tsv::fail_assert(#cond, __FILE__, __LINE__); \
+  } while (false)
+#endif

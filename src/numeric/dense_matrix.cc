@@ -1,0 +1,256 @@
+#include "numeric/dense_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace tsv::num {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  return t;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  TSV_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_, "shape mismatch");
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] += other.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  TSV_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_, "shape mismatch");
+  for (std::size_t k = 0; k < data_.size(); ++k) data_[k] -= other.data_[k];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Matrix operator*(const Matrix& a, const Matrix& b) {
+  TSV_REQUIRE(a.cols() == b.rows(), "shape mismatch in matrix product");
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+Vector operator*(const Matrix& a, const Vector& x) {
+  TSV_REQUIRE(a.cols() == x.size(), "shape mismatch in matrix-vector product");
+  Vector y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) s += a(i, j) * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+Matrix operator*(Matrix a, double s) { return a *= s; }
+Matrix operator*(double s, Matrix a) { return a *= s; }
+
+void axpy(double a, const Vector& x, Vector& y) {
+  TSV_REQUIRE(x.size() == y.size(), "shape mismatch in axpy");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += a * x[i];
+}
+
+double dot(const Vector& a, const Vector& b) {
+  TSV_REQUIRE(a.size() == b.size(), "shape mismatch in dot");
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const Vector& v) { return std::sqrt(dot(v, v)); }
+
+double norm_inf(const Vector& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::abs(x));
+  return m;
+}
+
+Vector solve_lu(Matrix a, Vector b) {
+  TSV_REQUIRE(a.rows() == a.cols(), "solve_lu needs a square matrix");
+  TSV_REQUIRE(a.rows() == b.size(), "rhs size mismatch");
+  const std::size_t n = a.rows();
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting.
+    std::size_t piv = k;
+    double best = std::abs(a(k, k));
+    for (std::size_t i = k + 1; i < n; ++i) {
+      if (std::abs(a(i, k)) > best) {
+        best = std::abs(a(i, k));
+        piv = i;
+      }
+    }
+    if (best == 0.0) throw std::runtime_error("solve_lu: singular matrix");
+    if (piv != k) {
+      for (std::size_t j = 0; j < n; ++j) std::swap(a(k, j), a(piv, j));
+      std::swap(b[k], b[piv]);
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double m = a(i, k) / a(k, k);
+      if (m == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) a(i, j) -= m * a(k, j);
+      b[i] -= m * b[k];
+    }
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= a(ii, j) * x[j];
+    x[ii] = s / a(ii, ii);
+  }
+  return x;
+}
+
+CVector solve_lu_complex(std::vector<CVector> a, CVector b) {
+  const std::size_t n = b.size();
+  TSV_REQUIRE(a.size() == n, "solve_lu_complex needs a square matrix");
+  for (const auto& row : a)
+    TSV_REQUIRE(row.size() == n, "solve_lu_complex needs a square matrix");
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t piv = k;
+    double best = std::abs(a[k][k]);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      if (std::abs(a[i][k]) > best) {
+        best = std::abs(a[i][k]);
+        piv = i;
+      }
+    }
+    if (best == 0.0)
+      throw std::runtime_error("solve_lu_complex: singular matrix");
+    if (piv != k) {
+      std::swap(a[k], a[piv]);
+      std::swap(b[k], b[piv]);
+    }
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const std::complex<double> m = a[i][k] / a[k][k];
+      if (m == 0.0) continue;
+      for (std::size_t j = k + 1; j < n; ++j) a[i][j] -= m * a[k][j];
+      b[i] -= m * b[k];
+    }
+  }
+  CVector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    std::complex<double> s = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= a[ii][j] * x[j];
+    x[ii] = s / a[ii][ii];
+  }
+  return x;
+}
+
+Vector solve_least_squares(Matrix a, Vector b) {
+  TSV_REQUIRE(a.rows() >= a.cols(), "least squares needs rows >= cols");
+  TSV_REQUIRE(a.rows() == b.size(), "rhs size mismatch");
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  // Householder QR applied in place; b is transformed alongside.
+  for (std::size_t k = 0; k < n; ++k) {
+    double alpha = 0.0;
+    for (std::size_t i = k; i < m; ++i) alpha += a(i, k) * a(i, k);
+    alpha = std::sqrt(alpha);
+    if (alpha == 0.0)
+      throw std::runtime_error("solve_least_squares: rank-deficient matrix");
+    if (a(k, k) > 0.0) alpha = -alpha;
+    // v = x - alpha e_k, stored in column k below the diagonal; v_k in vk.
+    const double vk = a(k, k) - alpha;
+    for (std::size_t i = k + 1; i < m; ++i) a(i, k) = a(i, k);  // unchanged
+    const double vnorm2 = alpha * alpha - a(k, k) * alpha;  // = ||v||^2 / 2
+    TSV_ASSERT(vnorm2 > 0.0);
+    a(k, k) = alpha;
+    // Apply H = I - v v^T / vnorm2 to remaining columns and to b.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double s = vk * a(k, j);
+      for (std::size_t i = k + 1; i < m; ++i) s += a(i, k) * a(i, j);
+      s /= vnorm2;
+      a(k, j) -= s * vk;
+      for (std::size_t i = k + 1; i < m; ++i) a(i, j) -= s * a(i, k);
+    }
+    {
+      double s = vk * b[k];
+      for (std::size_t i = k + 1; i < m; ++i) s += a(i, k) * b[i];
+      s /= vnorm2;
+      b[k] -= s * vk;
+      for (std::size_t i = k + 1; i < m; ++i) b[i] -= s * a(i, k);
+    }
+  }
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= a(ii, j) * x[j];
+    if (a(ii, ii) == 0.0)
+      throw std::runtime_error("solve_least_squares: rank-deficient matrix");
+    x[ii] = s / a(ii, ii);
+  }
+  return x;
+}
+
+Matrix solve_least_squares_multi(Matrix a, Matrix b) {
+  TSV_REQUIRE(a.rows() >= a.cols(), "least squares needs rows >= cols");
+  TSV_REQUIRE(a.rows() == b.rows(), "rhs row count mismatch");
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const std::size_t nrhs = b.cols();
+  for (std::size_t k = 0; k < n; ++k) {
+    double alpha = 0.0;
+    for (std::size_t i = k; i < m; ++i) alpha += a(i, k) * a(i, k);
+    alpha = std::sqrt(alpha);
+    if (alpha == 0.0)
+      throw std::runtime_error(
+          "solve_least_squares_multi: rank-deficient matrix");
+    if (a(k, k) > 0.0) alpha = -alpha;
+    const double vk = a(k, k) - alpha;
+    const double vnorm2 = alpha * alpha - a(k, k) * alpha;
+    TSV_ASSERT(vnorm2 > 0.0);
+    a(k, k) = alpha;
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double s = vk * a(k, j);
+      for (std::size_t i = k + 1; i < m; ++i) s += a(i, k) * a(i, j);
+      s /= vnorm2;
+      a(k, j) -= s * vk;
+      for (std::size_t i = k + 1; i < m; ++i) a(i, j) -= s * a(i, k);
+    }
+    for (std::size_t j = 0; j < nrhs; ++j) {
+      double s = vk * b(k, j);
+      for (std::size_t i = k + 1; i < m; ++i) s += a(i, k) * b(i, j);
+      s /= vnorm2;
+      b(k, j) -= s * vk;
+      for (std::size_t i = k + 1; i < m; ++i) b(i, j) -= s * a(i, k);
+    }
+  }
+  Matrix x(n, nrhs);
+  for (std::size_t j = 0; j < nrhs; ++j) {
+    for (std::size_t ii = n; ii-- > 0;) {
+      double s = b(ii, j);
+      for (std::size_t c = ii + 1; c < n; ++c) s -= a(ii, c) * x(c, j);
+      x(ii, j) = s / a(ii, ii);
+    }
+  }
+  return x;
+}
+
+double relative_residual(const Matrix& a, const Vector& x, const Vector& b) {
+  Vector r = a * x;
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] -= b[i];
+  const double nb = norm2(b);
+  return nb > 0.0 ? norm2(r) / nb : norm2(r);
+}
+
+}  // namespace tsv::num

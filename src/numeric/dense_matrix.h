@@ -1,0 +1,88 @@
+#pragma once
+// Small dense linear algebra: row-major matrices, vectors, LU with partial
+// pivoting, Householder-QR least squares. Sized for the library's needs
+// (element stiffness blocks, layered-cylinder systems, collocation fits of a
+// few hundred unknowns); not a BLAS replacement.
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "numeric/check.h"
+
+namespace tsv::num {
+
+using Vector = std::vector<double>;
+using CVector = std::vector<std::complex<double>>;
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    TSV_ASSERT(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    TSV_ASSERT(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  Matrix transposed() const;
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator*(const Matrix& a, const Matrix& b);
+Vector operator*(const Matrix& a, const Vector& x);
+Matrix operator+(Matrix a, const Matrix& b);
+Matrix operator-(Matrix a, const Matrix& b);
+Matrix operator*(Matrix a, double s);
+Matrix operator*(double s, Matrix a);
+
+/// y += a * x
+void axpy(double a, const Vector& x, Vector& y);
+double dot(const Vector& a, const Vector& b);
+double norm2(const Vector& v);
+/// max_i |v[i]|
+double norm_inf(const Vector& v);
+
+/// Solves A x = b by LU with partial pivoting. A must be square and
+/// nonsingular (throws std::runtime_error on numerical singularity).
+Vector solve_lu(Matrix a, Vector b);
+
+/// Solves the complex square system A x = b by LU with partial pivoting.
+CVector solve_lu_complex(std::vector<CVector> a, CVector b);
+
+/// Minimizes ||A x - b||_2 via Householder QR. Requires rows >= cols and
+/// full column rank (throws std::runtime_error otherwise). Returns x of
+/// size A.cols().
+Vector solve_least_squares(Matrix a, Vector b);
+
+/// Multi-right-hand-side least squares: minimizes ||A X - B||_F column by
+/// column with a single QR factorization. Returns X (A.cols() x B.cols()).
+Matrix solve_least_squares_multi(Matrix a, Matrix b);
+
+/// Relative residual ||Ax-b|| / ||b|| (returns ||Ax|| when b = 0).
+double relative_residual(const Matrix& a, const Vector& x, const Vector& b);
+
+}  // namespace tsv::num

@@ -1,0 +1,111 @@
+#include "numeric/ichol.h"
+
+#include <cmath>
+
+namespace tsv::num {
+
+IncompleteCholesky::IncompleteCholesky(const SparseMatrix& a, double shift) {
+  n_ = a.size();
+  const auto& arp = a.row_ptr();
+  const auto& aci = a.col_idx();
+  const auto& av = a.values();
+
+  // Extract the strictly lower triangle pattern and the diagonal.
+  row_ptr_.assign(n_ + 1, 0);
+  diag_.assign(n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t k = arp[i]; k < arp[i + 1]; ++k) {
+      if (aci[k] < i) ++row_ptr_[i + 1];
+      if (aci[k] == i) diag_[i] = av[k] * (1.0 + shift);
+    }
+  }
+  for (std::size_t i = 0; i < n_; ++i) row_ptr_[i + 1] += row_ptr_[i];
+  col_idx_.resize(row_ptr_[n_]);
+  values_.assign(row_ptr_[n_], 0.0);
+  {
+    std::vector<std::size_t> cursor(n_);
+    for (std::size_t i = 0; i < n_; ++i) cursor[i] = row_ptr_[i];
+    for (std::size_t i = 0; i < n_; ++i) {
+      for (std::size_t k = arp[i]; k < arp[i + 1]; ++k) {
+        if (aci[k] < i) {
+          col_idx_[cursor[i]] = aci[k];
+          values_[cursor[i]] = av[k];
+          ++cursor[i];
+        }
+      }
+    }
+  }
+
+  // Row-based IC(0): process rows in order; entries within a row are sorted
+  // by column (inherited from the CSR input).
+  ok_ = true;
+  for (std::size_t i = 0; i < n_ && ok_; ++i) {
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const std::size_t j = col_idx_[k];
+      // values_[k] -= sum over shared columns c < j of L(i,c) * L(j,c).
+      double s = values_[k];
+      std::size_t pi = row_ptr_[i];
+      std::size_t pj = row_ptr_[j];
+      while (pi < k && pj < row_ptr_[j + 1]) {
+        if (col_idx_[pi] == col_idx_[pj]) {
+          s -= values_[pi] * values_[pj];
+          ++pi;
+          ++pj;
+        } else if (col_idx_[pi] < col_idx_[pj]) {
+          ++pi;
+        } else {
+          ++pj;
+        }
+      }
+      values_[k] = s / diag_[j];
+    }
+    double d = diag_[i];
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+      d -= values_[k] * values_[k];
+    if (d <= 0.0) {
+      ok_ = false;
+      break;
+    }
+    diag_[i] = std::sqrt(d);
+  }
+  if (!ok_) return;
+
+  // Column-major view of the strictly-lower factor for the L^T solve.
+  colT_ptr_.assign(n_ + 1, 0);
+  for (std::size_t k = 0; k < col_idx_.size(); ++k) ++colT_ptr_[col_idx_[k] + 1];
+  for (std::size_t i = 0; i < n_; ++i) colT_ptr_[i + 1] += colT_ptr_[i];
+  colT_row_.resize(col_idx_.size());
+  colT_pos_.resize(col_idx_.size());
+  std::vector<std::size_t> cursor(n_);
+  for (std::size_t i = 0; i < n_; ++i) cursor[i] = colT_ptr_[i];
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const std::size_t c = col_idx_[k];
+      colT_row_[cursor[c]] = static_cast<std::uint32_t>(i);
+      colT_pos_[cursor[c]] = k;
+      ++cursor[c];
+    }
+  }
+}
+
+void IncompleteCholesky::apply(const Vector& r, Vector& z) const {
+  TSV_REQUIRE(ok_, "IncompleteCholesky::apply on failed factorization");
+  TSV_REQUIRE(r.size() == n_, "dimension mismatch");
+  z = r;
+  // Forward solve L y = r.
+  for (std::size_t i = 0; i < n_; ++i) {
+    double s = z[i];
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k)
+      s -= values_[k] * z[col_idx_[k]];
+    z[i] = s / diag_[i];
+  }
+  // Backward solve L^T z = y using the column-major view.
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double s = z[ii];
+    for (std::size_t k = colT_ptr_[ii]; k < colT_ptr_[ii + 1]; ++k)
+      s -= values_[colT_pos_[k]] * z[colT_row_[k]];
+    z[ii] = s / diag_[ii];
+  }
+}
+
+}  // namespace tsv::num

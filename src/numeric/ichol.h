@@ -1,0 +1,43 @@
+#pragma once
+// Zero-fill incomplete Cholesky factorization IC(0), used as a CG
+// preconditioner for the FEM stiffness systems. Falls back gracefully
+// (caller-visible failure flag) when the factorization breaks down, in which
+// case CG should use a Jacobi or SSOR preconditioner instead.
+
+#include <cstdint>
+#include <vector>
+
+#include "numeric/sparse.h"
+
+namespace tsv::num {
+
+/// Lower-triangular IC(0) factor of a symmetric positive-definite CSR matrix.
+/// Applies M^{-1} = (L L^T)^{-1} via forward/backward substitution.
+class IncompleteCholesky {
+ public:
+  /// Factorizes the lower triangle of `a` in the sparsity pattern of `a`.
+  /// `shift` adds shift*diag(a) before factorization (0 = plain IC(0)).
+  /// Check ok() before use: breakdown (non-positive pivot) sets ok() false.
+  explicit IncompleteCholesky(const SparseMatrix& a, double shift = 0.0);
+
+  bool ok() const { return ok_; }
+  std::size_t size() const { return n_; }
+
+  /// z = (L L^T)^{-1} r
+  void apply(const Vector& r, Vector& z) const;
+
+ private:
+  std::size_t n_ = 0;
+  bool ok_ = false;
+  // CSR of strictly-lower part + separate diagonal of L.
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::uint32_t> col_idx_;
+  std::vector<double> values_;
+  Vector diag_;
+  // Column-major access for the transposed solve.
+  std::vector<std::size_t> colT_ptr_;
+  std::vector<std::uint32_t> colT_row_;
+  std::vector<std::size_t> colT_pos_;
+};
+
+}  // namespace tsv::num

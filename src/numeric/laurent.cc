@@ -1,0 +1,130 @@
+#include "numeric/laurent.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsv::num {
+namespace {
+
+/// z^n for integer n (n may be negative; z must then be nonzero).
+Complex ipow(Complex z, int n) {
+  if (n == 0) return {1.0, 0.0};
+  const bool neg = n < 0;
+  unsigned int e = static_cast<unsigned int>(neg ? -static_cast<long>(n) : n);
+  Complex base = z;
+  Complex acc{1.0, 0.0};
+  while (e != 0) {
+    if (e & 1u) acc *= base;
+    base *= base;
+    e >>= 1u;
+  }
+  return neg ? Complex{1.0, 0.0} / acc : acc;
+}
+
+}  // namespace
+
+Complex LaurentSeries::evaluate(Complex z) const {
+  if (coeff_.empty()) return {0.0, 0.0};
+  TSV_REQUIRE((n_min_ >= 0 || z != Complex{0.0, 0.0}),
+              "evaluating negative powers at z = 0");
+  // Horner in two halves around n = 0 for numerical stability.
+  Complex sum{0.0, 0.0};
+  // Non-negative powers, descending Horner.
+  const int hi = n_max();
+  if (hi >= 0) {
+    Complex acc{0.0, 0.0};
+    for (int n = hi; n >= std::max(0, n_min_); --n) {
+      acc = acc * z + coeff(n);
+    }
+    // Account for a gap when n_min_ > 0.
+    if (n_min_ > 0) acc *= ipow(z, n_min_);
+    sum += acc;
+  }
+  // Negative powers, Horner in w = 1/z.
+  if (n_min_ < 0) {
+    const Complex w = Complex{1.0, 0.0} / z;
+    Complex acc{0.0, 0.0};
+    for (int n = n_min_; n <= std::min(-1, hi); ++n) {
+      acc = acc * w + coeff(n);
+    }
+    // Horner built acc relative to the highest included negative power
+    // n_top = min(-1, n_max); finish by multiplying with w^{-n_top}.
+    const int n_top = std::min(-1, hi);
+    acc *= ipow(w, -n_top);
+    sum += acc;
+  }
+  return sum;
+}
+
+LaurentSeries LaurentSeries::derivative_series() const {
+  if (coeff_.empty()) return {};
+  // Derivative powers are {n - 1 : n != 0}; a series starting at n = 0 must
+  // not grow a (zero) z^-1 slot, which would poison evaluation at z = 0.
+  const int lo = n_min_ == 0 ? 0 : n_min_ - 1;
+  const int hi = std::max(lo, n_max() == 0 ? lo : n_max() - 1);
+  LaurentSeries d(lo, hi);
+  for (int n = n_min_; n <= n_max(); ++n) {
+    if (n != 0) d.coeff(n - 1) = static_cast<double>(n) * coeff(n);
+  }
+  return d;
+}
+
+Complex LaurentSeries::derivative(Complex z) const {
+  return derivative_series().evaluate(z);
+}
+
+Complex LaurentSeries::second_derivative(Complex z) const {
+  return derivative_series().derivative_series().evaluate(z);
+}
+
+LaurentSeries LaurentSeries::antiderivative() const {
+  TSV_REQUIRE(std::abs(coeff(-1)) == 0.0,
+              "antiderivative of a 1/z term is not a Laurent series");
+  LaurentSeries out(n_min_ + 1, n_max() + 1);
+  for (int n = n_min_; n <= n_max(); ++n) {
+    if (n == -1) continue;
+    out.coeff(n + 1) = coeff(n) / static_cast<double>(n + 1);
+  }
+  return out;
+}
+
+LaurentSeries& LaurentSeries::operator+=(const LaurentSeries& other) {
+  if (other.empty()) return *this;
+  if (empty()) {
+    *this = other;
+    return *this;
+  }
+  const int lo = std::min(n_min(), other.n_min());
+  const int hi = std::max(n_max(), other.n_max());
+  const LaurentSeries& self = *this;  // range-checked const accessor
+  LaurentSeries out(lo, hi);
+  for (int n = lo; n <= hi; ++n) out.coeff(n) = self.coeff(n) + other.coeff(n);
+  *this = out;
+  return *this;
+}
+
+LaurentSeries& LaurentSeries::operator*=(Complex s) {
+  for (auto& c : coeff_) c *= s;
+  return *this;
+}
+
+LaurentSeries LaurentSeries::trimmed(double rel_eps) const {
+  if (coeff_.empty()) return {};
+  const double cutoff = rel_eps * max_abs_coeff();
+  int lo = n_min();
+  int hi = n_max();
+  while (lo < hi && std::abs(coeff(lo)) <= cutoff) ++lo;
+  while (hi > lo && std::abs(coeff(hi)) <= cutoff) --hi;
+  if (lo == hi && std::abs(coeff(lo)) <= cutoff) return {};
+  LaurentSeries out(lo, hi);
+  for (int n = lo; n <= hi; ++n) out.coeff(n) = coeff(n);
+  return out;
+}
+
+double LaurentSeries::max_abs_coeff() const {
+  double m = 0.0;
+  for (const auto& c : coeff_) m = std::max(m, std::abs(c));
+  return m;
+}
+
+}  // namespace tsv::num

@@ -1,0 +1,67 @@
+#pragma once
+// Laurent series over the complex plane: f(z) = sum_{n=n_min}^{n_max} c_n z^n.
+// Used to represent Muskhelishvili complex potentials (and their derivatives)
+// in the TSV core, liner and substrate regions.
+
+#include <complex>
+#include <vector>
+
+#include "numeric/check.h"
+
+namespace tsv::num {
+
+using Complex = std::complex<double>;
+
+class LaurentSeries {
+ public:
+  LaurentSeries() = default;
+
+  /// Creates a series with powers n_min..n_max inclusive, all coefficients 0.
+  LaurentSeries(int n_min, int n_max)
+      : n_min_(n_min), coeff_(static_cast<std::size_t>(n_max - n_min + 1)) {
+    TSV_REQUIRE(n_max >= n_min, "empty power range");
+  }
+
+  int n_min() const { return n_min_; }
+  int n_max() const { return n_min_ + static_cast<int>(coeff_.size()) - 1; }
+  bool empty() const { return coeff_.empty(); }
+
+  Complex& coeff(int n) {
+    TSV_REQUIRE(n >= n_min() && n <= n_max(), "power out of range");
+    return coeff_[static_cast<std::size_t>(n - n_min_)];
+  }
+  Complex coeff(int n) const {
+    if (coeff_.empty() || n < n_min() || n > n_max()) return {0.0, 0.0};
+    return coeff_[static_cast<std::size_t>(n - n_min_)];
+  }
+
+  /// f(z). z must be nonzero if the series has negative powers.
+  Complex evaluate(Complex z) const;
+  /// f'(z). Convenience; hot paths should cache derivative_series().
+  Complex derivative(Complex z) const;
+  /// f''(z).
+  Complex second_derivative(Complex z) const;
+
+  /// The series of f' (one extra power slot on both ends removed/shifted).
+  LaurentSeries derivative_series() const;
+
+  /// Term-wise antiderivative; requires coeff(-1) == 0 (no log term).
+  LaurentSeries antiderivative() const;
+
+  LaurentSeries& operator+=(const LaurentSeries& other);
+  LaurentSeries& operator*=(Complex s);
+
+  /// Largest |c_n| in the series (0 for the empty series).
+  double max_abs_coeff() const;
+
+  /// Copy with edge coefficients below rel_eps * max_abs_coeff() dropped
+  /// (shrinks the power range; interior small coefficients are kept).
+  /// Used to cheapen hot-path evaluation of combined response series.
+  LaurentSeries trimmed(double rel_eps) const;
+
+ private:
+  int n_min_ = 0;
+  std::vector<Complex> coeff_;
+};
+
+}  // namespace tsv::num

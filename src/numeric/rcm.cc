@@ -1,0 +1,104 @@
+#include "numeric/rcm.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace tsv::num {
+namespace {
+
+/// Degree of each node on the symmetrized pattern.
+std::vector<std::uint32_t> degrees(const SparseMatrix& a) {
+  std::vector<std::uint32_t> deg(a.size(), 0);
+  const auto& rp = a.row_ptr();
+  for (std::size_t i = 0; i < a.size(); ++i)
+    deg[i] = static_cast<std::uint32_t>(rp[i + 1] - rp[i]);
+  return deg;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> reverse_cuthill_mckee(const SparseMatrix& a) {
+  const std::size_t n = a.size();
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  const std::vector<std::uint32_t> deg = degrees(a);
+
+  std::vector<std::uint32_t> order;
+  order.reserve(n);
+  std::vector<bool> visited(n, false);
+  std::vector<std::uint32_t> neighbors;
+
+  for (std::size_t start_scan = 0; order.size() < n; ++start_scan) {
+    // Pick an unvisited node of minimal degree as the next component seed.
+    std::uint32_t seed = 0;
+    std::uint32_t best_deg = 0xffffffffu;
+    bool found = false;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (!visited[i] && deg[i] < best_deg) {
+        best_deg = deg[i];
+        seed = i;
+        found = true;
+      }
+    }
+    TSV_ASSERT(found);
+
+    std::queue<std::uint32_t> queue;
+    queue.push(seed);
+    visited[seed] = true;
+    while (!queue.empty()) {
+      const std::uint32_t u = queue.front();
+      queue.pop();
+      order.push_back(u);
+      neighbors.clear();
+      for (std::size_t k = rp[u]; k < rp[u + 1]; ++k) {
+        const std::uint32_t v = ci[k];
+        if (v != u && !visited[v]) {
+          visited[v] = true;
+          neighbors.push_back(v);
+        }
+      }
+      std::sort(neighbors.begin(), neighbors.end(),
+                [&](std::uint32_t x, std::uint32_t y) {
+                  return deg[x] != deg[y] ? deg[x] < deg[y] : x < y;
+                });
+      for (const std::uint32_t v : neighbors) queue.push(v);
+    }
+  }
+  // Reverse for RCM.
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+SparseMatrix permute_symmetric(const SparseMatrix& a,
+                               const std::vector<std::uint32_t>& perm) {
+  const std::size_t n = a.size();
+  TSV_REQUIRE(perm.size() == n, "permutation size mismatch");
+  // inv[old] = new index.
+  std::vector<std::uint32_t> inv(n);
+  for (std::uint32_t i = 0; i < n; ++i) inv[perm[i]] = i;
+  std::vector<Triplet> t;
+  t.reserve(a.nonzeros());
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  const auto& v = a.values();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::size_t k = rp[i]; k < rp[i + 1]; ++k)
+      t.push_back({inv[i], inv[ci[k]], v[k]});
+  }
+  return SparseMatrix::from_triplets(n, t);
+}
+
+std::size_t bandwidth(const SparseMatrix& a) {
+  std::size_t bw = 0;
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    for (std::size_t k = rp[i]; k < rp[i + 1]; ++k) {
+      const std::size_t j = ci[k];
+      bw = std::max(bw, i > j ? i - j : j - i);
+    }
+  }
+  return bw;
+}
+
+}  // namespace tsv::num

@@ -1,0 +1,85 @@
+#include "numeric/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsv::num {
+
+SparseMatrix SparseMatrix::from_triplets(std::size_t n,
+                                         const std::vector<Triplet>& triplets) {
+  SparseMatrix m;
+  m.n_ = n;
+  // Count entries per row (with duplicates), then sort-by-(row, col) via
+  // counting into a scratch copy. Duplicates are merged in a second pass.
+  std::vector<Triplet> sorted = triplets;
+  for (const Triplet& t : sorted)
+    TSV_REQUIRE(t.row < n && t.col < n, "triplet index out of range");
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+
+  m.row_ptr_.assign(n + 1, 0);
+  m.col_idx_.reserve(sorted.size());
+  m.values_.reserve(sorted.size());
+  std::size_t i = 0;
+  for (std::size_t row = 0; row < n; ++row) {
+    while (i < sorted.size() && sorted[i].row == row) {
+      const std::uint32_t col = sorted[i].col;
+      double sum = 0.0;
+      while (i < sorted.size() && sorted[i].row == row && sorted[i].col == col) {
+        sum += sorted[i].value;
+        ++i;
+      }
+      m.col_idx_.push_back(col);
+      m.values_.push_back(sum);
+    }
+    m.row_ptr_[row + 1] = m.col_idx_.size();
+  }
+  return m;
+}
+
+void SparseMatrix::multiply(const Vector& x, Vector& y) const {
+  TSV_REQUIRE(x.size() == n_, "dimension mismatch in sparse multiply");
+  y.assign(n_, 0.0);
+  for (std::size_t row = 0; row < n_; ++row) {
+    double s = 0.0;
+    for (std::size_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k)
+      s += values_[k] * x[col_idx_[k]];
+    y[row] = s;
+  }
+}
+
+Vector SparseMatrix::multiply(const Vector& x) const {
+  Vector y;
+  multiply(x, y);
+  return y;
+}
+
+double SparseMatrix::at(std::size_t i, std::size_t j) const {
+  TSV_REQUIRE(i < n_ && j < n_, "index out of range");
+  const auto begin = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[i]);
+  const auto end = col_idx_.begin() + static_cast<std::ptrdiff_t>(row_ptr_[i + 1]);
+  const auto it = std::lower_bound(begin, end, static_cast<std::uint32_t>(j));
+  if (it == end || *it != j) return 0.0;
+  return values_[static_cast<std::size_t>(it - col_idx_.begin())];
+}
+
+Vector SparseMatrix::diagonal() const {
+  Vector d(n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) d[i] = at(i, i);
+  return d;
+}
+
+double SparseMatrix::symmetry_error() const {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t k = row_ptr_[i]; k < row_ptr_[i + 1]; ++k) {
+      const std::size_t j = col_idx_[k];
+      worst = std::max(worst, std::abs(values_[k] - at(j, i)));
+    }
+  }
+  return worst;
+}
+
+}  // namespace tsv::num

@@ -1,0 +1,59 @@
+#pragma once
+// Compressed-sparse-row matrix with triplet-based assembly, as needed for
+// finite-element stiffness matrices.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "numeric/dense_matrix.h"
+
+namespace tsv::num {
+
+/// (row, col, value) contribution; duplicates are summed at build time.
+struct Triplet {
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+  double value = 0.0;
+};
+
+/// Square CSR matrix. Immutable after construction.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Builds an n x n CSR matrix from triplets, summing duplicates and
+  /// dropping exact zeros that result from cancellation is NOT done (kept to
+  /// preserve symbolic structure for preconditioners).
+  static SparseMatrix from_triplets(std::size_t n,
+                                    const std::vector<Triplet>& triplets);
+
+  std::size_t size() const { return n_; }
+  std::size_t nonzeros() const { return values_.size(); }
+
+  const std::vector<std::size_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<std::uint32_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& values() { return values_; }
+
+  /// y = A x
+  void multiply(const Vector& x, Vector& y) const;
+  Vector multiply(const Vector& x) const;
+
+  /// Returns entry (i, j), 0 if not stored. O(log nnz_row).
+  double at(std::size_t i, std::size_t j) const;
+
+  /// Diagonal entries (0 where the diagonal is not stored).
+  Vector diagonal() const;
+
+  /// Max |a_ij - a_ji| over stored entries; 0 for symmetric matrices.
+  double symmetry_error() const;
+
+ private:
+  std::size_t n_ = 0;
+  std::vector<std::size_t> row_ptr_;
+  std::vector<std::uint32_t> col_idx_;
+  std::vector<double> values_;
+};
+
+}  // namespace tsv::num

@@ -1,0 +1,161 @@
+#include "numeric/sparse_cholesky.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/rcm.h"
+
+namespace tsv::num {
+namespace {
+
+constexpr std::uint32_t kNone = 0xffffffffu;
+
+/// Elimination tree of the Cholesky factor from the full-symmetric CSR
+/// pattern (Liu's algorithm with path compression).
+std::vector<std::uint32_t> elimination_tree(const SparseMatrix& a) {
+  const std::size_t n = a.size();
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  std::vector<std::uint32_t> parent(n, kNone), ancestor(n, kNone);
+  for (std::uint32_t k = 0; k < n; ++k) {
+    for (std::size_t p = rp[k]; p < rp[k + 1]; ++p) {
+      std::uint32_t i = ci[p];
+      if (i >= k) continue;
+      while (i != kNone && i < k) {
+        const std::uint32_t next = ancestor[i];
+        ancestor[i] = k;
+        if (next == kNone) {
+          parent[i] = k;
+          break;
+        }
+        i = next;
+      }
+    }
+  }
+  return parent;
+}
+
+/// Row pattern of L(k, :): climbs the elimination tree from the nonzeros of
+/// the strict lower part of row k. Returns the top index into `stack`
+/// (pattern is stack[top..n-1], in topological order).
+std::size_t ereach(const SparseMatrix& a,
+                   const std::vector<std::uint32_t>& parent, std::uint32_t k,
+                   std::vector<std::uint32_t>& mark,
+                   std::vector<std::uint32_t>& stack,
+                   std::vector<std::uint32_t>& path) {
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  std::size_t top = a.size();
+  mark[k] = k + 1;  // mark value is k+1 so 0 means "never touched"
+  for (std::size_t p = rp[k]; p < rp[k + 1]; ++p) {
+    std::uint32_t i = ci[p];
+    if (i >= k) continue;
+    std::size_t len = 0;
+    while (mark[i] != k + 1) {
+      path[len++] = i;
+      mark[i] = k + 1;
+      i = parent[i];
+      TSV_ASSERT(i != kNone);  // the path must terminate at k
+    }
+    while (len > 0) stack[--top] = path[--len];
+  }
+  return top;
+}
+
+}  // namespace
+
+SparseCholesky::SparseCholesky(const SparseMatrix& a, bool use_rcm) {
+  n_ = a.size();
+  TSV_REQUIRE(n_ > 0, "empty matrix");
+
+  if (use_rcm) {
+    perm_ = reverse_cuthill_mckee(a);
+  } else {
+    perm_.resize(n_);
+    for (std::uint32_t i = 0; i < n_; ++i) perm_[i] = i;
+  }
+  iperm_.resize(n_);
+  for (std::uint32_t i = 0; i < n_; ++i) iperm_[perm_[i]] = i;
+  const SparseMatrix c = use_rcm ? permute_symmetric(a, perm_) : a;
+
+  const std::vector<std::uint32_t> parent = elimination_tree(c);
+  std::vector<std::uint32_t> mark(n_, 0), stack(n_), path(n_);
+
+  // Symbolic pass: column counts of L (diagonal included).
+  std::vector<std::size_t> count(n_, 1);
+  for (std::uint32_t k = 0; k < n_; ++k) {
+    const std::size_t top = ereach(c, parent, k, mark, stack, path);
+    for (std::size_t t = top; t < n_; ++t) ++count[stack[t]];
+  }
+  col_ptr_.assign(n_ + 1, 0);
+  for (std::size_t j = 0; j < n_; ++j) col_ptr_[j + 1] = col_ptr_[j] + count[j];
+  row_idx_.resize(col_ptr_[n_]);
+  lx_.assign(col_ptr_[n_], 0.0);
+
+  // Numeric pass (up-looking LL^T).
+  std::vector<std::size_t> cursor(n_);
+  for (std::size_t j = 0; j < n_; ++j) cursor[j] = col_ptr_[j];
+  std::fill(mark.begin(), mark.end(), 0);
+  Vector x(n_, 0.0);
+  const auto& rp = c.row_ptr();
+  const auto& ci = c.col_idx();
+  const auto& cv = c.values();
+  for (std::uint32_t k = 0; k < n_; ++k) {
+    const std::size_t top = ereach(c, parent, k, mark, stack, path);
+    // Scatter row k of the lower triangle (and diagonal) of C.
+    double d = 0.0;
+    for (std::size_t p = rp[k]; p < rp[k + 1]; ++p) {
+      const std::uint32_t j = ci[p];
+      if (j < k) {
+        x[j] = cv[p];
+      } else if (j == k) {
+        d = cv[p];
+      }
+    }
+    for (std::size_t t = top; t < n_; ++t) {
+      const std::uint32_t j = stack[t];
+      const double diag_j = lx_[col_ptr_[j]];
+      const double lkj = x[j] / diag_j;
+      x[j] = 0.0;
+      for (std::size_t p = col_ptr_[j] + 1; p < cursor[j]; ++p)
+        x[row_idx_[p]] -= lx_[p] * lkj;
+      d -= lkj * lkj;
+      row_idx_[cursor[j]] = k;
+      lx_[cursor[j]] = lkj;
+      ++cursor[j];
+    }
+    if (d <= 0.0)
+      throw std::runtime_error(
+          "SparseCholesky: matrix is not positive definite");
+    row_idx_[cursor[k]] = k;
+    lx_[cursor[k]] = std::sqrt(d);
+    ++cursor[k];
+  }
+}
+
+Vector SparseCholesky::solve(const Vector& b) const {
+  TSV_REQUIRE(b.size() == n_, "rhs size mismatch");
+  // Permute: y = P b.
+  Vector y(n_);
+  for (std::size_t i = 0; i < n_; ++i) y[i] = b[perm_[i]];
+  // Forward: L z = y (in place).
+  for (std::size_t j = 0; j < n_; ++j) {
+    y[j] /= lx_[col_ptr_[j]];
+    const double yj = y[j];
+    for (std::size_t p = col_ptr_[j] + 1; p < col_ptr_[j + 1]; ++p)
+      y[row_idx_[p]] -= lx_[p] * yj;
+  }
+  // Backward: L^T x = z (in place).
+  for (std::size_t jj = n_; jj-- > 0;) {
+    double s = y[jj];
+    for (std::size_t p = col_ptr_[jj] + 1; p < col_ptr_[jj + 1]; ++p)
+      s -= lx_[p] * y[row_idx_[p]];
+    y[jj] = s / lx_[col_ptr_[jj]];
+  }
+  // Unpermute: x = P^T y.
+  Vector x(n_);
+  for (std::size_t i = 0; i < n_; ++i) x[perm_[i]] = y[i];
+  return x;
+}
+
+}  // namespace tsv::num

@@ -1,0 +1,90 @@
+#pragma once
+// Small symmetric stress/strain tensors and coordinate transforms.
+//
+// The library mostly works with the in-plane (device layer) components.
+// SymTensor2 holds {s11, s22, s12}; in Cartesian frame these are
+// (sxx, syy, sxy), in a cylindrical frame (srr, stt, srt). rotate_* implement
+// eq. (2) of the paper for the in-plane 2x2 block.
+
+#include <array>
+#include <cmath>
+
+namespace tsv::num {
+
+/// Symmetric rank-2 tensor in two dimensions.
+struct SymTensor2 {
+  double s11 = 0.0;  ///< sxx (Cartesian) or srr (cylindrical)
+  double s22 = 0.0;  ///< syy (Cartesian) or s_theta_theta (cylindrical)
+  double s12 = 0.0;  ///< sxy (Cartesian) or s_r_theta (cylindrical)
+
+  SymTensor2& operator+=(const SymTensor2& o) {
+    s11 += o.s11;
+    s22 += o.s22;
+    s12 += o.s12;
+    return *this;
+  }
+  SymTensor2& operator-=(const SymTensor2& o) {
+    s11 -= o.s11;
+    s22 -= o.s22;
+    s12 -= o.s12;
+    return *this;
+  }
+  SymTensor2& operator*=(double a) {
+    s11 *= a;
+    s22 *= a;
+    s12 *= a;
+    return *this;
+  }
+
+  double trace() const { return s11 + s22; }
+};
+
+inline SymTensor2 operator+(SymTensor2 a, const SymTensor2& b) { return a += b; }
+inline SymTensor2 operator-(SymTensor2 a, const SymTensor2& b) { return a -= b; }
+inline SymTensor2 operator*(SymTensor2 a, double s) { return a *= s; }
+inline SymTensor2 operator*(double s, SymTensor2 a) { return a *= s; }
+
+/// Transforms a tensor given in a cylindrical frame whose r-axis makes angle
+/// `theta` with the x-axis into the Cartesian frame: sigma_xy = Q sigma_rt Q^T
+/// with Q = [[c,-s],[s,c]] (paper eq. (2) restricted to the plane).
+inline SymTensor2 cylindrical_to_cartesian(const SymTensor2& t, double theta) {
+  const double c = std::cos(theta);
+  const double s = std::sin(theta);
+  const double c2 = c * c;
+  const double s2 = s * s;
+  const double cs = c * s;
+  SymTensor2 out;
+  out.s11 = c2 * t.s11 + s2 * t.s22 - 2.0 * cs * t.s12;
+  out.s22 = s2 * t.s11 + c2 * t.s22 + 2.0 * cs * t.s12;
+  out.s12 = cs * (t.s11 - t.s22) + (c2 - s2) * t.s12;
+  return out;
+}
+
+/// Inverse of cylindrical_to_cartesian: Cartesian components expressed in the
+/// cylindrical frame at angle `theta`.
+inline SymTensor2 cartesian_to_cylindrical(const SymTensor2& t, double theta) {
+  return cylindrical_to_cartesian(t, -theta);
+}
+
+/// In-plane principal stresses, returned as {s_max, s_min}.
+inline std::array<double, 2> principal_stresses(const SymTensor2& t) {
+  const double mid = 0.5 * (t.s11 + t.s22);
+  const double rad =
+      std::sqrt(0.25 * (t.s11 - t.s22) * (t.s11 - t.s22) + t.s12 * t.s12);
+  return {mid + rad, mid - rad};
+}
+
+/// Von Mises equivalent stress under plane stress (szz = syz = szx = 0):
+/// sqrt(sxx^2 - sxx*syy + syy^2 + 3 sxy^2).
+inline double von_mises_plane_stress(const SymTensor2& t) {
+  return std::sqrt(t.s11 * t.s11 - t.s11 * t.s22 + t.s22 * t.s22 +
+                   3.0 * t.s12 * t.s12);
+}
+
+/// Maximum in-plane tensile stress (largest principal value, floored at 0).
+inline double max_tensile(const SymTensor2& t) {
+  const double p = principal_stresses(t)[0];
+  return p > 0.0 ? p : 0.0;
+}
+
+}  // namespace tsv::num

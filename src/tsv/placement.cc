@@ -1,0 +1,73 @@
+#include "tsv/placement.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace tsv::tsvlib {
+
+double Placement::min_pitch() const {
+  if (centers_.size() < 2) return std::numeric_limits<double>::infinity();
+  // O(n^2) is fine for validation use; the framework itself never calls this
+  // in a hot path.
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < centers_.size(); ++i)
+    for (std::size_t j = i + 1; j < centers_.size(); ++j)
+      best = std::min(best, geo::distance(centers_[i], centers_[j]));
+  return best;
+}
+
+double Placement::density() const {
+  if (centers_.size() < 2) return 0.0;
+  geo::Point lo = centers_.front();
+  geo::Point hi = centers_.front();
+  for (const auto& c : centers_) {
+    lo.x = std::min(lo.x, c.x);
+    lo.y = std::min(lo.y, c.y);
+    hi.x = std::max(hi.x, c.x);
+    hi.y = std::max(hi.y, c.y);
+  }
+  const double area = (hi.x - lo.x) * (hi.y - lo.y);
+  if (area <= 0.0) return 0.0;
+  return static_cast<double>(centers_.size()) / area;
+}
+
+geo::Box Placement::bounding_box() const {
+  TSV_REQUIRE(!centers_.empty(), "bounding box of an empty placement");
+  geo::Point lo = centers_.front();
+  geo::Point hi = centers_.front();
+  for (const auto& c : centers_) {
+    lo.x = std::min(lo.x, c.x);
+    lo.y = std::min(lo.y, c.y);
+    hi.x = std::max(hi.x, c.x);
+    hi.y = std::max(hi.y, c.y);
+  }
+  const double r = structure_.outer_radius();
+  return geo::Box{{lo.x - r, lo.y - r}, {hi.x + r, hi.y + r}};
+}
+
+bool Placement::inside_any_tsv(const geo::Point& p) const {
+  const double r2 = structure_.outer_radius() * structure_.outer_radius();
+  return std::any_of(centers_.begin(), centers_.end(), [&](const geo::Point& c) {
+    return geo::distance_squared(c, p) < r2;
+  });
+}
+
+void Placement::validate_no_overlap() const {
+  const double min_allowed = 2.0 * structure_.outer_radius();
+  for (std::size_t i = 0; i < centers_.size(); ++i) {
+    for (std::size_t j = i + 1; j < centers_.size(); ++j) {
+      const double d = geo::distance(centers_[i], centers_[j]);
+      if (d < min_allowed) {
+        std::ostringstream os;
+        os << "TSVs " << i << " and " << j << " overlap: pitch " << d
+           << " um < 2 R' = " << min_allowed << " um";
+        throw std::invalid_argument(os.str());
+      }
+    }
+  }
+}
+
+}  // namespace tsv::tsvlib

@@ -1,0 +1,53 @@
+#pragma once
+// A placement: one TSV structure shared by all instances plus the instance
+// centers. (All TSVs on a die share the process geometry; the paper models a
+// single structure per experiment.)
+
+#include <vector>
+
+#include "geometry/point.h"
+#include "materials/material.h"
+#include "tsv/structure.h"
+
+namespace tsv::tsvlib {
+
+class Placement {
+ public:
+  Placement() = default;
+  explicit Placement(TsvStructure structure) : structure_(structure) {
+    structure_.validate();
+  }
+  Placement(TsvStructure structure, std::vector<geo::Point> centers)
+      : structure_(structure), centers_(std::move(centers)) {
+    structure_.validate();
+  }
+
+  const TsvStructure& structure() const { return structure_; }
+  const std::vector<geo::Point>& centers() const { return centers_; }
+  std::size_t size() const { return centers_.size(); }
+  bool empty() const { return centers_.empty(); }
+
+  void add(const geo::Point& center) { centers_.push_back(center); }
+
+  /// Smallest center-to-center pitch; +inf for fewer than two TSVs.
+  double min_pitch() const;
+
+  /// TSVs per um^2 over the bounding box of centers (paper Table 6 metric).
+  /// Returns 0 for fewer than two TSVs.
+  double density() const;
+
+  /// Bounding box of the TSV outlines (centers inflated by R').
+  geo::Box bounding_box() const;
+
+  /// True if point p lies inside the body or liner of any TSV.
+  bool inside_any_tsv(const geo::Point& p) const;
+
+  /// Throws std::invalid_argument if two TSVs overlap (pitch < 2 R').
+  void validate_no_overlap() const;
+
+ private:
+  TsvStructure structure_;
+  std::vector<geo::Point> centers_;
+};
+
+}  // namespace tsv::tsvlib

@@ -1,0 +1,80 @@
+#include "tsv/placement_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace tsv::tsvlib {
+namespace {
+
+[[noreturn]] void parse_error(std::size_t line_no, const std::string& what) {
+  std::ostringstream os;
+  os << "placement parse error at line " << line_no << ": " << what;
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace
+
+Placement read_placement(std::istream& in) {
+  TsvStructure structure;
+  bool have_structure = false;
+  std::vector<geo::Point> centers;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;  // blank line
+    if (keyword == "structure") {
+      double r = 0.0;
+      double t = 0.0;
+      std::string liner;
+      if (!(ls >> r >> t >> liner))
+        parse_error(line_no, "expected: structure <R> <t> <BCB|SiO2>");
+      structure.body_radius = r;
+      structure.liner_thickness = t;
+      if (liner == "BCB") {
+        structure.liner = mat::bcb();
+      } else if (liner == "SiO2") {
+        structure.liner = mat::silicon_dioxide();
+      } else {
+        parse_error(line_no, "unknown liner material '" + liner + "'");
+      }
+      have_structure = true;
+    } else if (keyword == "tsv") {
+      geo::Point p;
+      if (!(ls >> p.x >> p.y)) parse_error(line_no, "expected: tsv <x> <y>");
+      centers.push_back(p);
+    } else {
+      parse_error(line_no, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!have_structure)
+    throw std::runtime_error("placement file has no 'structure' line");
+  return Placement(structure, std::move(centers));
+}
+
+Placement read_placement_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open placement file: " + path);
+  return read_placement(in);
+}
+
+void write_placement(std::ostream& out, const Placement& p) {
+  const TsvStructure& s = p.structure();
+  out << "# tsvstress placement, lengths in um\n";
+  out << "structure " << s.body_radius << ' ' << s.liner_thickness << ' '
+      << s.liner.name << '\n';
+  for (const auto& c : p.centers()) out << "tsv " << c.x << ' ' << c.y << '\n';
+}
+
+void write_placement_file(const std::string& path, const Placement& p) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  write_placement(out, p);
+}
+
+}  // namespace tsv::tsvlib

@@ -1,0 +1,27 @@
+#pragma once
+// Plain-text placement format:
+//
+//   # comment
+//   structure <body_radius_um> <liner_thickness_um> <liner_material>
+//   tsv <x_um> <y_um>
+//   tsv ...
+//
+// liner_material is one of: BCB, SiO2. Body is copper, substrate silicon
+// (the paper's baseline); extend here if more stacks are needed.
+
+#include <iosfwd>
+#include <string>
+
+#include "tsv/placement.h"
+
+namespace tsv::tsvlib {
+
+/// Parses the placement format; throws std::runtime_error with a line number
+/// on malformed input.
+Placement read_placement(std::istream& in);
+Placement read_placement_file(const std::string& path);
+
+void write_placement(std::ostream& out, const Placement& p);
+void write_placement_file(const std::string& path, const Placement& p);
+
+}  // namespace tsv::tsvlib

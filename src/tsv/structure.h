@@ -1,0 +1,43 @@
+#pragma once
+// The TSV structure of the paper (Fig. 1): a copper body of radius R wrapped
+// in a liner of thickness t (outer radius R' = R + t), embedded in silicon.
+// The landing pad dimension is carried for documentation/completeness; the
+// device-layer plane model does not use it (see DESIGN.md).
+
+#include "materials/material.h"
+#include "numeric/check.h"
+
+namespace tsv::tsvlib {
+
+struct TsvStructure {
+  double body_radius = 2.5;      ///< R, um (paper: 2.5)
+  double liner_thickness = 0.5;  ///< t, um (paper: 0.5)
+  double landing_pad = 6.0;      ///< um (paper: 6, unused by the 2D model)
+  mat::Material body = mat::copper();
+  mat::Material liner = mat::bcb();
+  mat::Material substrate = mat::silicon();
+
+  /// R' = R + t, um.
+  double outer_radius() const { return body_radius + liner_thickness; }
+  /// k = R / R' as used by the paper's Appendix A.4.
+  double radius_ratio() const { return body_radius / outer_radius(); }
+
+  void validate() const {
+    TSV_REQUIRE(body_radius > 0.0, "body radius must be positive");
+    TSV_REQUIRE(liner_thickness >= 0.0, "liner thickness must be >= 0");
+    body.validate();
+    liner.validate();
+    substrate.validate();
+  }
+
+  /// Baseline structure of the paper (BCB liner).
+  static TsvStructure baseline_bcb() { return {}; }
+  /// Alternative liner material studied in Appendix A.2.
+  static TsvStructure baseline_sio2() {
+    TsvStructure s;
+    s.liner = mat::silicon_dioxide();
+    return s;
+  }
+};
+
+}  // namespace tsv::tsvlib

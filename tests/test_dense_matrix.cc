@@ -1,0 +1,193 @@
+#include "numeric/dense_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace tsv::num {
+namespace {
+
+TEST(DenseMatrix, IdentityAndIndexing) {
+  const Matrix id = Matrix::identity(3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_DOUBLE_EQ(id(i, j), i == j ? 1.0 : 0.0);
+}
+
+TEST(DenseMatrix, Transpose) {
+  Matrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const Matrix t = a.transposed();
+  ASSERT_EQ(t.rows(), 3u);
+  ASSERT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+}
+
+TEST(DenseMatrix, ProductAgainstHandComputed) {
+  Matrix a(2, 2), b(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  b(0, 0) = 5;
+  b(0, 1) = 6;
+  b(1, 0) = 7;
+  b(1, 1) = 8;
+  const Matrix c = a * b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(DenseMatrix, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(2, 2);
+  EXPECT_THROW(a * b, std::invalid_argument);
+  EXPECT_THROW(a * Vector({1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(SolveLu, RecoversKnownSolution) {
+  Matrix a(3, 3);
+  a(0, 0) = 4;
+  a(0, 1) = 1;
+  a(0, 2) = 2;
+  a(1, 0) = 1;
+  a(1, 1) = 5;
+  a(1, 2) = 1;
+  a(2, 0) = 2;
+  a(2, 1) = 1;
+  a(2, 2) = 6;
+  const Vector x_true = {1.0, -2.0, 3.0};
+  const Vector b = a * x_true;
+  const Vector x = solve_lu(a, b);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-12);
+}
+
+TEST(SolveLu, RequiresPivoting) {
+  // Zero on the initial diagonal; solvable only with row exchange.
+  Matrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  const Vector x = solve_lu(a, {2.0, 3.0});
+  EXPECT_NEAR(x[0], 3.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+TEST(SolveLu, SingularThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_THROW(solve_lu(a, {1.0, 1.0}), std::runtime_error);
+}
+
+TEST(SolveLuComplex, RecoversKnownSolution) {
+  using C = std::complex<double>;
+  std::vector<CVector> a = {{C{2, 1}, C{0, -1}}, {C{1, 0}, C{3, 2}}};
+  const CVector x_true = {C{1, -1}, C{0.5, 2}};
+  CVector b(2);
+  for (int i = 0; i < 2; ++i)
+    b[i] = a[i][0] * x_true[0] + a[i][1] * x_true[1];
+  const CVector x = solve_lu_complex(a, b);
+  EXPECT_NEAR(std::abs(x[0] - x_true[0]), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(x[1] - x_true[1]), 0.0, 1e-12);
+}
+
+TEST(LeastSquares, ExactForSquareSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 3;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 2;
+  const Vector b = a * Vector{2.0, -1.0};
+  const Vector x = solve_least_squares(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], -1.0, 1e-12);
+}
+
+TEST(LeastSquares, OverdeterminedFitsLine) {
+  // Fit y = 2x + 1 through noiseless points: exact recovery.
+  const std::vector<double> xs = {0, 1, 2, 3, 4};
+  Matrix a(5, 2);
+  Vector b(5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    a(i, 0) = xs[i];
+    a(i, 1) = 1.0;
+    b[i] = 2.0 * xs[i] + 1.0;
+  }
+  const Vector x = solve_least_squares(a, b);
+  EXPECT_NEAR(x[0], 2.0, 1e-12);
+  EXPECT_NEAR(x[1], 1.0, 1e-12);
+}
+
+TEST(LeastSquares, MinimizesResidualOnRandomSystem) {
+  std::mt19937 rng(7);
+  std::normal_distribution<double> dist;
+  Matrix a(40, 7);
+  Vector b(40);
+  for (std::size_t i = 0; i < 40; ++i) {
+    for (std::size_t j = 0; j < 7; ++j) a(i, j) = dist(rng);
+    b[i] = dist(rng);
+  }
+  const Vector x = solve_least_squares(a, b);
+  // Optimality: residual must be orthogonal to the column space.
+  Vector r = a * x;
+  for (std::size_t i = 0; i < 40; ++i) r[i] -= b[i];
+  for (std::size_t j = 0; j < 7; ++j) {
+    double dot_col = 0.0;
+    for (std::size_t i = 0; i < 40; ++i) dot_col += a(i, j) * r[i];
+    EXPECT_NEAR(dot_col, 0.0, 1e-10);
+  }
+}
+
+TEST(LeastSquaresMulti, MatchesSingleRhs) {
+  std::mt19937 rng(11);
+  std::normal_distribution<double> dist;
+  Matrix a(20, 5);
+  Matrix b(20, 3);
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) a(i, j) = dist(rng);
+    for (std::size_t j = 0; j < 3; ++j) b(i, j) = dist(rng);
+  }
+  const Matrix x = solve_least_squares_multi(a, b);
+  for (std::size_t c = 0; c < 3; ++c) {
+    Vector bc(20);
+    for (std::size_t i = 0; i < 20; ++i) bc[i] = b(i, c);
+    const Vector xc = solve_least_squares(a, bc);
+    for (std::size_t j = 0; j < 5; ++j) EXPECT_NEAR(x(j, c), xc[j], 1e-10);
+  }
+}
+
+TEST(LeastSquares, RankDeficientThrows) {
+  Matrix a(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = static_cast<double>(i);
+    a(i, 1) = 2.0 * static_cast<double>(i);  // dependent column
+  }
+  EXPECT_THROW(solve_least_squares(a, Vector(4, 1.0)), std::runtime_error);
+}
+
+TEST(VectorOps, DotNormAxpy) {
+  Vector a = {1.0, 2.0, 3.0};
+  const Vector b = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 4.0 - 10.0 + 18.0);
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf({-7.0, 2.0}), 7.0);
+  axpy(2.0, b, a);
+  EXPECT_DOUBLE_EQ(a[0], 9.0);
+  EXPECT_DOUBLE_EQ(a[1], -8.0);
+  EXPECT_DOUBLE_EQ(a[2], 15.0);
+}
+
+}  // namespace
+}  // namespace tsv::num

@@ -1,0 +1,110 @@
+#include "fem/element.h"
+
+#include <gtest/gtest.h>
+
+#include "materials/elasticity.h"
+#include "materials/material.h"
+
+namespace tsv::fem {
+namespace {
+
+TEST(Element, ShapeFunctionsPartitionOfUnity) {
+  for (double xi = -1.0; xi <= 1.0; xi += 0.25) {
+    for (double eta = -1.0; eta <= 1.0; eta += 0.25) {
+      const auto n = shape_values(xi, eta);
+      EXPECT_NEAR(n[0] + n[1] + n[2] + n[3], 1.0, 1e-14);
+    }
+  }
+}
+
+TEST(Element, ShapeFunctionsKroneckerAtCorners) {
+  const std::array<std::pair<double, double>, 4> corners = {
+      {{-1, -1}, {1, -1}, {1, 1}, {-1, 1}}};
+  for (std::size_t a = 0; a < 4; ++a) {
+    const auto n = shape_values(corners[a].first, corners[a].second);
+    for (std::size_t b = 0; b < 4; ++b)
+      EXPECT_NEAR(n[b], a == b ? 1.0 : 0.0, 1e-14);
+  }
+}
+
+TEST(Element, GradientsSumToZero) {
+  // Partition of unity implies gradients sum to zero.
+  const ShapeGradients g = shape_gradients(0.3, -0.7, 2.0, 1.0);
+  EXPECT_NEAR(g.ddx[0] + g.ddx[1] + g.ddx[2] + g.ddx[3], 0.0, 1e-14);
+  EXPECT_NEAR(g.ddy[0] + g.ddy[1] + g.ddy[2] + g.ddy[3], 0.0, 1e-14);
+}
+
+TEST(Element, StrainOfLinearDisplacementIsExact) {
+  // u = (a x + b y, c x + d y) has exx = a, eyy = d, exy = (b + c)/2.
+  const double dx = 1.5, dy = 0.8;
+  const double a = 2e-3, b = -1e-3, c = 4e-4, d = 3e-3;
+  num::Vector u(8);
+  const std::array<std::pair<double, double>, 4> corners = {
+      {{0, 0}, {dx, 0}, {dx, dy}, {0, dy}}};
+  for (std::size_t i = 0; i < 4; ++i) {
+    u[2 * i] = a * corners[i].first + b * corners[i].second;
+    u[2 * i + 1] = c * corners[i].first + d * corners[i].second;
+  }
+  for (double xi = -0.9; xi <= 0.95; xi += 0.45) {
+    const num::SymTensor2 e = element_strain(u, xi, -xi / 2, dx, dy);
+    EXPECT_NEAR(e.s11, a, 1e-14);
+    EXPECT_NEAR(e.s22, d, 1e-14);
+    EXPECT_NEAR(e.s12, (b + c) / 2.0, 1e-14);
+  }
+}
+
+TEST(Element, StiffnessIsSymmetricPositiveSemidefinite) {
+  const num::Matrix d = mat::constitutive_matrix(
+      mat::silicon(), mat::PlaneAssumption::kPlaneStress);
+  const num::Matrix k = element_stiffness(d, 0.5, 0.5);
+  for (std::size_t i = 0; i < 8; ++i)
+    for (std::size_t j = 0; j < 8; ++j)
+      EXPECT_NEAR(k(i, j), k(j, i), 1e-8);
+  // Rigid-body translation in the null space.
+  num::Vector tx(8, 0.0);
+  for (std::size_t a = 0; a < 4; ++a) tx[2 * a] = 1.0;
+  const num::Vector ktx = k * tx;
+  for (double v : ktx) EXPECT_NEAR(v, 0.0, 1e-8);
+}
+
+TEST(Element, RigidRotationProducesNoForce) {
+  const num::Matrix d = mat::constitutive_matrix(
+      mat::copper(), mat::PlaneAssumption::kPlaneStress);
+  const double dx = 0.4, dy = 0.7;
+  const num::Matrix k = element_stiffness(d, dx, dy);
+  // Infinitesimal rotation u = omega * (-y, x).
+  num::Vector u(8);
+  const std::array<std::pair<double, double>, 4> corners = {
+      {{0, 0}, {dx, 0}, {dx, dy}, {0, dy}}};
+  for (std::size_t a = 0; a < 4; ++a) {
+    u[2 * a] = -1e-3 * corners[a].second;
+    u[2 * a + 1] = 1e-3 * corners[a].first;
+  }
+  const num::Vector f = k * u;
+  for (double v : f) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(Element, ThermalLoadBalancedByFreeExpansion) {
+  // With u equal to the free expansion field, K u = f_thermal exactly
+  // (constant eigenstrain is representable by the bilinear element).
+  const mat::Material m = mat::bcb();
+  const num::Matrix d =
+      mat::constitutive_matrix(m, mat::PlaneAssumption::kPlaneStress);
+  const num::Vector eps = mat::thermal_eigenstrain(
+      m, -250.0, 0.0, mat::PlaneAssumption::kPlaneStress);
+  const double dx = 0.6, dy = 0.3;
+  const num::Matrix k = element_stiffness(d, dx, dy);
+  const num::Vector f = element_thermal_load(d, eps, dx, dy);
+  num::Vector u(8);
+  const std::array<std::pair<double, double>, 4> corners = {
+      {{0, 0}, {dx, 0}, {dx, dy}, {0, dy}}};
+  for (std::size_t a = 0; a < 4; ++a) {
+    u[2 * a] = eps[0] * corners[a].first;
+    u[2 * a + 1] = eps[1] * corners[a].second;
+  }
+  const num::Vector ku = k * u;
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(ku[i], f[i], 1e-9);
+}
+
+}  // namespace
+}  // namespace tsv::fem

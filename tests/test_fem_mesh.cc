@@ -1,0 +1,94 @@
+#include "fem/mesh.h"
+
+#include <gtest/gtest.h>
+
+#include "tsv/generators.h"
+
+namespace tsv::fem {
+namespace {
+
+TEST(Mesh, DimensionsAndIndexing) {
+  const tsvlib::Placement p(tsvlib::TsvStructure::baseline_bcb(),
+                            {{0.0, 0.0}});
+  const StructuredMesh mesh(geo::Box{{-10, -5}, {10, 5}}, 0.5, p);
+  EXPECT_EQ(mesh.nx(), 40u);
+  EXPECT_EQ(mesh.ny(), 20u);
+  EXPECT_EQ(mesh.node_count(), 41u * 21u);
+  EXPECT_EQ(mesh.element_count(), 800u);
+  EXPECT_DOUBLE_EQ(mesh.node(0, 0).x, -10.0);
+  EXPECT_DOUBLE_EQ(mesh.node(40, 20).y, 5.0);
+}
+
+TEST(Mesh, MaterialAssignment) {
+  const tsvlib::Placement p(tsvlib::TsvStructure::baseline_bcb(),
+                            {{0.0, 0.0}});
+  const StructuredMesh mesh(geo::Box{{-10, -10}, {10, 10}}, 0.25, p);
+  // Element containing the origin must be copper.
+  const auto loc0 = mesh.locate({0.0, 0.0});
+  EXPECT_EQ(mesh.material(loc0.ex, loc0.ey), MaterialRegion::kBody);
+  // Element centered near r = 2.75 (mid-liner) on the +x axis.
+  const auto locl = mesh.locate({2.75, 0.0});
+  EXPECT_EQ(mesh.material(locl.ex, locl.ey), MaterialRegion::kLiner);
+  // Far away: substrate.
+  const auto locs = mesh.locate({8.0, 8.0});
+  EXPECT_EQ(mesh.material(locs.ex, locs.ey), MaterialRegion::kSubstrate);
+}
+
+TEST(Mesh, MaterialAreaApproximatesCircles) {
+  const tsvlib::TsvStructure s = tsvlib::TsvStructure::baseline_bcb();
+  const tsvlib::Placement p(s, {{0.0, 0.0}});
+  const StructuredMesh mesh(geo::Box{{-8, -8}, {8, 8}}, 0.1, p);
+  std::size_t body = 0, liner = 0;
+  for (std::size_t ey = 0; ey < mesh.ny(); ++ey)
+    for (std::size_t ex = 0; ex < mesh.nx(); ++ex) {
+      if (mesh.material(ex, ey) == MaterialRegion::kBody) ++body;
+      if (mesh.material(ex, ey) == MaterialRegion::kLiner) ++liner;
+    }
+  const double cell_area = mesh.dx() * mesh.dy();
+  const double body_area = static_cast<double>(body) * cell_area;
+  const double liner_area = static_cast<double>(liner) * cell_area;
+  const double pi = 3.14159265358979;
+  EXPECT_NEAR(body_area, pi * 2.5 * 2.5, pi * 2.5 * 2.5 * 0.03);
+  EXPECT_NEAR(liner_area, pi * (3.0 * 3.0 - 2.5 * 2.5),
+              pi * (3.0 * 3.0 - 2.5 * 2.5) * 0.06);
+}
+
+TEST(Mesh, BoundaryNodeDetection) {
+  const tsvlib::Placement p(tsvlib::TsvStructure::baseline_bcb(),
+                            {{0.0, 0.0}});
+  const StructuredMesh mesh(geo::Box{{0, 0}, {4, 4}}, 1.0, p);
+  EXPECT_TRUE(mesh.is_boundary_node(0, 2));
+  EXPECT_TRUE(mesh.is_boundary_node(4, 4));
+  EXPECT_FALSE(mesh.is_boundary_node(2, 2));
+}
+
+TEST(Mesh, LocateClampsAndReturnsLocalCoords) {
+  const tsvlib::Placement p(tsvlib::TsvStructure::baseline_bcb(),
+                            {{0.0, 0.0}});
+  const StructuredMesh mesh(geo::Box{{0, 0}, {4, 2}}, 1.0, p);
+  const auto mid = mesh.locate({1.5, 0.5});
+  EXPECT_EQ(mid.ex, 1u);
+  EXPECT_EQ(mid.ey, 0u);
+  EXPECT_NEAR(mid.xi, 0.0, 1e-12);
+  EXPECT_NEAR(mid.eta, 0.0, 1e-12);
+  const auto outside = mesh.locate({-3.0, 10.0});
+  EXPECT_EQ(outside.ex, 0u);
+  EXPECT_EQ(outside.ey, 1u);
+  EXPECT_DOUBLE_EQ(outside.xi, -1.0);
+  EXPECT_DOUBLE_EQ(outside.eta, 1.0);
+}
+
+TEST(Mesh, MultipleTsvsStamped) {
+  const tsvlib::Placement pair =
+      tsvlib::make_pair(tsvlib::TsvStructure::baseline_bcb(), 10.0);
+  const StructuredMesh mesh(geo::Box{{-12, -6}, {12, 6}}, 0.25, pair);
+  const auto l1 = mesh.locate({-5.0, 0.0});
+  const auto l2 = mesh.locate({5.0, 0.0});
+  EXPECT_EQ(mesh.material(l1.ex, l1.ey), MaterialRegion::kBody);
+  EXPECT_EQ(mesh.material(l2.ex, l2.ey), MaterialRegion::kBody);
+  const auto mid = mesh.locate({0.0, 0.0});
+  EXPECT_EQ(mesh.material(mid.ex, mid.ey), MaterialRegion::kSubstrate);
+}
+
+}  // namespace
+}  // namespace tsv::fem

@@ -1,0 +1,100 @@
+#include "tsv/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tsv::tsvlib {
+namespace {
+
+const TsvStructure kS = TsvStructure::baseline_bcb();
+
+TEST(Generators, PairCenteredOnOrigin) {
+  const Placement p = make_pair(kS, 10.0);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.centers()[0].x, -5.0);
+  EXPECT_DOUBLE_EQ(p.centers()[1].x, 5.0);
+  EXPECT_DOUBLE_EQ(p.min_pitch(), 10.0);
+}
+
+TEST(Generators, PairRejectsOverlap) {
+  EXPECT_THROW(make_pair(kS, 5.0), std::invalid_argument);
+}
+
+TEST(Generators, FiveCrossGeometry) {
+  const Placement p = make_five_cross(kS, 10.0);
+  ASSERT_EQ(p.size(), 5u);
+  EXPECT_DOUBLE_EQ(p.min_pitch(), 10.0);
+  // Outer TSVs are sqrt(2) * pitch apart.
+  EXPECT_NEAR(geo::distance(p.centers()[1], p.centers()[3]),
+              10.0 * std::sqrt(2.0), 1e-12);
+}
+
+TEST(Generators, ArrayCountAndPitch) {
+  const Placement p = make_array(kS, 4, 3, 8.0, {1.0, 2.0});
+  ASSERT_EQ(p.size(), 12u);
+  EXPECT_DOUBLE_EQ(p.min_pitch(), 8.0);
+  EXPECT_DOUBLE_EQ(p.centers()[0].x, 1.0);
+  EXPECT_DOUBLE_EQ(p.centers()[11].x, 1.0 + 3 * 8.0);
+  EXPECT_DOUBLE_EQ(p.centers()[11].y, 2.0 + 2 * 8.0);
+}
+
+TEST(Generators, RandomRespectsMinPitchAndCount) {
+  const Placement p =
+      make_random(kS, 60, geo::Box{{0, 0}, {200, 200}}, 10.0, 42);
+  EXPECT_EQ(p.size(), 60u);
+  EXPECT_GE(p.min_pitch(), 10.0);
+}
+
+TEST(Generators, RandomIsDeterministicPerSeed) {
+  const Placement a =
+      make_random(kS, 20, geo::Box{{0, 0}, {100, 100}}, 8.0, 7);
+  const Placement b =
+      make_random(kS, 20, geo::Box{{0, 0}, {100, 100}}, 8.0, 7);
+  const Placement c =
+      make_random(kS, 20, geo::Box{{0, 0}, {100, 100}}, 8.0, 8);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.centers()[i].x, b.centers()[i].x);
+    EXPECT_DOUBLE_EQ(a.centers()[i].y, b.centers()[i].y);
+  }
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    any_diff |= a.centers()[i].x != c.centers()[i].x;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generators, RandomImpossiblePackingThrows) {
+  EXPECT_THROW(make_random(kS, 100, geo::Box{{0, 0}, {20, 20}}, 10.0, 1),
+               std::runtime_error);
+}
+
+TEST(Generators, JitteredArrayHitsDensityAtPackingLimit) {
+  // 1.0e-2 um^-2 at min pitch 10 um: the Table 6 upper-bound density that
+  // rejection sampling cannot reach.
+  const Placement p = make_jittered_array(kS, 100, 1.0e-2, 10.0, 3);
+  EXPECT_EQ(p.size(), 100u);
+  EXPECT_GE(p.min_pitch(), 10.0 - 1e-9);
+  EXPECT_NEAR(p.density(), 1.0e-2, 0.3e-2);
+}
+
+TEST(Generators, JitteredArrayActuallyJitters) {
+  const Placement p = make_jittered_array(kS, 50, 0.25e-2, 10.0, 3);
+  EXPECT_GE(p.min_pitch(), 10.0 - 1e-9);
+  // At low density there is room to jitter: pitches should not all be equal.
+  bool any_off_grid = false;
+  for (const auto& c : p.centers()) {
+    const double pitch = 1.0 / std::sqrt(0.25e-2);
+    const double rx = std::fmod(std::abs(c.x), pitch);
+    if (rx > 1e-6 && rx < pitch - 1e-6) any_off_grid = true;
+  }
+  EXPECT_TRUE(any_off_grid);
+}
+
+TEST(Generators, JitteredArrayRejectsOverDensity) {
+  EXPECT_THROW(make_jittered_array(kS, 100, 2.0e-2, 10.0, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tsv::tsvlib

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <random>
+
+#include "geometry/grid_index.h"
+#include "geometry/point.h"
+
+namespace tsv::geo {
+namespace {
+
+TEST(Point, ArithmeticAndNorms) {
+  const Point a{3.0, 4.0};
+  const Point b{1.0, -1.0};
+  EXPECT_DOUBLE_EQ(norm(a), 5.0);
+  EXPECT_DOUBLE_EQ(distance(a, b), std::hypot(2.0, 5.0));
+  EXPECT_DOUBLE_EQ(distance_squared(a, b), 29.0);
+  EXPECT_DOUBLE_EQ(dot(a, b), -1.0);
+  const Point c = a + 2.0 * b;
+  EXPECT_DOUBLE_EQ(c.x, 5.0);
+  EXPECT_DOUBLE_EQ(c.y, 2.0);
+}
+
+TEST(Point, AngleOf) {
+  EXPECT_NEAR(angle_of({0, 0}, {1, 0}), 0.0, 1e-12);
+  EXPECT_NEAR(angle_of({0, 0}, {0, 1}), std::numbers::pi / 2, 1e-12);
+  EXPECT_NEAR(angle_of({1, 1}, {0, 1}), std::numbers::pi, 1e-12);
+}
+
+TEST(Box, ContainsAndCentered) {
+  const Box b = Box::centered({1.0, 2.0}, 4.0, 2.0);
+  EXPECT_TRUE(b.contains({1.0, 2.0}));
+  EXPECT_TRUE(b.contains({-1.0, 1.0}));  // corner
+  EXPECT_FALSE(b.contains({3.5, 2.0}));
+  EXPECT_DOUBLE_EQ(b.width(), 4.0);
+  EXPECT_DOUBLE_EQ(b.height(), 2.0);
+  EXPECT_DOUBLE_EQ(b.center().x, 1.0);
+}
+
+TEST(Box, InvertedThrows) {
+  EXPECT_THROW(Box({1.0, 0.0}, {0.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Box, Expanded) {
+  const Box b = Box{{0.0, 0.0}, {2.0, 2.0}}.expanded(1.0);
+  EXPECT_DOUBLE_EQ(b.lo.x, -1.0);
+  EXPECT_DOUBLE_EQ(b.hi.y, 3.0);
+}
+
+TEST(GridIndex, RadiusQueryMatchesBruteForce) {
+  std::mt19937 rng(17);
+  std::uniform_real_distribution<double> u(0.0, 100.0);
+  std::vector<Point> pts(500);
+  for (auto& p : pts) p = {u(rng), u(rng)};
+  const GridIndex index(pts, Box{{0, 0}, {100, 100}}, 7.0);
+
+  for (int trial = 0; trial < 50; ++trial) {
+    const Point q{u(rng), u(rng)};
+    const double radius = 1.0 + 0.2 * trial;
+    const auto got = index.query_radius(q, radius);
+    std::vector<std::uint32_t> expected;
+    for (std::uint32_t i = 0; i < pts.size(); ++i)
+      if (distance(pts[i], q) <= radius) expected.push_back(i);
+    EXPECT_EQ(got, expected) << "trial " << trial;
+  }
+}
+
+TEST(GridIndex, QueryOutsideBounds) {
+  const std::vector<Point> pts = {{1.0, 1.0}, {9.0, 9.0}};
+  const GridIndex index(pts, Box{{0, 0}, {10, 10}}, 2.0);
+  EXPECT_TRUE(index.query_radius({-5.0, -5.0}, 1.0).empty());
+  const auto got = index.query_radius({-5.0, -5.0}, 20.0);
+  EXPECT_EQ(got.size(), 2u);
+}
+
+TEST(GridIndex, PointsOutsideBoundsAreStillFound) {
+  // Points get clamped into edge cells but queries must remain exact.
+  const std::vector<Point> pts = {{-3.0, 5.0}, {13.0, 5.0}, {5.0, 5.0}};
+  const GridIndex index(pts, Box{{0, 0}, {10, 10}}, 2.5);
+  const auto got = index.query_radius({-3.0, 5.0}, 0.5);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 0u);
+}
+
+TEST(GridIndex, Nearest) {
+  std::vector<Point> pts = {{1.0, 1.0}, {5.0, 5.0}, {9.0, 1.0}};
+  const GridIndex index(pts, Box{{0, 0}, {10, 10}}, 2.0);
+  EXPECT_EQ(index.nearest({0.0, 0.0}), 0u);
+  EXPECT_EQ(index.nearest({6.0, 6.0}), 1u);
+  EXPECT_EQ(index.nearest({100.0, 0.0}), 2u);
+}
+
+TEST(GridIndex, NearestBruteForceAgreement) {
+  std::mt19937 rng(23);
+  std::uniform_real_distribution<double> u(0.0, 50.0);
+  std::vector<Point> pts(200);
+  for (auto& p : pts) p = {u(rng), u(rng)};
+  const GridIndex index(pts, Box{{0, 0}, {50, 50}}, 5.0);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Point q{u(rng), u(rng)};
+    const std::uint32_t got = index.nearest(q);
+    double best = 1e300;
+    std::uint32_t expect = 0;
+    for (std::uint32_t i = 0; i < pts.size(); ++i) {
+      if (distance_squared(pts[i], q) < best) {
+        best = distance_squared(pts[i], q);
+        expect = i;
+      }
+    }
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST(GridIndex, EmptyIndex) {
+  const GridIndex index({}, Box{{0, 0}, {1, 1}}, 1.0);
+  EXPECT_TRUE(index.query_radius({0.5, 0.5}, 10.0).empty());
+  EXPECT_EQ(index.nearest({0.5, 0.5}), 0u);  // size() sentinel
+}
+
+}  // namespace
+}  // namespace tsv::geo

@@ -1,0 +1,96 @@
+#include "core/interactive_stage.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tsv/generators.h"
+
+namespace tsv::core {
+namespace {
+
+const tsvlib::TsvStructure kS = tsvlib::TsvStructure::baseline_bcb();
+
+std::shared_ptr<const ana::InteractiveStressModel> make_model() {
+  static auto model = std::make_shared<const ana::InteractiveStressModel>(
+      kS, mat::ThermalLoad{});
+  return model;
+}
+
+TEST(InteractiveStage, SingleTsvHasNoPairs) {
+  const tsvlib::Placement p(kS, {{0.0, 0.0}});
+  const InteractiveStage stage(p, make_model());
+  EXPECT_TRUE(stage.ordered_pairs().empty());
+  EXPECT_DOUBLE_EQ(stage.stress_at({4.0, 0.0}).s11, 0.0);
+}
+
+TEST(InteractiveStage, PairYieldsTwoOrderedRounds) {
+  const tsvlib::Placement pair = tsvlib::make_pair(kS, 10.0);
+  const InteractiveStage stage(pair, make_model());
+  const auto pairs = stage.ordered_pairs();
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_NE(pairs[0].first, pairs[0].second);
+  EXPECT_EQ(pairs[0].first, pairs[1].second);
+  EXPECT_EQ(pairs[0].second, pairs[1].first);
+}
+
+TEST(InteractiveStage, PitchCutoffExcludesFarPairs) {
+  const tsvlib::Placement p(kS, {{0.0, 0.0}, {40.0, 0.0}});
+  InteractiveOptions opt;
+  opt.pair_pitch_cutoff = 25.0;
+  const InteractiveStage stage(p, make_model(), opt);
+  EXPECT_TRUE(stage.ordered_pairs().empty());
+}
+
+TEST(InteractiveStage, PointwiseSumsBothRounds) {
+  const tsvlib::Placement pair = tsvlib::make_pair(kS, 10.0);
+  const InteractiveStage stage(pair, make_model());
+  const geo::Point p{0.0, 2.5};
+  const num::SymTensor2 got = stage.stress_at(p);
+  const auto& c = pair.centers();
+  const num::SymTensor2 want = make_model()->stress_at(c[0], c[1], p) +
+                               make_model()->stress_at(c[1], c[0], p);
+  EXPECT_NEAR(got.s11, want.s11, 1e-12);
+  EXPECT_NEAR(got.s22, want.s22, 1e-12);
+}
+
+TEST(InteractiveStage, BatchMatchesPointwise) {
+  const tsvlib::Placement arr = tsvlib::make_array(kS, 3, 2, 9.0);
+  const InteractiveStage stage(arr, make_model());
+  std::vector<geo::Point> pts;
+  for (double x = -4; x <= 22; x += 2.9)
+    for (double y = -4; y <= 13; y += 3.3) pts.push_back({x, y});
+  const auto batch = stage.evaluate(pts);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const num::SymTensor2 single = stage.stress_at(pts[i]);
+    EXPECT_NEAR(batch[i].s11, single.s11, 1e-10) << i;
+    EXPECT_NEAR(batch[i].s22, single.s22, 1e-10) << i;
+    EXPECT_NEAR(batch[i].s12, single.s12, 1e-10) << i;
+  }
+}
+
+TEST(InteractiveStage, InfluenceRadiusLimitsPointCoverage) {
+  const tsvlib::Placement pair = tsvlib::make_pair(kS, 10.0);
+  InteractiveOptions opt;
+  opt.influence_radius = 10.0;
+  const InteractiveStage stage(pair, make_model(), opt);
+  // A point 40 um away from both TSVs gets no interactive contribution.
+  EXPECT_DOUBLE_EQ(stage.stress_at({0.0, 40.0}).s11, 0.0);
+  const auto batch = stage.evaluate({{0.0, 40.0}, {0.0, 2.0}});
+  EXPECT_DOUBLE_EQ(batch[0].s11, 0.0);
+  EXPECT_NE(batch[1].s11, 0.0);
+}
+
+TEST(InteractiveStage, FiveCrossSymmetry) {
+  // The 5-TSV cross is symmetric under 90-degree rotation; von Mises of the
+  // interactive field must match at rotated points.
+  const tsvlib::Placement five = tsvlib::make_five_cross(kS, 10.0);
+  const InteractiveStage stage(five, make_model());
+  const num::SymTensor2 a = stage.stress_at({4.0, 1.0});
+  const num::SymTensor2 b = stage.stress_at({-1.0, 4.0});  // rotated 90 deg
+  EXPECT_NEAR(num::von_mises_plane_stress(a), num::von_mises_plane_stress(b),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace tsv::core

@@ -1,0 +1,95 @@
+#include "core/koz.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tsv/generators.h"
+
+namespace tsv::core {
+namespace {
+
+const tsvlib::TsvStructure kS = tsvlib::TsvStructure::baseline_bcb();
+
+TEST(Koz, IsolatedTsvHasCircularZone) {
+  const tsvlib::Placement one(kS, {{0.0, 0.0}});
+  const StressFramework fw(one);
+  KozOptions opt;
+  opt.limit = 60.0;
+  const auto contours = compute_koz(fw, one, opt);
+  ASSERT_EQ(contours.size(), 1u);
+  // Axisymmetric field: all rays identical.
+  EXPECT_NEAR(contours[0].max_radius, contours[0].min_radius, 0.11);
+  EXPECT_GT(contours[0].max_radius, kS.outer_radius());
+  // Area consistent with the circular radius.
+  const double r = contours[0].max_radius;
+  EXPECT_NEAR(contours[0].area, M_PI * r * r, M_PI * r * r * 0.05);
+}
+
+TEST(Koz, TighterLimitGrowsTheZone) {
+  const tsvlib::Placement one(kS, {{0.0, 0.0}});
+  const StressFramework fw(one);
+  KozOptions strict;
+  strict.limit = 30.0;
+  KozOptions loose;
+  loose.limit = 80.0;
+  const double r_strict = compute_koz(fw, one, strict)[0].max_radius;
+  const double r_loose = compute_koz(fw, one, loose)[0].max_radius;
+  EXPECT_GT(r_strict, r_loose);
+}
+
+TEST(Koz, VeryHighLimitCollapsesToTsvRadius) {
+  const tsvlib::Placement one(kS, {{0.0, 0.0}});
+  const StressFramework fw(one);
+  KozOptions opt;
+  opt.limit = 1e6;
+  const auto contours = compute_koz(fw, one, opt);
+  EXPECT_DOUBLE_EQ(contours[0].max_radius, kS.outer_radius());
+}
+
+TEST(Koz, ClosePairStretchesZonesTowardEachOther) {
+  const tsvlib::Placement pair = tsvlib::make_pair(kS, 9.0);
+  const StressFramework fw(pair);
+  KozOptions opt;
+  opt.limit = 60.0;
+  opt.rays = 64;
+  const auto contours = compute_koz(fw, pair, opt);
+  ASSERT_EQ(contours.size(), 2u);
+  const KozReport report = summarize_koz(contours);
+  // Superposed + interactive stress between the TSVs makes the contour
+  // non-circular.
+  EXPECT_GT(report.worst_asymmetry, 1.02);
+  // Left TSV (centered -4.5): ray toward the partner (theta = 0) reaches
+  // farther than the ray away (theta = pi).
+  const std::size_t toward = 0;
+  const std::size_t away = contours[0].radius.size() / 2;
+  EXPECT_GE(contours[0].radius[toward], contours[0].radius[away]);
+}
+
+TEST(Koz, ReportAggregatesAcrossTsvs) {
+  const tsvlib::Placement arr = tsvlib::make_array(kS, 2, 2, 12.0);
+  const StressFramework fw(arr);
+  KozOptions opt;
+  opt.limit = 60.0;
+  opt.rays = 32;
+  const auto contours = compute_koz(fw, arr, opt);
+  ASSERT_EQ(contours.size(), 4u);
+  const KozReport report = summarize_koz(contours);
+  EXPECT_GT(report.total_area, 4.0 * M_PI * 9.0);  // beyond 4 TSV outlines
+  EXPECT_GE(report.worst_radius, report.mean_radius);
+  EXPECT_LT(report.worst_tsv, 4u);
+}
+
+TEST(Koz, InvalidOptionsRejected) {
+  const tsvlib::Placement one(kS, {{0.0, 0.0}});
+  const StressFramework fw(one);
+  KozOptions opt;
+  opt.rays = 4;
+  EXPECT_THROW(compute_koz(fw, one, opt), std::invalid_argument);
+  opt = KozOptions{};
+  opt.max_radius = 1.0;
+  EXPECT_THROW(compute_koz(fw, one, opt), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tsv::core

@@ -1,0 +1,130 @@
+#include "numeric/laurent.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tsv::num {
+namespace {
+
+TEST(Laurent, EvaluatePolynomial) {
+  // f(z) = 1 + 2z + 3z^2
+  LaurentSeries f(0, 2);
+  f.coeff(0) = 1.0;
+  f.coeff(1) = 2.0;
+  f.coeff(2) = 3.0;
+  const Complex z{0.5, 0.25};
+  const Complex expected = 1.0 + 2.0 * z + 3.0 * z * z;
+  EXPECT_NEAR(std::abs(f.evaluate(z) - expected), 0.0, 1e-14);
+}
+
+TEST(Laurent, EvaluateNegativePowers) {
+  // f(z) = 2/z + 5/z^3
+  LaurentSeries f(-3, -1);
+  f.coeff(-1) = 2.0;
+  f.coeff(-3) = 5.0;
+  const Complex z{1.5, -0.5};
+  const Complex expected = 2.0 / z + 5.0 / (z * z * z);
+  EXPECT_NEAR(std::abs(f.evaluate(z) - expected), 0.0, 1e-13);
+}
+
+TEST(Laurent, EvaluateMixed) {
+  // f(z) = z^-2 + 4 + z^3
+  LaurentSeries f(-2, 3);
+  f.coeff(-2) = 1.0;
+  f.coeff(0) = 4.0;
+  f.coeff(3) = 1.0;
+  const Complex z{0.8, 0.3};
+  const Complex expected = 1.0 / (z * z) + 4.0 + z * z * z;
+  EXPECT_NEAR(std::abs(f.evaluate(z) - expected), 0.0, 1e-13);
+}
+
+TEST(Laurent, GapAtLowPositivePowers) {
+  // f(z) = z^2 + z^3 (n_min = 2 > 0 exercises the gap handling)
+  LaurentSeries f(2, 3);
+  f.coeff(2) = 1.0;
+  f.coeff(3) = 1.0;
+  const Complex z{1.25, -0.75};
+  EXPECT_NEAR(std::abs(f.evaluate(z) - (z * z + z * z * z)), 0.0, 1e-13);
+}
+
+TEST(Laurent, AllNegativeWithGap) {
+  // f(z) = z^-3 only, range [-4, -3]
+  LaurentSeries f(-4, -3);
+  f.coeff(-3) = 2.0;
+  const Complex z{2.0, 1.0};
+  EXPECT_NEAR(std::abs(f.evaluate(z) - 2.0 / (z * z * z)), 0.0, 1e-14);
+}
+
+TEST(Laurent, DerivativeMatchesFiniteDifference) {
+  LaurentSeries f(-2, 3);
+  f.coeff(-2) = Complex{1.0, 0.5};
+  f.coeff(-1) = Complex{-2.0, 0.0};
+  f.coeff(1) = Complex{0.0, 1.0};
+  f.coeff(3) = Complex{2.0, -1.0};
+  const Complex z{1.1, 0.4};
+  const double h = 1e-6;
+  const Complex fd =
+      (f.evaluate(z + Complex{h, 0.0}) - f.evaluate(z - Complex{h, 0.0})) /
+      (2.0 * h);
+  EXPECT_NEAR(std::abs(f.derivative(z) - fd), 0.0, 1e-7);
+}
+
+TEST(Laurent, SecondDerivativeMatchesFiniteDifference) {
+  LaurentSeries f(-1, 4);
+  f.coeff(-1) = 1.0;
+  f.coeff(2) = Complex{3.0, 1.0};
+  f.coeff(4) = -0.5;
+  const Complex z{0.9, -0.2};
+  const double h = 1e-5;
+  const Complex fd = (f.evaluate(z + Complex{h, 0.0}) - 2.0 * f.evaluate(z) +
+                      f.evaluate(z - Complex{h, 0.0})) /
+                     (h * h);
+  EXPECT_NEAR(std::abs(f.second_derivative(z) - fd), 0.0, 1e-5);
+}
+
+TEST(Laurent, AntiderivativeInvertsDerivative) {
+  LaurentSeries f(-3, 2);
+  f.coeff(-3) = 1.0;
+  f.coeff(-2) = 2.0;
+  f.coeff(0) = -1.0;
+  f.coeff(2) = 0.5;
+  const LaurentSeries integral = f.antiderivative();
+  const Complex z{1.3, 0.7};
+  EXPECT_NEAR(std::abs(integral.derivative(z) - f.evaluate(z)), 0.0, 1e-13);
+}
+
+TEST(Laurent, AntiderivativeRejectsLogTerm) {
+  LaurentSeries f(-1, 0);
+  f.coeff(-1) = 1.0;
+  EXPECT_THROW(f.antiderivative(), std::invalid_argument);
+}
+
+TEST(Laurent, AccumulateAndScale) {
+  LaurentSeries a(0, 1);
+  a.coeff(0) = 1.0;
+  a.coeff(1) = 2.0;
+  LaurentSeries b(-1, 0);
+  b.coeff(-1) = 3.0;
+  b.coeff(0) = 4.0;
+  a += b;
+  EXPECT_EQ(a.n_min(), -1);
+  EXPECT_EQ(a.n_max(), 1);
+  EXPECT_NEAR(std::abs(a.coeff(0) - Complex{5.0, 0.0}), 0.0, 1e-15);
+  a *= Complex{2.0, 0.0};
+  EXPECT_NEAR(std::abs(a.coeff(-1) - Complex{6.0, 0.0}), 0.0, 1e-15);
+}
+
+TEST(Laurent, NegativePowerAtZeroThrows) {
+  LaurentSeries f(-1, 0);
+  f.coeff(-1) = 1.0;
+  EXPECT_THROW(f.evaluate(Complex{0.0, 0.0}), std::invalid_argument);
+}
+
+TEST(Laurent, EmptySeriesEvaluatesToZero) {
+  const LaurentSeries f;
+  EXPECT_EQ(f.evaluate(Complex{1.0, 1.0}), (Complex{0.0, 0.0}));
+}
+
+}  // namespace
+}  // namespace tsv::num

@@ -1,0 +1,155 @@
+#include "analytic/layered_cylinder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "materials/material.h"
+#include "tsv/structure.h"
+
+namespace tsv::ana {
+namespace {
+
+// Baseline TSV: Cu core R = 2.5, BCB liner to R' = 3.0, silicon substrate,
+// delta T = -250 K (paper Sec. 5).
+LayeredCylinder baseline() {
+  return LayeredCylinder({{2.5, mat::copper()},
+                          {3.0, mat::bcb()},
+                          {0.0, mat::silicon()}},
+                         -250.0, mat::silicon().cte);
+}
+
+TEST(LayeredCylinder, InterfaceContinuity) {
+  const LayeredCylinder sol = baseline();
+  for (const double r : {2.5, 3.0}) {
+    const double eps = 1e-9;
+    EXPECT_NEAR(sol.radial_displacement(r - eps),
+                sol.radial_displacement(r + eps), 1e-9);
+    EXPECT_NEAR(sol.stress(r - eps).s11, sol.stress(r + eps).s11, 1e-4);
+  }
+}
+
+TEST(LayeredCylinder, HoopStressJumpsAtInterfaces) {
+  // sigma_tt is NOT continuous across material boundaries; the solution
+  // would be degenerate if it were.
+  const LayeredCylinder sol = baseline();
+  const double eps = 1e-9;
+  EXPECT_GT(std::abs(sol.stress(3.0 - eps).s22 - sol.stress(3.0 + eps).s22),
+            1.0);
+}
+
+TEST(LayeredCylinder, SubstrateFollowsInverseSquare) {
+  const LayeredCylinder sol = baseline();
+  const double k = sol.far_field_constant();
+  for (double r = 3.5; r < 40.0; r *= 1.7) {
+    const num::SymTensor2 s = sol.stress(r);
+    EXPECT_NEAR(s.s11, k / (r * r), std::abs(k / (r * r)) * 1e-10);
+    EXPECT_NEAR(s.s22, -k / (r * r), std::abs(k / (r * r)) * 1e-10);
+    EXPECT_DOUBLE_EQ(s.s12, 0.0);
+  }
+}
+
+TEST(LayeredCylinder, CoreStressIsHydrostaticInPlane) {
+  // With u = A r in the core, srr = stt everywhere inside.
+  const LayeredCylinder sol = baseline();
+  for (double r = 0.0; r < 2.4; r += 0.4) {
+    const num::SymTensor2 s = sol.stress(r);
+    EXPECT_NEAR(s.s11, s.s22, 1e-9);
+  }
+}
+
+TEST(LayeredCylinder, CopperIsCompressiveAfterCooling) {
+  // Cooling by 250 K shrinks copper more than silicon; the matrix prevents
+  // the contraction, putting the core under (in-plane) tension... the sign
+  // convention question is settled by equilibrium: srr in the substrate at
+  // the interface must equal srr in the liner. We check the physical
+  // expectation that |K| is tens of MPa * um^2 and the core stress level is
+  // tens-to-hundreds of MPa.
+  const LayeredCylinder sol = baseline();
+  const double core = sol.stress(1.0).s11;
+  EXPECT_GT(std::abs(core), 10.0);
+  EXPECT_LT(std::abs(core), 1000.0);
+}
+
+TEST(LayeredCylinder, FarFieldDisplacementDecays) {
+  const LayeredCylinder sol = baseline();
+  EXPECT_LT(std::abs(sol.radial_displacement(1000.0)), 1e-3);
+}
+
+TEST(LayeredCylinder, ReferenceCteDoesNotChangeStress) {
+  const LayeredCylinder a = baseline();
+  const LayeredCylinder b({{2.5, mat::copper()},
+                           {3.0, mat::bcb()},
+                           {0.0, mat::silicon()}},
+                          -250.0, 0.0);
+  for (double r = 0.5; r < 20.0; r += 1.1) {
+    EXPECT_NEAR(a.stress(r).s11, b.stress(r).s11, 1e-6);
+    EXPECT_NEAR(a.stress(r).s22, b.stress(r).s22, 1e-6);
+  }
+}
+
+TEST(LayeredCylinder, UniformMaterialGivesZeroStress) {
+  // If all layers are silicon there is no mismatch and no stress.
+  const LayeredCylinder sol({{2.5, mat::silicon()},
+                             {3.0, mat::silicon()},
+                             {0.0, mat::silicon()}},
+                            -250.0, mat::silicon().cte);
+  for (double r = 0.0; r < 10.0; r += 0.7) {
+    EXPECT_NEAR(sol.stress(r).s11, 0.0, 1e-9);
+    EXPECT_NEAR(sol.stress(r).s22, 0.0, 1e-9);
+  }
+  EXPECT_NEAR(sol.far_field_constant(), 0.0, 1e-9);
+}
+
+TEST(LayeredCylinder, TwoLayerLameClosedForm) {
+  // No liner: classic 2-phase inclusion. Plane-stress closed form:
+  //   K = -E_s B_s / (1 + nu_s) with B from the 2x2 interface system; we
+  //   check against the independently derived closed form
+  //   sigma(r>R) = K/r^2 with
+  //   K = (ac - as) dT R^2 / [ (1+vs)/Es + (1-vc)/Ec ].
+  const double dt = -250.0;
+  const mat::Material cu = mat::copper();
+  const mat::Material si = mat::silicon();
+  const LayeredCylinder sol({{2.5, cu}, {0.0, si}}, dt, si.cte);
+  const double denom =
+      (1.0 + si.poisson_ratio) / si.youngs_modulus +
+      (1.0 - cu.poisson_ratio) / cu.youngs_modulus;
+  const double k_expected = -(cu.cte - si.cte) * dt * 2.5 * 2.5 / denom;
+  EXPECT_NEAR(sol.far_field_constant(), k_expected,
+              std::abs(k_expected) * 1e-10);
+}
+
+TEST(LayeredCylinder, ThinLinerApproachesTwoLayerLimit) {
+  const mat::Material cu = mat::copper();
+  const mat::Material si = mat::silicon();
+  const LayeredCylinder no_liner({{2.5, cu}, {0.0, si}}, -250.0, si.cte);
+  const LayeredCylinder thin({{2.5, cu},
+                              {2.5 + 1e-6, mat::bcb()},
+                              {0.0, si}},
+                             -250.0, si.cte);
+  EXPECT_NEAR(thin.far_field_constant(), no_liner.far_field_constant(),
+              std::abs(no_liner.far_field_constant()) * 1e-4);
+}
+
+TEST(LayeredCylinder, BcbLinerShieldsStress) {
+  // Soft BCB absorbs deformation: |K| with BCB liner < |K| without liner.
+  const LayeredCylinder with_liner = baseline();
+  const LayeredCylinder no_liner(
+      {{3.0, mat::copper()}, {0.0, mat::silicon()}}, -250.0,
+      mat::silicon().cte);
+  EXPECT_LT(std::abs(with_liner.far_field_constant()),
+            std::abs(no_liner.far_field_constant()));
+}
+
+TEST(LayeredCylinder, InvalidInputsThrow) {
+  EXPECT_THROW(LayeredCylinder({{2.5, mat::copper()}}, -250.0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(LayeredCylinder({{3.0, mat::copper()},
+                                {2.0, mat::bcb()},
+                                {0.0, mat::silicon()}},
+                               -250.0, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tsv::ana

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "materials/elasticity.h"
+#include "materials/material.h"
+
+namespace tsv::mat {
+namespace {
+
+TEST(Material, PaperTableValues) {
+  EXPECT_DOUBLE_EQ(copper().youngs_modulus, 110.0e3);
+  EXPECT_DOUBLE_EQ(bcb().youngs_modulus, 3.0e3);
+  EXPECT_DOUBLE_EQ(silicon_dioxide().youngs_modulus, 71.0e3);
+  EXPECT_DOUBLE_EQ(silicon().youngs_modulus, 188.0e3);
+  EXPECT_DOUBLE_EQ(copper().cte, 17.0e-6);
+  EXPECT_DOUBLE_EQ(bcb().cte, 40.0e-6);
+  EXPECT_DOUBLE_EQ(silicon_dioxide().cte, 0.5e-6);
+  EXPECT_DOUBLE_EQ(silicon().cte, 2.3e-6);
+}
+
+TEST(Material, DerivedConstants) {
+  const Material si = silicon();
+  EXPECT_NEAR(si.shear_modulus(), si.youngs_modulus / (2.0 * 1.28), 1e-9);
+  EXPECT_NEAR(si.kolosov_plane_stress(), (3.0 - 0.28) / 1.28, 1e-12);
+}
+
+TEST(Material, ValidateRejectsNonPhysical) {
+  Material m = silicon();
+  m.youngs_modulus = -1.0;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+  m = silicon();
+  m.poisson_ratio = 0.5;
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(Elasticity, PlaneStressMatrixInvertsHookesLaw) {
+  const Material m = silicon();
+  const num::Matrix d = constitutive_matrix(m, PlaneAssumption::kPlaneStress);
+  // Uniaxial stress sxx = E * exx requires eyy = -nu exx.
+  const double exx = 1e-3;
+  const double eyy = -m.poisson_ratio * exx;
+  const num::SymTensor2 strain{exx, eyy, 0.0};
+  const num::SymTensor2 s =
+      stress_from_strain(d, strain, num::Vector{0.0, 0.0, 0.0});
+  EXPECT_NEAR(s.s11, m.youngs_modulus * exx, 1e-6);
+  EXPECT_NEAR(s.s22, 0.0, 1e-9);
+}
+
+TEST(Elasticity, ShearDecoupled) {
+  const Material m = copper();
+  const num::Matrix d = constitutive_matrix(m, PlaneAssumption::kPlaneStress);
+  const num::SymTensor2 strain{0.0, 0.0, 5e-4};  // exy
+  const num::SymTensor2 s =
+      stress_from_strain(d, strain, num::Vector{0.0, 0.0, 0.0});
+  EXPECT_NEAR(s.s12, 2.0 * m.shear_modulus() * 5e-4, 1e-6);
+  EXPECT_NEAR(s.s11, 0.0, 1e-12);
+}
+
+TEST(Elasticity, FreeThermalExpansionGivesZeroStress) {
+  const Material m = bcb();
+  const num::Matrix d = constitutive_matrix(m, PlaneAssumption::kPlaneStress);
+  const double dt = -250.0;
+  const num::Vector eps_th =
+      thermal_eigenstrain(m, dt, 0.0, PlaneAssumption::kPlaneStress);
+  // Strain equal to the eigenstrain = unconstrained expansion -> zero stress.
+  const num::SymTensor2 strain{eps_th[0], eps_th[1], 0.0};
+  const num::SymTensor2 s = stress_from_strain(d, strain, eps_th);
+  EXPECT_NEAR(s.s11, 0.0, 1e-10);
+  EXPECT_NEAR(s.s22, 0.0, 1e-10);
+  EXPECT_NEAR(s.s12, 0.0, 1e-10);
+}
+
+TEST(Elasticity, FullyConstrainedThermalStress) {
+  // Clamped plate under cooling: sxx = syy = E alpha dT / (1 - nu).
+  const Material m = copper();
+  const num::Matrix d = constitutive_matrix(m, PlaneAssumption::kPlaneStress);
+  const double dt = -250.0;
+  const num::Vector eps_th =
+      thermal_eigenstrain(m, dt, 0.0, PlaneAssumption::kPlaneStress);
+  const num::SymTensor2 strain{0.0, 0.0, 0.0};
+  const num::SymTensor2 s = stress_from_strain(d, strain, eps_th);
+  const double expected =
+      -m.youngs_modulus * m.cte * dt / (1.0 - m.poisson_ratio);
+  EXPECT_NEAR(s.s11, expected, std::abs(expected) * 1e-12);
+  EXPECT_NEAR(s.s22, expected, std::abs(expected) * 1e-12);
+}
+
+TEST(Elasticity, ReferenceCteShiftsEigenstrain) {
+  const Material m = copper();
+  const double dt = -250.0;
+  const num::Vector abs_eps =
+      thermal_eigenstrain(m, dt, 0.0, PlaneAssumption::kPlaneStress);
+  const num::Vector rel_eps = thermal_eigenstrain(
+      m, dt, silicon().cte, PlaneAssumption::kPlaneStress);
+  EXPECT_NEAR(abs_eps[0] - rel_eps[0], silicon().cte * dt, 1e-15);
+}
+
+TEST(Elasticity, PlaneStrainStifferThanPlaneStress) {
+  const Material m = silicon();
+  const num::Matrix ds = constitutive_matrix(m, PlaneAssumption::kPlaneStress);
+  const num::Matrix dn = constitutive_matrix(m, PlaneAssumption::kPlaneStrain);
+  EXPECT_GT(dn(0, 0), ds(0, 0));
+}
+
+}  // namespace
+}  // namespace tsv::mat

@@ -1,0 +1,143 @@
+#include "analytic/mode_solver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace tsv::ana {
+namespace {
+
+InclusionResponseOptions fast_options() {
+  InclusionResponseOptions o;
+  o.max_basis_power = 8;
+  o.series_order = 14;
+  o.collocation_points = 64;
+  return o;
+}
+
+TEST(ModeSolver, CollocationFitIsNumericallyExact) {
+  // The exact response to a polynomial load is a finite Laurent field, so
+  // the truncated least-squares fit should reach rounding level.
+  const InclusionResponse resp(tsvlib::TsvStructure::baseline_bcb(),
+                               fast_options());
+  EXPECT_LT(resp.worst_fit_residual(), 1e-9);
+}
+
+TEST(ModeSolver, HomogeneousInclusionScattersNothing) {
+  tsvlib::TsvStructure s;
+  s.body = mat::silicon();
+  s.liner = mat::silicon();
+  s.substrate = mat::silicon();
+  const InclusionResponse resp(s, fast_options());
+  EXPECT_LT(resp.worst_fit_residual(), 1e-9);
+  for (int n = 0; n <= resp.max_basis_power(); ++n) {
+    const RegionField& f = resp.response_to_psi(n);
+    // No mismatch: the substrate scattered part must vanish and the interior
+    // must reproduce the applied load exactly.
+    const Complex far{1.7, 0.9};
+    const num::SymTensor2 sub = f.substrate.stress(far);
+    EXPECT_NEAR(sub.s11, 0.0, 1e-8);
+    EXPECT_NEAR(sub.s22, 0.0, 1e-8);
+    EXPECT_NEAR(sub.s12, 0.0, 1e-8);
+
+    num::LaurentSeries psi_app(0, n == 0 ? 1 : n);
+    psi_app.coeff(n) = 1.0;
+    const PotentialField applied({}, psi_app);
+    const Complex in{0.3, -0.2};
+    const num::SymTensor2 want = applied.stress(in);
+    const num::SymTensor2 got = f.core.stress(in);
+    EXPECT_NEAR(got.s11, want.s11, 1e-8) << "n=" << n;
+    EXPECT_NEAR(got.s22, want.s22, 1e-8) << "n=" << n;
+    EXPECT_NEAR(got.s12, want.s12, 1e-8) << "n=" << n;
+  }
+}
+
+class ModeSolverContinuityTest
+    : public ::testing::TestWithParam<int> {};  // basis power n
+
+TEST_P(ModeSolverContinuityTest, InterfaceConditionsHoldOffCollocation) {
+  const tsvlib::TsvStructure s = tsvlib::TsvStructure::baseline_bcb();
+  static const InclusionResponse resp(s, fast_options());
+  const int n = GetParam();
+  const RegionField& f = resp.response_to_psi(n);
+  num::LaurentSeries psi_app(0, std::max(n, 1));
+  psi_app.coeff(n) = 1.0;
+  const PotentialField applied({}, psi_app);
+
+  const double k = s.radius_ratio();
+  // Check at azimuths incommensurate with the collocation lattice.
+  for (double th = 0.05; th < 2.0 * std::numbers::pi; th += 0.501) {
+    const Complex dir{std::cos(th), std::sin(th)};
+    {
+      // Gamma2: core vs liner.
+      const Complex z = k * dir;
+      const Complex tc = f.core.radial_traction(z);
+      const Complex tl = f.liner.radial_traction(z);
+      EXPECT_NEAR(std::abs(tc - tl), 0.0, 1e-7);
+      const Complex uc = f.core.displacement(z, s.body);
+      const Complex ul = f.liner.displacement(z, s.liner);
+      EXPECT_NEAR(std::abs(uc - ul), 0.0, 1e-10);
+    }
+    {
+      // Gamma1: liner vs substrate scattered + applied.
+      const Complex z = dir;
+      const Complex tl = f.liner.radial_traction(z);
+      const Complex ts =
+          f.substrate.radial_traction(z) + applied.radial_traction(z);
+      EXPECT_NEAR(std::abs(tl - ts), 0.0, 1e-7);
+      const Complex ul = f.liner.displacement(z, s.liner);
+      const Complex us = f.substrate.displacement(z, s.substrate) +
+                         applied.displacement(z, s.substrate);
+      EXPECT_NEAR(std::abs(ul - us), 0.0, 1e-10);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BasisPowers, ModeSolverContinuityTest,
+                         ::testing::Values(0, 1, 2, 3, 5, 8));
+
+TEST(ModeSolver, ScatteredFieldDecays) {
+  const InclusionResponse resp(tsvlib::TsvStructure::baseline_bcb(),
+                               fast_options());
+  const RegionField& f = resp.response_to_psi(3);
+  const double near_mag =
+      std::abs(f.substrate.stress(Complex{1.2, 0.0}).s11);
+  const double far_mag =
+      std::abs(f.substrate.stress(Complex{12.0, 0.0}).s11);
+  EXPECT_GT(near_mag, 0.0);
+  EXPECT_LT(far_mag, near_mag * 1e-2);
+}
+
+TEST(ModeSolver, SofterLinerScattersMore) {
+  // The BCB structure has the larger modulus mismatch, hence the stronger
+  // interactive response (the paper's central observation).
+  const InclusionResponse bcb(tsvlib::TsvStructure::baseline_bcb(),
+                              fast_options());
+  const InclusionResponse sio2(tsvlib::TsvStructure::baseline_sio2(),
+                               fast_options());
+  const Complex z{1.05, 0.3};
+  const double s_bcb =
+      std::abs(bcb.response_to_psi(0).substrate.stress(z).s11) +
+      std::abs(bcb.response_to_psi(1).substrate.stress(z).s11);
+  const double s_sio2 =
+      std::abs(sio2.response_to_psi(0).substrate.stress(z).s11) +
+      std::abs(sio2.response_to_psi(1).substrate.stress(z).s11);
+  EXPECT_GT(s_bcb, s_sio2);
+}
+
+TEST(ModeSolver, OptionValidation) {
+  InclusionResponseOptions bad = fast_options();
+  bad.series_order = bad.max_basis_power;  // too small
+  EXPECT_THROW(
+      InclusionResponse(tsvlib::TsvStructure::baseline_bcb(), bad),
+      std::invalid_argument);
+  bad = fast_options();
+  bad.collocation_points = 8;
+  EXPECT_THROW(
+      InclusionResponse(tsvlib::TsvStructure::baseline_bcb(), bad),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tsv::ana

@@ -1,0 +1,100 @@
+#include "analytic/pair_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/interaction.h"
+#include "core/interactive_stage.h"
+#include "tsv/generators.h"
+
+namespace tsv::ana {
+namespace {
+
+const InteractiveStressModel& model() {
+  static const InteractiveStressModel m(tsvlib::TsvStructure::baseline_bcb(),
+                                        mat::ThermalLoad{});
+  return m;
+}
+
+TEST(PairTable, MatchesSeriesWithinTolerance) {
+  const double pitch = 10.0;
+  const PairStressTable& table = model().table_for_pitch(pitch, 25.0);
+  const geo::Point v{0, 0}, a{pitch, 0};
+  double field_scale = 0.0;
+  double worst = 0.0;
+  for (double r = 0.3; r < 24.0; r += 0.71) {
+    for (double th = -3.0; th < 3.1; th += 0.43) {
+      const geo::Point p{r * std::cos(th), r * std::sin(th)};
+      const num::SymTensor2 exact = model().stress_at(v, a, p);
+      const num::SymTensor2 approx = table.stress_at(v, a, p);
+      field_scale = std::max(field_scale, std::abs(exact.s11));
+      worst = std::max({worst, std::abs(approx.s11 - exact.s11),
+                        std::abs(approx.s22 - exact.s22),
+                        std::abs(approx.s12 - exact.s12)});
+    }
+  }
+  EXPECT_GT(field_scale, 1.0);
+  EXPECT_LT(worst, 0.03 * field_scale + 0.02);
+}
+
+TEST(PairTable, ZeroBeyondCoverage) {
+  const PairStressTable& table = model().table_for_pitch(9.0, 20.0);
+  const num::SymTensor2 s = table.stress_at({0, 0}, {9, 0}, {25.0, 0.0});
+  EXPECT_DOUBLE_EQ(s.s11, 0.0);
+}
+
+TEST(PairTable, MirrorSymmetryPreserved) {
+  const PairStressTable& table = model().table_for_pitch(11.0, 25.0);
+  const num::SymTensor2 up = table.stress_local(5.0, 0.9);
+  const num::SymTensor2 dn = table.stress_local(5.0, -0.9);
+  EXPECT_DOUBLE_EQ(up.s11, dn.s11);
+  EXPECT_DOUBLE_EQ(up.s22, dn.s22);
+  EXPECT_DOUBLE_EQ(up.s12, -dn.s12);
+}
+
+TEST(PairTable, CachedPerPitch) {
+  const PairStressTable& a = model().table_for_pitch(12.5, 25.0);
+  const PairStressTable& b = model().table_for_pitch(12.5, 25.0);
+  EXPECT_EQ(&a, &b);
+  const PairStressTable& c = model().table_for_pitch(12.5, 20.0);
+  EXPECT_NE(&a, &c);  // different coverage -> different table
+}
+
+TEST(PairTable, RotatedPairAgreesWithSeries) {
+  const double pitch = 10.0;
+  const PairStressTable& table = model().table_for_pitch(pitch, 25.0);
+  const geo::Point v{5.0, -3.0};
+  const geo::Point a{5.0 + pitch * std::cos(1.1), -3.0 + pitch * std::sin(1.1)};
+  const geo::Point p{7.0, 1.0};
+  const num::SymTensor2 exact = model().stress_at(v, a, p);
+  const num::SymTensor2 approx = table.stress_at(v, a, p);
+  EXPECT_NEAR(approx.s11, exact.s11, 0.1);
+  EXPECT_NEAR(approx.s22, exact.s22, 0.1);
+  EXPECT_NEAR(approx.s12, exact.s12, 0.1);
+}
+
+TEST(PairTable, StageTwoLookupMatchesSeriesEvaluation) {
+  const tsvlib::Placement arr =
+      tsvlib::make_array(tsvlib::TsvStructure::baseline_bcb(), 3, 3, 10.0);
+  auto shared = std::make_shared<const InteractiveStressModel>(
+      tsvlib::TsvStructure::baseline_bcb(), mat::ThermalLoad{});
+  core::InteractiveOptions series_opt;
+  core::InteractiveOptions lookup_opt;
+  lookup_opt.use_lookup_table = true;
+  const core::InteractiveStage series(arr, shared, series_opt);
+  const core::InteractiveStage lookup(arr, shared, lookup_opt);
+  std::vector<geo::Point> pts;
+  for (double x = -4; x <= 24; x += 1.9)
+    for (double y = -4; y <= 24; y += 2.3) pts.push_back({x, y});
+  const auto a = series.evaluate(pts);
+  const auto b = lookup.evaluate(pts);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_NEAR(b[i].s11, a[i].s11, 0.15) << i;
+    EXPECT_NEAR(b[i].s22, a[i].s22, 0.15) << i;
+    EXPECT_NEAR(b[i].s12, a[i].s12, 0.15) << i;
+  }
+}
+
+}  // namespace
+}  // namespace tsv::ana

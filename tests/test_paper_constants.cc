@@ -1,0 +1,116 @@
+#include "analytic/paper_constants.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/layered_cylinder.h"
+#include "analytic/paper_series.h"
+#include "analytic/single_tsv.h"
+
+namespace tsv::ana {
+namespace {
+
+TEST(PaperConstants, ClosedFormKMatchesExactSolution_BCB) {
+  const tsvlib::TsvStructure s = tsvlib::TsvStructure::baseline_bcb();
+  const SingleTsvModel exact(s, mat::ThermalLoad{});
+  const double k_paper = paper_k_constant(PaperParams::from(s, -250.0));
+  EXPECT_NEAR(k_paper, exact.k_constant(),
+              std::abs(exact.k_constant()) * 1e-10);
+}
+
+TEST(PaperConstants, ClosedFormKMatchesExactSolution_SiO2) {
+  const tsvlib::TsvStructure s = tsvlib::TsvStructure::baseline_sio2();
+  const SingleTsvModel exact(s, mat::ThermalLoad{});
+  const double k_paper = paper_k_constant(PaperParams::from(s, -250.0));
+  EXPECT_NEAR(k_paper, exact.k_constant(),
+              std::abs(exact.k_constant()) * 1e-10);
+}
+
+TEST(PaperConstants, ClosedFormKMatchesAcrossGeometries) {
+  for (const double r_body : {1.0, 2.5, 4.0}) {
+    for (const double t_liner : {0.1, 0.5, 1.5}) {
+      tsvlib::TsvStructure s;
+      s.body_radius = r_body;
+      s.liner_thickness = t_liner;
+      const SingleTsvModel exact(s, mat::ThermalLoad{});
+      const double k_paper = paper_k_constant(PaperParams::from(s, -250.0));
+      EXPECT_NEAR(k_paper, exact.k_constant(),
+                  std::abs(exact.k_constant()) * 1e-9)
+          << "R=" << r_body << " t=" << t_liner;
+    }
+  }
+}
+
+TEST(PaperConstants, HFunctionsAreFiniteForRelevantHarmonics) {
+  const PaperParams p =
+      PaperParams::from(tsvlib::TsvStructure::baseline_bcb(), -250.0);
+  for (int m = 2; m <= 12; ++m) {
+    for (int i = 1; i <= 3; ++i) {
+      for (int j = 1; j <= 8; ++j) {
+        const double h = paper_h(p, i, j, m);
+        EXPECT_TRUE(std::isfinite(h)) << "h_" << i << j << "(" << m << ")";
+      }
+    }
+    EXPECT_TRUE(std::isfinite(paper_f_big(p, m)));
+    EXPECT_TRUE(std::isfinite(paper_f_big(p, -m)));
+    EXPECT_TRUE(std::isfinite(paper_h_big(p, m)));
+    EXPECT_TRUE(std::isfinite(paper_h_big(p, -m)));
+  }
+}
+
+TEST(PaperConstants, ZeroedCoefficientsPerRegion) {
+  const PaperParams p =
+      PaperParams::from(tsvlib::TsvStructure::baseline_bcb(), -250.0);
+  for (int m = 2; m <= 10; ++m) {
+    for (int j : {3, 4, 6, 8}) EXPECT_EQ(paper_h(p, 1, j, m), 0.0);
+    for (int j : {1, 2, 5, 7}) EXPECT_EQ(paper_h(p, 3, j, m), 0.0);
+  }
+}
+
+TEST(PaperSeries, SubstrateFieldDecaysFasterThanInverseSquare) {
+  const PaperInteractiveModel model(tsvlib::TsvStructure::baseline_bcb(),
+                                    -250.0);
+  const double d = 10.0;
+  const double near = std::abs(model.stress_cylindrical(4.0, 0.3, d).s11);
+  const double far = std::abs(model.stress_cylindrical(16.0, 0.3, d).s11);
+  EXPECT_LT(far, near * std::pow(4.0 / 16.0, 2.0) * 2.0);
+}
+
+TEST(PaperSeries, InteractiveStressShrinksWithPitch) {
+  const PaperInteractiveModel model(tsvlib::TsvStructure::baseline_bcb(),
+                                    -250.0);
+  const double at8 = std::abs(model.stress_cylindrical(3.5, 0.0, 8.0).s11);
+  const double at16 = std::abs(model.stress_cylindrical(3.5, 0.0, 16.0).s11);
+  const double at30 = std::abs(model.stress_cylindrical(3.5, 0.0, 30.0).s11);
+  EXPECT_GT(at8, at16);
+  EXPECT_GT(at16, at30);
+}
+
+TEST(PaperSeries, FieldIsFiniteEverywhere) {
+  const PaperInteractiveModel model(tsvlib::TsvStructure::baseline_bcb(),
+                                    -250.0);
+  for (double r = 0.0; r < 12.0; r += 0.37) {
+    for (double th = 0.0; th < 6.3; th += 0.7) {
+      const num::SymTensor2 s = model.stress_cylindrical(r, th, 9.0);
+      EXPECT_TRUE(std::isfinite(s.s11)) << r << " " << th;
+      EXPECT_TRUE(std::isfinite(s.s22));
+      EXPECT_TRUE(std::isfinite(s.s12));
+    }
+  }
+}
+
+TEST(PaperSeries, MirrorSymmetryAboutPairAxis) {
+  // The two-TSV configuration is symmetric under y -> -y: srr and stt are
+  // even in theta, srt odd.
+  const PaperInteractiveModel model(tsvlib::TsvStructure::baseline_bcb(),
+                                    -250.0);
+  const num::SymTensor2 up = model.stress_cylindrical(4.2, 0.8, 10.0);
+  const num::SymTensor2 dn = model.stress_cylindrical(4.2, -0.8, 10.0);
+  EXPECT_NEAR(up.s11, dn.s11, 1e-12);
+  EXPECT_NEAR(up.s22, dn.s22, 1e-12);
+  EXPECT_NEAR(up.s12, -dn.s12, 1e-12);
+}
+
+}  // namespace
+}  // namespace tsv::ana

@@ -1,0 +1,67 @@
+#include "tsv/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tsv::tsvlib {
+namespace {
+
+TEST(TsvStructure, DerivedQuantities) {
+  const TsvStructure s = TsvStructure::baseline_bcb();
+  EXPECT_DOUBLE_EQ(s.outer_radius(), 3.0);
+  EXPECT_DOUBLE_EQ(s.radius_ratio(), 2.5 / 3.0);
+  EXPECT_EQ(s.liner.name, "BCB");
+  EXPECT_EQ(TsvStructure::baseline_sio2().liner.name, "SiO2");
+}
+
+TEST(TsvStructure, ValidateRejectsBadGeometry) {
+  TsvStructure s;
+  s.body_radius = 0.0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = TsvStructure{};
+  s.liner_thickness = -0.1;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(Placement, MinPitchAndDensity) {
+  Placement p(TsvStructure::baseline_bcb(),
+              {{0.0, 0.0}, {10.0, 0.0}, {0.0, 20.0}});
+  EXPECT_DOUBLE_EQ(p.min_pitch(), 10.0);
+  EXPECT_DOUBLE_EQ(p.density(), 3.0 / (10.0 * 20.0));
+  EXPECT_TRUE(std::isinf(
+      Placement(TsvStructure::baseline_bcb(), {{0.0, 0.0}}).min_pitch()));
+}
+
+TEST(Placement, BoundingBoxInflatedByOuterRadius) {
+  Placement p(TsvStructure::baseline_bcb(), {{0.0, 0.0}, {10.0, 4.0}});
+  const geo::Box b = p.bounding_box();
+  EXPECT_DOUBLE_EQ(b.lo.x, -3.0);
+  EXPECT_DOUBLE_EQ(b.hi.x, 13.0);
+  EXPECT_DOUBLE_EQ(b.hi.y, 7.0);
+}
+
+TEST(Placement, InsideAnyTsv) {
+  Placement p(TsvStructure::baseline_bcb(), {{0.0, 0.0}, {10.0, 0.0}});
+  EXPECT_TRUE(p.inside_any_tsv({0.5, 0.5}));
+  EXPECT_TRUE(p.inside_any_tsv({10.0, 2.9}));
+  EXPECT_FALSE(p.inside_any_tsv({5.0, 0.0}));
+  EXPECT_FALSE(p.inside_any_tsv({0.0, 3.1}));
+}
+
+TEST(Placement, OverlapValidation) {
+  Placement ok(TsvStructure::baseline_bcb(), {{0.0, 0.0}, {6.1, 0.0}});
+  EXPECT_NO_THROW(ok.validate_no_overlap());
+  Placement bad(TsvStructure::baseline_bcb(), {{0.0, 0.0}, {5.9, 0.0}});
+  EXPECT_THROW(bad.validate_no_overlap(), std::invalid_argument);
+}
+
+TEST(Placement, EmptyPlacementEdgeCases) {
+  const Placement p(TsvStructure::baseline_bcb());
+  EXPECT_TRUE(p.empty());
+  EXPECT_DOUBLE_EQ(p.density(), 0.0);
+  EXPECT_THROW(p.bounding_box(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tsv::tsvlib

@@ -1,0 +1,69 @@
+#include "tsv/placement_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tsv::tsvlib {
+namespace {
+
+TEST(PlacementIo, RoundTrip) {
+  Placement p(TsvStructure::baseline_sio2(),
+              {{0.0, 0.0}, {10.5, -3.25}, {-7.0, 22.0}});
+  std::stringstream ss;
+  write_placement(ss, p);
+  const Placement q = read_placement(ss);
+  ASSERT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.structure().liner.name, "SiO2");
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(q.centers()[i].x, p.centers()[i].x);
+    EXPECT_DOUBLE_EQ(q.centers()[i].y, p.centers()[i].y);
+  }
+}
+
+TEST(PlacementIo, ParsesCommentsAndBlankLines) {
+  std::istringstream in(
+      "# a placement\n"
+      "\n"
+      "structure 2.5 0.5 BCB  # baseline\n"
+      "tsv 1.0 2.0\n"
+      "  \n"
+      "tsv -3.0 4.0 # second\n");
+  const Placement p = read_placement(in);
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.structure().body_radius, 2.5);
+  EXPECT_EQ(p.structure().liner.name, "BCB");
+}
+
+TEST(PlacementIo, ErrorsCarryLineNumbers) {
+  std::istringstream bad_keyword("structure 2.5 0.5 BCB\nvia 1 2\n");
+  try {
+    read_placement(bad_keyword);
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(PlacementIo, UnknownLinerRejected) {
+  std::istringstream in("structure 2.5 0.5 polyimide\n");
+  EXPECT_THROW(read_placement(in), std::runtime_error);
+}
+
+TEST(PlacementIo, MissingStructureRejected) {
+  std::istringstream in("tsv 0 0\n");
+  EXPECT_THROW(read_placement(in), std::runtime_error);
+}
+
+TEST(PlacementIo, MalformedTsvRejected) {
+  std::istringstream in("structure 2.5 0.5 BCB\ntsv 1.0\n");
+  EXPECT_THROW(read_placement(in), std::runtime_error);
+}
+
+TEST(PlacementIo, MissingFileThrows) {
+  EXPECT_THROW(read_placement_file("/nonexistent/path/p.tsv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tsv::tsvlib

@@ -1,0 +1,137 @@
+#include "analytic/potentials.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "materials/material.h"
+
+namespace tsv::ana {
+namespace {
+
+using num::LaurentSeries;
+
+TEST(Potentials, UniformTensionFromLinearPhi) {
+  // phi = (S/4) z, psi = -(S/2) z gives uniaxial tension sxx = S... in the
+  // standard convention: sxx+syy = 4 Re phi' = S; syy - sxx + 2i sxy =
+  // 2 psi' = -S  =>  sxx = S, syy = 0, sxy = 0.
+  const double s = 80.0;
+  LaurentSeries phi(0, 1), psi(0, 1);
+  phi.coeff(1) = s / 4.0;
+  psi.coeff(1) = -s / 2.0;
+  const PotentialField f(phi, psi);
+  for (const Complex z : {Complex{0.3, 0.7}, Complex{-1.2, 0.1}}) {
+    const num::SymTensor2 st = f.stress(z);
+    EXPECT_NEAR(st.s11, s, 1e-10);
+    EXPECT_NEAR(st.s22, 0.0, 1e-10);
+    EXPECT_NEAR(st.s12, 0.0, 1e-10);
+  }
+}
+
+TEST(Potentials, AggressorStressMatchesIsolatedTsvField) {
+  // psi = khat/(z - d): the eq. (6) field recentered at z = d.
+  const double k_hat = 37.0;
+  const double d = 4.0;
+  for (double rr = 0.5; rr < 6.0; rr += 0.7) {
+    for (double th = 0.0; th < 6.2; th += 0.9) {
+      const Complex z = Complex{d, 0.0} + rr * Complex{std::cos(th), std::sin(th)};
+      const num::SymTensor2 cart = aggressor_stress(z, d, k_hat);
+      const num::SymTensor2 cyl = num::cartesian_to_cylindrical(cart, th);
+      EXPECT_NEAR(cyl.s11, k_hat / (rr * rr), 1e-9);
+      EXPECT_NEAR(cyl.s22, -k_hat / (rr * rr), 1e-9);
+      EXPECT_NEAR(cyl.s12, 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Potentials, SeriesMatchesClosedFormAggressor) {
+  // Expanding psi = khat/(z-d) as a power series must reproduce the closed
+  // form within the convergence radius.
+  const double k_hat = -12.0;
+  const double d = 3.5;
+  LaurentSeries psi(0, 40);
+  for (int n = 0; n <= 40; ++n) psi.coeff(n) = -k_hat / std::pow(d, n + 1);
+  const PotentialField f(LaurentSeries{}, psi);
+  for (const Complex z : {Complex{0.9, 0.4}, Complex{-1.0, -1.2}}) {
+    const num::SymTensor2 got = f.stress(z);
+    const num::SymTensor2 want = aggressor_stress(z, d, k_hat);
+    EXPECT_NEAR(got.s11, want.s11, 1e-8);
+    EXPECT_NEAR(got.s22, want.s22, 1e-8);
+    EXPECT_NEAR(got.s12, want.s12, 1e-8);
+  }
+}
+
+TEST(Potentials, RadialTractionConsistentWithStressTensor) {
+  LaurentSeries phi(-3, 2), psi(-3, 2);
+  phi.coeff(-2) = Complex{1.0, 0.5};
+  phi.coeff(1) = Complex{0.2, -0.1};
+  psi.coeff(-3) = Complex{-0.7, 0.0};
+  psi.coeff(2) = Complex{0.05, 0.15};
+  const PotentialField f(phi, psi);
+  for (double th = 0.1; th < 6.0; th += 0.6) {
+    const Complex z = 1.3 * Complex{std::cos(th), std::sin(th)};
+    const num::SymTensor2 cart = f.stress(z);
+    const num::SymTensor2 cyl = num::cartesian_to_cylindrical(cart, th);
+    const Complex t = f.radial_traction(z);
+    EXPECT_NEAR(t.real(), cyl.s11, 1e-10);
+    EXPECT_NEAR(-t.imag(), cyl.s12, 1e-10);
+  }
+}
+
+TEST(Potentials, DisplacementGradientMatchesStrain) {
+  // Numerical differentiation of the displacement field must reproduce the
+  // strains implied by the stress through plane-stress Hooke's law.
+  const mat::Material m = mat::silicon();
+  LaurentSeries phi(0, 3), psi(0, 3);
+  phi.coeff(2) = Complex{0.8, -0.3};
+  psi.coeff(3) = Complex{-0.2, 0.6};
+  const PotentialField f(phi, psi);
+  const Complex z{0.7, -0.4};
+  const double h = 1e-6;
+  const Complex ux_px = f.displacement(z + Complex{h, 0}, m);
+  const Complex ux_mx = f.displacement(z - Complex{h, 0}, m);
+  const Complex ux_py = f.displacement(z + Complex{0, h}, m);
+  const Complex ux_my = f.displacement(z - Complex{0, h}, m);
+  const double exx = (ux_px.real() - ux_mx.real()) / (2 * h);
+  const double eyy = (ux_py.imag() - ux_my.imag()) / (2 * h);
+  const double exy = 0.5 * ((ux_py.real() - ux_my.real()) / (2 * h) +
+                            (ux_px.imag() - ux_mx.imag()) / (2 * h));
+  const num::SymTensor2 s = f.stress(z);
+  const double e = m.youngs_modulus;
+  const double nu = m.poisson_ratio;
+  EXPECT_NEAR(exx, (s.s11 - nu * s.s22) / e, 1e-6);
+  EXPECT_NEAR(eyy, (s.s22 - nu * s.s11) / e, 1e-6);
+  EXPECT_NEAR(exy, (1.0 + nu) / e * s.s12, 1e-6);
+}
+
+TEST(Potentials, AggressorDisplacementMatchesRadialForm) {
+  // In the substrate u_r = B/r with B = -K(1+nu)/E; check along the x-axis
+  // through the aggressor.
+  const mat::Material si = mat::silicon();
+  const double k_hat = 25.0;
+  const double d = 0.0;  // aggressor at origin for this check
+  const double b = -k_hat * (1.0 + si.poisson_ratio) / si.youngs_modulus;
+  for (double r = 1.0; r < 10.0; r *= 1.8) {
+    const Complex u = aggressor_displacement(Complex{r, 0.0}, d, k_hat, si);
+    EXPECT_NEAR(u.real(), b / r, 1e-12);
+    EXPECT_NEAR(u.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Potentials, AccumulateScalesLinearly) {
+  LaurentSeries phi(0, 2), psi(0, 2);
+  phi.coeff(2) = Complex{1.0, 0.0};
+  psi.coeff(1) = Complex{0.0, 1.0};
+  const PotentialField base(phi, psi);
+  PotentialField sum;
+  sum.accumulate(base, 2.5);
+  const Complex z{0.4, 0.9};
+  const num::SymTensor2 s1 = base.stress(z);
+  const num::SymTensor2 s2 = sum.stress(z);
+  EXPECT_NEAR(s2.s11, 2.5 * s1.s11, 1e-12);
+  EXPECT_NEAR(s2.s22, 2.5 * s1.s22, 1e-12);
+  EXPECT_NEAR(s2.s12, 2.5 * s1.s12, 1e-12);
+}
+
+}  // namespace
+}  // namespace tsv::ana

@@ -1,0 +1,55 @@
+#include "geometry/sample_grid.h"
+
+#include <gtest/gtest.h>
+
+namespace tsv::geo {
+namespace {
+
+TEST(SampleGrid, CornersAndSpacing) {
+  const SampleGrid g(Box{{0.0, 0.0}, {10.0, 4.0}}, 11, 5);
+  EXPECT_EQ(g.size(), 55u);
+  EXPECT_DOUBLE_EQ(g.dx(), 1.0);
+  EXPECT_DOUBLE_EQ(g.dy(), 1.0);
+  EXPECT_DOUBLE_EQ(g.point(0, 0).x, 0.0);
+  EXPECT_DOUBLE_EQ(g.point(10, 4).x, 10.0);
+  EXPECT_DOUBLE_EQ(g.point(10, 4).y, 4.0);
+}
+
+TEST(SampleGrid, WithSpacing) {
+  const SampleGrid g =
+      SampleGrid::with_spacing(Box{{-5.0, -2.5}, {5.0, 2.5}}, 0.5);
+  EXPECT_EQ(g.nx(), 21u);
+  EXPECT_EQ(g.ny(), 11u);
+  EXPECT_DOUBLE_EQ(g.dx(), 0.5);
+}
+
+TEST(SampleGrid, LinearIndexingIsRowMajor) {
+  const SampleGrid g(Box{{0.0, 0.0}, {2.0, 2.0}}, 3, 3);
+  EXPECT_DOUBLE_EQ(g.point(4).x, 1.0);  // center (ix=1, iy=1)
+  EXPECT_DOUBLE_EQ(g.point(4).y, 1.0);
+  EXPECT_DOUBLE_EQ(g.point(2).x, 2.0);  // (ix=2, iy=0)
+  EXPECT_DOUBLE_EQ(g.point(2).y, 0.0);
+}
+
+TEST(SampleGrid, PointsMaterialization) {
+  const SampleGrid g(Box{{0.0, 0.0}, {1.0, 1.0}}, 2, 2);
+  const auto pts = g.points();
+  ASSERT_EQ(pts.size(), 4u);
+  EXPECT_DOUBLE_EQ(pts[3].x, 1.0);
+  EXPECT_DOUBLE_EQ(pts[3].y, 1.0);
+}
+
+TEST(SampleGrid, SinglePointGrid) {
+  const SampleGrid g(Box{{1.0, 1.0}, {1.0 + 1e-12, 1.0 + 1e-12}}, 1, 1);
+  EXPECT_EQ(g.size(), 1u);
+  EXPECT_DOUBLE_EQ(g.point(0).x, 1.0);
+}
+
+TEST(SampleGrid, InvalidArgsThrow) {
+  EXPECT_THROW(SampleGrid(Box{{0, 0}, {1, 1}}, 0, 2), std::invalid_argument);
+  EXPECT_THROW(SampleGrid::with_spacing(Box{{0, 0}, {1, 1}}, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tsv::geo

@@ -1,0 +1,62 @@
+#include "numeric/sparse.h"
+
+#include <gtest/gtest.h>
+
+namespace tsv::num {
+namespace {
+
+TEST(SparseMatrix, BuildsFromTripletsAndSumsDuplicates) {
+  const std::vector<Triplet> t = {
+      {0, 0, 1.0}, {0, 1, 2.0}, {1, 1, 3.0}, {0, 0, 4.0}, {2, 0, -1.0}};
+  const SparseMatrix m = SparseMatrix::from_triplets(3, t);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.nonzeros(), 4u);  // (0,0) merged
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m.at(2, 0), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), 0.0);
+}
+
+TEST(SparseMatrix, MultiplyMatchesDense) {
+  const std::vector<Triplet> t = {
+      {0, 0, 2.0}, {0, 2, 1.0}, {1, 1, -3.0}, {2, 0, 1.0}, {2, 2, 4.0}};
+  const SparseMatrix m = SparseMatrix::from_triplets(3, t);
+  const Vector x = {1.0, 2.0, 3.0};
+  const Vector y = m.multiply(x);
+  EXPECT_DOUBLE_EQ(y[0], 2.0 + 3.0);
+  EXPECT_DOUBLE_EQ(y[1], -6.0);
+  EXPECT_DOUBLE_EQ(y[2], 1.0 + 12.0);
+}
+
+TEST(SparseMatrix, DiagonalExtraction) {
+  const std::vector<Triplet> t = {{0, 0, 2.5}, {1, 0, 1.0}, {2, 2, -1.0}};
+  const SparseMatrix m = SparseMatrix::from_triplets(3, t);
+  const Vector d = m.diagonal();
+  EXPECT_DOUBLE_EQ(d[0], 2.5);
+  EXPECT_DOUBLE_EQ(d[1], 0.0);
+  EXPECT_DOUBLE_EQ(d[2], -1.0);
+}
+
+TEST(SparseMatrix, SymmetryError) {
+  const std::vector<Triplet> sym = {
+      {0, 1, 2.0}, {1, 0, 2.0}, {0, 0, 1.0}, {1, 1, 1.0}};
+  EXPECT_DOUBLE_EQ(SparseMatrix::from_triplets(2, sym).symmetry_error(), 0.0);
+  const std::vector<Triplet> asym = {{0, 1, 2.0}, {1, 0, 1.5}};
+  EXPECT_DOUBLE_EQ(SparseMatrix::from_triplets(2, asym).symmetry_error(), 0.5);
+}
+
+TEST(SparseMatrix, OutOfRangeTripletThrows) {
+  EXPECT_THROW(SparseMatrix::from_triplets(2, {{0, 2, 1.0}}),
+               std::invalid_argument);
+}
+
+TEST(SparseMatrix, EmptyRowsAreHandled) {
+  const SparseMatrix m = SparseMatrix::from_triplets(4, {{3, 3, 1.0}});
+  const Vector y = m.multiply({1.0, 1.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[3], 2.0);
+}
+
+}  // namespace
+}  // namespace tsv::num

@@ -1,0 +1,120 @@
+#include "core/stress_map_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analytic/single_tsv.h"
+#include "core/stress_table.h"
+#include "fem/thermo_solver.h"
+#include "tsv/placement.h"
+
+namespace tsv::core {
+namespace {
+
+const tsvlib::TsvStructure kS = tsvlib::TsvStructure::baseline_bcb();
+
+StressMapTable constant_map(const num::SymTensor2& v, std::size_t n,
+                            double half) {
+  return StressMapTable(std::vector<num::SymTensor2>(n * n, v), n, half);
+}
+
+TEST(StressMapTable, ConstantFieldInterpolatesExactly) {
+  const StressMapTable map = constant_map({3.0, -1.0, 0.5}, 9, 4.0);
+  for (double x = -3.9; x <= 3.9; x += 0.73) {
+    const num::SymTensor2 s = map.stress_at({0, 0}, {x, -x / 2});
+    EXPECT_DOUBLE_EQ(s.s11, 3.0);
+    EXPECT_DOUBLE_EQ(s.s22, -1.0);
+    EXPECT_DOUBLE_EQ(s.s12, 0.5);
+  }
+}
+
+TEST(StressMapTable, ZeroOutsideCoverage) {
+  const StressMapTable map = constant_map({3.0, 0.0, 0.0}, 9, 4.0);
+  EXPECT_DOUBLE_EQ(map.stress_at({0, 0}, {4.1, 0.0}).s11, 0.0);
+  EXPECT_DOUBLE_EQ(map.stress_at({0, 0}, {0.0, -5.0}).s11, 0.0);
+  EXPECT_DOUBLE_EQ(map.coverage_radius(), 4.0);
+}
+
+TEST(StressMapTable, CenterOffsetRespected) {
+  const StressMapTable map = constant_map({7.0, 0.0, 0.0}, 5, 2.0);
+  EXPECT_DOUBLE_EQ(map.stress_at({100.0, 50.0}, {101.0, 50.5}).s11, 7.0);
+  EXPECT_DOUBLE_EQ(map.stress_at({100.0, 50.0}, {97.0, 50.0}).s11, 0.0);
+}
+
+TEST(StressMapTable, LinearFieldInterpolatesExactly) {
+  // Bilinear interpolation reproduces fields linear in x and y exactly.
+  const std::size_t n = 5;
+  const double half = 2.0;
+  std::vector<num::SymTensor2> values;
+  for (std::size_t iy = 0; iy < n; ++iy)
+    for (std::size_t ix = 0; ix < n; ++ix) {
+      const double x = -half + 2.0 * half * ix / (n - 1);
+      const double y = -half + 2.0 * half * iy / (n - 1);
+      values.push_back({2.0 * x + y, -x, 0.5 * y});
+    }
+  const StressMapTable map(std::move(values), n, half);
+  for (double x = -1.9; x < 1.9; x += 0.37) {
+    const double y = 0.8 * x;
+    const num::SymTensor2 s = map.stress_at({0, 0}, {x, y});
+    EXPECT_NEAR(s.s11, 2.0 * x + y, 1e-12);
+    EXPECT_NEAR(s.s22, -x, 1e-12);
+    EXPECT_NEAR(s.s12, 0.5 * y, 1e-12);
+  }
+}
+
+TEST(StressMapTable, InvalidConstruction) {
+  EXPECT_THROW(constant_map({}, 1, 4.0), std::invalid_argument);
+  EXPECT_THROW(StressMapTable(std::vector<num::SymTensor2>(8), 3, 4.0),
+               std::invalid_argument);
+  EXPECT_THROW(constant_map({}, 3, -1.0), std::invalid_argument);
+}
+
+TEST(StressMapTable, FemMapMatchesFemFieldAtGridPoints) {
+  const tsvlib::Placement one(kS, {{0.0, 0.0}});
+  fem::FemOptions opt;
+  opt.element_size = 0.5;
+  opt.margin = 15.0;
+  const fem::FemSolution sol = fem::solve_thermo_elastic(
+      one, mat::ThermalLoad{}, geo::Box{{-10, -10}, {10, 10}}, opt);
+  const StressMapTable map =
+      StressMapTable::from_fem(sol.stress, {0, 0}, 10.0, 0.5);
+  for (double x = -9.75; x <= 9.75; x += 2.25) {
+    for (double y = -9.5; y <= 9.5; y += 2.5) {
+      const num::SymTensor2 want = sol.stress.sample({x, y});
+      const num::SymTensor2 got = map.stress_at({0, 0}, {x, y});
+      EXPECT_NEAR(got.s11, want.s11, 1.0) << x << "," << y;
+      EXPECT_NEAR(got.s22, want.s22, 1.0);
+    }
+  }
+}
+
+TEST(StressMapTable, AgreesWithRadialTableForAnalyticLikeField) {
+  // Azimuthal average of the FEM map should match the FEM radial table.
+  const tsvlib::Placement one(kS, {{0.0, 0.0}});
+  fem::FemOptions opt;
+  opt.element_size = 0.5;
+  opt.margin = 15.0;
+  const fem::FemSolution sol = fem::solve_thermo_elastic(
+      one, mat::ThermalLoad{}, geo::Box{{-10, -10}, {10, 10}}, opt);
+  const StressMapTable map =
+      StressMapTable::from_fem(sol.stress, {0, 0}, 10.0, 0.5);
+  const RadialStressTable radial =
+      RadialStressTable::from_fem(sol.stress, {0, 0}, 10.0, 256, 32);
+  for (double r = 4.0; r <= 9.0; r += 1.7) {
+    double avg = 0.0;
+    const int rays = 32;
+    for (int k = 0; k < rays; ++k) {
+      const double th = 2.0 * M_PI * (k + 0.382) / rays;
+      const num::SymTensor2 cart =
+          map.stress_at({0, 0}, {r * std::cos(th), r * std::sin(th)});
+      avg += num::cartesian_to_cylindrical(cart, th).s11;
+    }
+    avg /= rays;
+    EXPECT_NEAR(avg, radial.cylindrical(r).s11,
+                std::abs(radial.cylindrical(r).s11) * 0.1 + 0.3);
+  }
+}
+
+}  // namespace
+}  // namespace tsv::core

@@ -1,0 +1,92 @@
+#include "core/stress_table.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fem/thermo_solver.h"
+
+namespace tsv::core {
+namespace {
+
+const tsvlib::TsvStructure kS = tsvlib::TsvStructure::baseline_bcb();
+
+TEST(StressTable, AnalyticTableMatchesModel) {
+  const ana::SingleTsvModel model(kS, mat::ThermalLoad{});
+  const RadialStressTable table =
+      RadialStressTable::from_analytic(model, 25.0, 8192);
+  for (double r = 0.2; r < 24.0; r += 0.83) {
+    const num::SymTensor2 want = model.stress_cylindrical(r);
+    const num::SymTensor2 got = table.cylindrical(r);
+    const double tol = std::abs(want.s11) * 0.02 + 0.5;
+    EXPECT_NEAR(got.s11, want.s11, tol) << "r=" << r;
+    EXPECT_NEAR(got.s22, want.s22, tol) << "r=" << r;
+  }
+}
+
+TEST(StressTable, ZeroBeyondCutoff) {
+  const ana::SingleTsvModel model(kS, mat::ThermalLoad{});
+  const RadialStressTable table =
+      RadialStressTable::from_analytic(model, 25.0, 1024);
+  EXPECT_DOUBLE_EQ(table.cylindrical(25.0).s11, 0.0);
+  EXPECT_DOUBLE_EQ(table.cylindrical(100.0).s22, 0.0);
+}
+
+TEST(StressTable, CartesianRotationConsistent) {
+  const ana::SingleTsvModel model(kS, mat::ThermalLoad{});
+  const RadialStressTable table =
+      RadialStressTable::from_analytic(model, 25.0, 4096);
+  const geo::Point c{3.0, -2.0};
+  // Von Mises is rotation invariant; compare against the +x ray value.
+  const double vm0 =
+      num::von_mises_plane_stress(table.stress_at(c, {c.x + 5.0, c.y}));
+  for (double th = 0.3; th < 6.0; th += 0.9) {
+    const geo::Point p{c.x + 5.0 * std::cos(th), c.y + 5.0 * std::sin(th)};
+    EXPECT_NEAR(num::von_mises_plane_stress(table.stress_at(c, p)), vm0,
+                vm0 * 1e-6);
+  }
+}
+
+TEST(StressTable, InvalidConstruction) {
+  EXPECT_THROW(RadialStressTable({1.0}, {1.0}, 10.0), std::invalid_argument);
+  EXPECT_THROW(RadialStressTable({1.0, 2.0}, {1.0}, 10.0),
+               std::invalid_argument);
+  EXPECT_THROW(RadialStressTable({1.0, 2.0}, {1.0, 2.0}, -1.0),
+               std::invalid_argument);
+}
+
+TEST(StressTable, FemCharacterizationAgreesWithAnalytic) {
+  // The FEM-characterized table must agree with the analytic one up to the
+  // documented discretization bias (~10% at h = 0.25 for the BCB liner).
+  const tsvlib::Placement one(kS, {{0.0, 0.0}});
+  fem::FemOptions opt;
+  opt.element_size = 0.25;
+  opt.margin = 25.0;
+  const fem::FemSolution sol = fem::solve_thermo_elastic(
+      one, mat::ThermalLoad{}, geo::Box{{-12, -12}, {12, 12}}, opt);
+  const RadialStressTable fem_table =
+      RadialStressTable::from_fem(sol.stress, {0, 0}, 12.0, 512, 24);
+  const ana::SingleTsvModel model(kS, mat::ThermalLoad{});
+  for (double r = 4.0; r <= 11.0; r += 1.3) {
+    const double want = model.stress_cylindrical(r).s11;
+    EXPECT_NEAR(fem_table.cylindrical(r).s11, want, std::abs(want) * 0.15)
+        << "r=" << r;
+  }
+}
+
+TEST(StressTable, EffectiveKFromFem) {
+  const tsvlib::Placement one(kS, {{0.0, 0.0}});
+  fem::FemOptions opt;
+  opt.element_size = 0.25;
+  opt.margin = 25.0;
+  const fem::FemSolution sol = fem::solve_thermo_elastic(
+      one, mat::ThermalLoad{}, geo::Box{{-12, -12}, {12, 12}}, opt);
+  const double k_fem = effective_k_from_fem(sol.stress, {0, 0}, 4.0, 10.0);
+  const ana::SingleTsvModel model(kS, mat::ThermalLoad{});
+  // Same sign, within the documented staircase bias.
+  EXPECT_GT(k_fem * model.k_constant(), 0.0);
+  EXPECT_NEAR(k_fem, model.k_constant(), std::abs(model.k_constant()) * 0.15);
+}
+
+}  // namespace
+}  // namespace tsv::core

@@ -1,0 +1,98 @@
+#include "numeric/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace tsv::num {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(SymTensor2, Arithmetic) {
+  const SymTensor2 a{1.0, 2.0, 3.0};
+  const SymTensor2 b{4.0, -5.0, 6.0};
+  const SymTensor2 c = a + b * 2.0;
+  EXPECT_DOUBLE_EQ(c.s11, 9.0);
+  EXPECT_DOUBLE_EQ(c.s22, -8.0);
+  EXPECT_DOUBLE_EQ(c.s12, 15.0);
+  EXPECT_DOUBLE_EQ((a - b).s11, -3.0);
+  EXPECT_DOUBLE_EQ(a.trace(), 3.0);
+}
+
+TEST(Transform, IdentityAtZeroAngle) {
+  const SymTensor2 t{5.0, -2.0, 1.5};
+  const SymTensor2 r = cylindrical_to_cartesian(t, 0.0);
+  EXPECT_DOUBLE_EQ(r.s11, t.s11);
+  EXPECT_DOUBLE_EQ(r.s22, t.s22);
+  EXPECT_DOUBLE_EQ(r.s12, t.s12);
+}
+
+TEST(Transform, NinetyDegreesSwapsNormals) {
+  const SymTensor2 t{5.0, -2.0, 0.0};
+  const SymTensor2 r = cylindrical_to_cartesian(t, kPi / 2.0);
+  EXPECT_NEAR(r.s11, -2.0, 1e-12);
+  EXPECT_NEAR(r.s22, 5.0, 1e-12);
+  EXPECT_NEAR(r.s12, 0.0, 1e-12);
+}
+
+TEST(Transform, RoundTripIsIdentity) {
+  const SymTensor2 t{3.0, 7.0, -2.0};
+  for (double th = -3.0; th <= 3.0; th += 0.37) {
+    const SymTensor2 back =
+        cartesian_to_cylindrical(cylindrical_to_cartesian(t, th), th);
+    EXPECT_NEAR(back.s11, t.s11, 1e-12);
+    EXPECT_NEAR(back.s22, t.s22, 1e-12);
+    EXPECT_NEAR(back.s12, t.s12, 1e-12);
+  }
+}
+
+TEST(Transform, InvariantsPreserved) {
+  const SymTensor2 t{3.0, 7.0, -2.0};
+  for (double th = 0.0; th < 2.0 * kPi; th += 0.19) {
+    const SymTensor2 r = cylindrical_to_cartesian(t, th);
+    EXPECT_NEAR(r.trace(), t.trace(), 1e-12);
+    const double det_t = t.s11 * t.s22 - t.s12 * t.s12;
+    const double det_r = r.s11 * r.s22 - r.s12 * r.s12;
+    EXPECT_NEAR(det_r, det_t, 1e-10);
+    EXPECT_NEAR(von_mises_plane_stress(r), von_mises_plane_stress(t), 1e-10);
+  }
+}
+
+TEST(Transform, HydrostaticIsInvariant) {
+  const SymTensor2 t{4.0, 4.0, 0.0};
+  const SymTensor2 r = cylindrical_to_cartesian(t, 1.234);
+  EXPECT_NEAR(r.s11, 4.0, 1e-12);
+  EXPECT_NEAR(r.s22, 4.0, 1e-12);
+  EXPECT_NEAR(r.s12, 0.0, 1e-12);
+}
+
+TEST(Principal, PureShear) {
+  const SymTensor2 t{0.0, 0.0, 3.0};
+  const auto p = principal_stresses(t);
+  EXPECT_NEAR(p[0], 3.0, 1e-12);
+  EXPECT_NEAR(p[1], -3.0, 1e-12);
+  EXPECT_NEAR(max_tensile(t), 3.0, 1e-12);
+}
+
+TEST(Principal, DiagonalAlreadyPrincipal) {
+  const SymTensor2 t{8.0, -1.0, 0.0};
+  const auto p = principal_stresses(t);
+  EXPECT_DOUBLE_EQ(p[0], 8.0);
+  EXPECT_DOUBLE_EQ(p[1], -1.0);
+}
+
+TEST(VonMises, KnownValues) {
+  EXPECT_DOUBLE_EQ(von_mises_plane_stress({100.0, 0.0, 0.0}), 100.0);
+  EXPECT_DOUBLE_EQ(von_mises_plane_stress({100.0, 100.0, 0.0}), 100.0);
+  EXPECT_NEAR(von_mises_plane_stress({0.0, 0.0, 10.0}),
+              std::sqrt(300.0), 1e-12);
+}
+
+TEST(MaxTensile, FullyCompressiveIsZero) {
+  EXPECT_DOUBLE_EQ(max_tensile({-5.0, -3.0, 0.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace tsv::num

@@ -1,0 +1,126 @@
+// tsvstress command-line front end: read a placement file, evaluate the
+// stress field on a grid, write CSV.
+//
+//   tsvstress_cli <placement.tsv> [options]
+//
+// Options:
+//   --spacing=X       grid spacing, um (default 0.5)
+//   --margin=X        halo around the placement bounding box, um (default 25)
+//   --ls-only         linear superposition only (no interactive stage)
+//   --lookup          Stage II via polar look-up tables (faster, ~1% accuracy)
+//   --measure=M       sigma_xx | sigma_yy | sigma_xy | von_mises | max_tensile
+//                     (default von_mises)
+//   --out=FILE        output CSV (default stress.csv)
+//
+// Placement format (see src/tsv/placement_io.h):
+//   structure <body_radius_um> <liner_thickness_um> <BCB|SiO2>
+//   tsv <x_um> <y_um>
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "core/framework.h"
+#include "core/metrics.h"
+#include "io/csv.h"
+#include "tsv/placement_io.h"
+
+namespace {
+
+using namespace tsv;
+
+struct CliOptions {
+  std::string placement_path;
+  std::string out_path = "stress.csv";
+  double spacing = 0.5;
+  double margin = 25.0;
+  bool ls_only = false;
+  bool lookup = false;
+  core::StressMeasure measure = core::StressMeasure::kVonMises;
+};
+
+core::StressMeasure parse_measure(const std::string& name) {
+  if (name == "sigma_xx") return core::StressMeasure::kSigmaXX;
+  if (name == "sigma_yy") return core::StressMeasure::kSigmaYY;
+  if (name == "sigma_xy") return core::StressMeasure::kSigmaXY;
+  if (name == "von_mises") return core::StressMeasure::kVonMises;
+  if (name == "max_tensile") return core::StressMeasure::kMaxTensile;
+  throw std::invalid_argument("unknown measure: " + name);
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--ls-only") {
+      o.ls_only = true;
+    } else if (arg == "--lookup") {
+      o.lookup = true;
+    } else if (arg.rfind("--spacing=", 0) == 0) {
+      o.spacing = std::stod(arg.substr(10));
+    } else if (arg.rfind("--margin=", 0) == 0) {
+      o.margin = std::stod(arg.substr(9));
+    } else if (arg.rfind("--measure=", 0) == 0) {
+      o.measure = parse_measure(arg.substr(10));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      o.out_path = arg.substr(6);
+    } else if (arg.rfind("--", 0) == 0) {
+      throw std::invalid_argument("unknown option: " + arg);
+    } else if (o.placement_path.empty()) {
+      o.placement_path = arg;
+    } else {
+      throw std::invalid_argument("unexpected argument: " + arg);
+    }
+  }
+  if (o.placement_path.empty())
+    throw std::invalid_argument(
+        "usage: tsvstress_cli <placement.tsv> [--spacing=X] [--margin=X] "
+        "[--ls-only] [--lookup] [--measure=M] [--out=FILE]");
+  return o;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const CliOptions cli = parse(argc, argv);
+    const tsvlib::Placement placement =
+        tsvlib::read_placement_file(cli.placement_path);
+    placement.validate_no_overlap();
+    std::printf("placement: %zu TSVs (R=%.2f um, liner %s), min pitch %.2f "
+                "um\n", placement.size(), placement.structure().body_radius,
+                placement.structure().liner.name.c_str(),
+                placement.min_pitch());
+
+    core::FrameworkOptions options;
+    options.enable_interactive = !cli.ls_only;
+    options.stage2.use_lookup_table = cli.lookup;
+    const core::StressFramework framework(placement, options);
+
+    const geo::Box roi = placement.bounding_box().expanded(cli.margin);
+    const geo::SampleGrid grid =
+        geo::SampleGrid::with_spacing(roi, cli.spacing);
+    std::printf("grid: %zu x %zu points, spacing %.3g um\n", grid.nx(),
+                grid.ny(), cli.spacing);
+
+    const core::StressResult result = framework.evaluate(grid);
+    std::printf("stage I %.2fs, stage II %.2fs\n", result.stage1_seconds,
+                result.stage2_seconds);
+
+    const std::vector<geo::Point> pts = grid.points();
+    std::vector<double> values(pts.size());
+    double peak = 0.0;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      values[i] = core::extract(cli.measure, result.stress[i]);
+      peak = std::max(peak, std::abs(values[i]));
+    }
+    io::write_scalar_field(cli.out_path, pts, values);
+    std::printf("wrote %s (%s, peak |value| %.1f MPa)\n",
+                cli.out_path.c_str(), core::to_string(cli.measure), peak);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
