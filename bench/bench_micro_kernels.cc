@@ -11,6 +11,7 @@
 #include "core/stress_table.h"
 #include "geometry/grid_index.h"
 #include "numeric/cg.h"
+#include "numeric/parallel.h"
 #include "numeric/sparse_cholesky.h"
 #include "tsv/generators.h"
 
@@ -169,6 +170,64 @@ void BM_PairTableLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PairTableLookup);
+
+// Thread-scaling benches for the parallel engine. Arg = thread count; run
+// with --benchmark_filter=Scaling and compare against the Arg(1) row. On a
+// single-core host the pool degenerates to inline execution and all rows
+// should coincide (the overhead rows then measure dispatch cost).
+
+void BM_ParallelForScaling(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const std::size_t n = 1 << 16;
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    num::parallel_for(n, threads, [&](std::size_t i) {
+      const double x = 1e-3 * static_cast<double>(i);
+      out[i] = std::sin(x) * std::exp(-x) + std::sqrt(x + 1.0);
+    });
+    benchmark::DoNotOptimize(out.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ParallelForScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Stage1BatchScaling(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const tsvlib::Placement p = tsvlib::make_jittered_array(
+      structure(), 100, 1.0e-2, 10.0, 7);
+  core::SuperpositionOptions opt;
+  opt.num_threads = threads;
+  const core::RadialStressTable table =
+      core::RadialStressTable::from_analytic(single_model(), 30.0, 4096);
+  const core::LinearSuperposition stage1(p, table, opt);
+  const geo::SampleGrid grid(p.bounding_box().expanded(25.0), 200, 200);
+  const std::vector<geo::Point> pts = grid.points();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stage1.evaluate(pts).data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pts.size()));
+}
+BENCHMARK(BM_Stage1BatchScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Stage2BatchScaling(benchmark::State& state) {
+  const std::size_t threads = static_cast<std::size_t>(state.range(0));
+  const tsvlib::Placement p = tsvlib::make_jittered_array(
+      structure(), 60, 1.0e-2, 10.0, 7);
+  core::InteractiveOptions opt;
+  opt.num_threads = threads;
+  const core::InteractiveStage stage2(p, interactive_model(), opt);
+  const geo::SampleGrid grid(p.bounding_box().expanded(10.0), 120, 120);
+  const std::vector<geo::Point> pts = grid.points();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stage2.evaluate(pts).data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pts.size()));
+}
+BENCHMARK(BM_Stage2BatchScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_SparseCholeskyFactorize(benchmark::State& state) {
   const std::size_t nx = static_cast<std::size_t>(state.range(0));

@@ -8,12 +8,18 @@
 // AR is roughly constant in the TSV count (cases 1-3), grows with TSV
 // density (cases 1, 4, 5) and is roughly constant in the simulation point
 // count (cases 1, 6, 7). See EXPERIMENTS.md.
+//
+// Each case is run twice: serial (threads=1, the exact baseline path) and
+// parallel (threads=N from --threads, default 8; 0 = hardware concurrency).
+// Trend checks use the serial rows so they stay comparable with the paper;
+// a per-case Stage I/II speedup summary follows the table.
 
 #include <cmath>
 #include <cstdio>
 #include <iostream>
 
 #include "common.h"
+#include "numeric/parallel.h"
 #include "tsv/generators.h"
 
 namespace {
@@ -25,16 +31,29 @@ struct Case {
   std::size_t points;   // simulation points
 };
 
+struct Timing {
+  double stage1 = 0.0;
+  double stage2 = 0.0;
+  double lookup2 = 0.0;  // Stage II with the polar look-up table
+  double ar() const { return stage1 > 0.0 ? 100.0 * stage2 / stage1 : 0.0; }
+  double lookup_ar() const {
+    return stage1 > 0.0 ? 100.0 * lookup2 / stage1 : 0.0;
+  }
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace tsv;
   const auto config = bench::BenchConfig::parse(argc, argv);
+  const std::size_t par_threads = num::resolve_thread_count(config.threads);
   const tsvlib::TsvStructure structure = tsvlib::TsvStructure::baseline_bcb();
   const mat::ThermalLoad load{};
 
   std::printf("=== Table 6: run-time scalability (AR = stage II / stage I) "
               "===\n");
+  std::printf("host hardware threads: %zu; parallel rows use threads=%zu\n",
+              num::hardware_thread_count(), par_threads);
 
   // Paper cases: (count, density x 1e-2 um^-2, points).
   std::vector<Case> cases = {
@@ -56,11 +75,31 @@ int main(int argc, char** argv) {
   const auto model = std::make_shared<const ana::InteractiveStressModel>(
       response, single.k_hat());
 
+  const auto run_case = [&](const tsvlib::Placement& placement,
+                            const geo::SampleGrid& grid,
+                            std::size_t threads) {
+    core::FrameworkOptions opt;
+    opt.num_threads = threads;
+    const core::StressFramework pf(placement, table, model, opt);
+    const core::StressResult res = pf.evaluate(grid);
+
+    // Same workload with the Stage-II polar look-up table (the "table
+    // look-up" variant; ~1% field accuracy cost, see bench_ablation).
+    core::FrameworkOptions lookup_opt;
+    lookup_opt.num_threads = threads;
+    lookup_opt.stage2.use_lookup_table = true;
+    const core::StressFramework pf_lookup(placement, table, model, lookup_opt);
+    const core::StressResult res_lookup = pf_lookup.evaluate(grid);
+
+    return Timing{res.stage1_seconds, res.stage2_seconds,
+                  res_lookup.stage2_seconds};
+  };
+
   io::TablePrinter out({"case", "TSVs", "dens(1e-2/um^2)", "points",
-                        "stageI(s)", "stageII(s)", "AR(%)", "lookupII(s)",
-                        "lookupAR(%)"});
-  std::vector<double> ar(cases.size());
-  std::vector<double> ar_lookup(cases.size());
+                        "threads", "stageI(s)", "stageII(s)", "AR(%)",
+                        "lookupII(s)", "lookupAR(%)"});
+  std::vector<Timing> serial(cases.size());
+  std::vector<Timing> parallel(cases.size());
   for (std::size_t i = 0; i < cases.size(); ++i) {
     const Case& c = cases[i];
     const tsvlib::Placement placement = tsvlib::make_jittered_array(
@@ -74,32 +113,21 @@ int main(int argc, char** argv) {
     const geo::SampleGrid grid(roi, std::max<std::size_t>(nx, 2),
                                std::max<std::size_t>(ny, 2));
 
-    const core::StressFramework pf(placement, table, model,
-                                   core::FrameworkOptions{});
-    const core::StressResult res = pf.evaluate(grid);
-    ar[i] = res.stage1_seconds > 0.0
-                ? 100.0 * res.stage2_seconds / res.stage1_seconds
-                : 0.0;
+    serial[i] = run_case(placement, grid, 1);
+    parallel[i] = run_case(placement, grid, par_threads);
 
-    // Same workload with the Stage-II polar look-up table (the "table
-    // look-up" variant; ~1% field accuracy cost, see bench_ablation).
-    core::FrameworkOptions lookup_opt;
-    lookup_opt.stage2.use_lookup_table = true;
-    const core::StressFramework pf_lookup(placement, table, model, lookup_opt);
-    const core::StressResult res_lookup = pf_lookup.evaluate(grid);
-    ar_lookup[i] = res_lookup.stage1_seconds > 0.0
-                       ? 100.0 * res_lookup.stage2_seconds /
-                             res_lookup.stage1_seconds
-                       : 0.0;
-
-    out.add_row({std::to_string(c.id), std::to_string(c.tsv_count),
-                 io::TablePrinter::format(c.density * 100.0, 3),
-                 std::to_string(grid.size()),
-                 io::TablePrinter::format(res.stage1_seconds, 3),
-                 io::TablePrinter::format(res.stage2_seconds, 3),
-                 io::TablePrinter::format(ar[i], 3),
-                 io::TablePrinter::format(res_lookup.stage2_seconds, 3),
-                 io::TablePrinter::format(ar_lookup[i], 3)});
+    const auto add_row = [&](std::size_t threads, const Timing& t) {
+      out.add_row({std::to_string(c.id), std::to_string(c.tsv_count),
+                   io::TablePrinter::format(c.density * 100.0, 3),
+                   std::to_string(grid.size()), std::to_string(threads),
+                   io::TablePrinter::format(t.stage1, 3),
+                   io::TablePrinter::format(t.stage2, 3),
+                   io::TablePrinter::format(t.ar(), 3),
+                   io::TablePrinter::format(t.lookup2, 3),
+                   io::TablePrinter::format(t.lookup_ar(), 3)});
+    };
+    add_row(1, serial[i]);
+    add_row(par_threads, parallel[i]);
   }
   out.print(std::cout);
   std::printf("\n(The paper reports AR around 12%% for its MATLAB "
@@ -108,12 +136,26 @@ int main(int argc, char** argv) {
               "is implementation-specific while the trends below are the "
               "paper's claims.)\n");
 
-  std::printf("\ntrend checks (paper Appendix A.3):\n");
+  std::printf("\nparallel speedup (serial / threads=%zu):\n", par_threads);
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const double s1 = parallel[i].stage1 > 0.0
+                          ? serial[i].stage1 / parallel[i].stage1
+                          : 0.0;
+    const double s2 = parallel[i].stage2 > 0.0
+                          ? serial[i].stage2 / parallel[i].stage2
+                          : 0.0;
+    std::printf("  case %d: stage I %.2fx, stage II %.2fx\n", cases[i].id, s1,
+                s2);
+  }
+
+  std::printf("\ntrend checks (paper Appendix A.3, serial rows):\n");
   std::printf("  AR vs TSV count   (1,2,3): %.0f%% %.0f%% %.0f%% — expect "
-              "roughly constant\n", ar[0], ar[1], ar[2]);
+              "roughly constant\n", serial[0].ar(), serial[1].ar(),
+              serial[2].ar());
   std::printf("  AR vs density     (5,4,1): %.0f%% %.0f%% %.0f%% — expect "
-              "increasing\n", ar[4], ar[3], ar[0]);
+              "increasing\n", serial[4].ar(), serial[3].ar(), serial[0].ar());
   std::printf("  AR vs point count (1,6,7): %.0f%% %.0f%% %.0f%% — expect "
-              "roughly constant\n", ar[0], ar[5], ar[6]);
+              "roughly constant\n", serial[0].ar(), serial[5].ar(),
+              serial[6].ar());
   return 0;
 }

@@ -37,6 +37,9 @@ BenchConfig BenchConfig::parse(int argc, char** argv) {
       c.spacing = parse_value(arg, "--spacing=");
     } else if (arg.rfind("--out-dir=", 0) == 0) {
       c.out_dir = arg.substr(std::strlen("--out-dir="));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      c.threads = static_cast<std::size_t>(
+          std::stoul(arg.substr(std::strlen("--threads="))));
     } else if (arg.rfind("--benchmark", 0) == 0) {
       // Ignore google-benchmark flags when mixed binaries share a runner.
     } else {

@@ -25,8 +25,10 @@ struct BenchConfig {
   double margin = 25.0;        ///< FEM domain margin, um
   bool fast = false;           ///< --fast: coarse preview (0.5 um mesh)
   std::string out_dir = ".";   ///< where CSV artifacts go
+  std::size_t threads = 8;     ///< parallel rows/runs (0 = hardware)
 
-  /// Parses --fast, --element-size=X, --spacing=X, --out-dir=PATH.
+  /// Parses --fast, --element-size=X, --spacing=X, --out-dir=PATH,
+  /// --threads=N.
   static BenchConfig parse(int argc, char** argv);
 };
 

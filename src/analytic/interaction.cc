@@ -33,8 +33,14 @@ const RegionField& InteractiveStressModel::combined_for_pitch(
               "pair pitch must exceed the TSV diameter");
   // Quantize to 1e-6 um to make cache keys robust against fp noise.
   const long long key = std::llround(pitch * 1e6);
-  if (const auto it = cache_.find(key); it != cache_.end()) return it->second;
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (const auto it = cache_.find(key); it != cache_.end())
+      return it->second;
+  }
 
+  // Built outside the lock: concurrent callers may race to build the same
+  // pitch, but only the first emplace lands and the losers are discarded.
   const double d_hat = pitch / outer_radius_;
   RegionField combined;
   for (int n = 0; n <= response_->max_basis_power(); ++n) {
@@ -51,6 +57,7 @@ const RegionField& InteractiveStressModel::combined_for_pitch(
   combined.core.trim(1e-9);
   combined.liner.trim(1e-9);
   combined.substrate.trim(1e-9);
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
   return cache_.emplace(key, std::move(combined)).first->second;
 }
 
@@ -58,14 +65,15 @@ const PairStressTable& InteractiveStressModel::table_for_pitch(
     double pitch, double r_max) const {
   const std::pair<long long, long long> key{std::llround(pitch * 1e6),
                                             std::llround(r_max * 1e6)};
-  if (const auto it = table_cache_.find(key); it != table_cache_.end())
-    return it->second;
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (const auto it = table_cache_.find(key); it != table_cache_.end())
+      return it->second;
+  }
   const RegionField& combined = combined_for_pitch(pitch);
-  return table_cache_
-      .emplace(std::piecewise_construct, std::forward_as_tuple(key),
-               std::forward_as_tuple(*this, combined, pitch, r_max,
-                                     PairTableOptions{}))
-      .first->second;
+  PairStressTable table(*this, combined, pitch, r_max, PairTableOptions{});
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return table_cache_.emplace(key, std::move(table)).first->second;
 }
 
 num::SymTensor2 InteractiveStressModel::stress_at(

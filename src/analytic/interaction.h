@@ -15,6 +15,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <utility>
 
 #include "analytic/mode_solver.h"
@@ -45,6 +46,9 @@ class InteractiveStressModel {
 
   /// Combined (pitch-specific) response potentials, victim-centered hat
   /// frame with the aggressor on the +x axis. Cached per quantized pitch.
+  /// Thread-safe: the cache is mutex-guarded and map nodes are stable, so
+  /// the returned reference stays valid for the model's lifetime; races to
+  /// build the same pitch resolve to the first insert.
   const RegionField& combined_for_pitch(double pitch) const;
 
   /// Interactive stress (Cartesian, global frame) at point p induced by the
@@ -65,13 +69,15 @@ class InteractiveStressModel {
   /// to `r_max` and cached per quantized (pitch, r_max). Roughly an order
   /// of magnitude cheaper per point than the series (bilinear interpolation
   /// vs three Horner evaluations) at ~1% field accuracy; see the Stage II
-  /// lookup option and bench_ablation.
+  /// lookup option and bench_ablation. Thread-safe like combined_for_pitch.
   const PairStressTable& table_for_pitch(double pitch, double r_max) const;
 
  private:
   std::shared_ptr<const InclusionResponse> response_;
   double k_hat_ = 0.0;        ///< K / R'^2, MPa
   double outer_radius_ = 0.0; ///< R', um
+  /// Guards both caches (Stage II evaluates pairs from many threads).
+  mutable std::mutex cache_mutex_;
   mutable std::map<long long, RegionField> cache_;
   mutable std::map<std::pair<long long, long long>, PairStressTable>
       table_cache_;

@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "numeric/parallel.h"
+
 namespace tsv::core {
 namespace {
 
@@ -9,6 +11,12 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+SuperpositionOptions with_threads(SuperpositionOptions opt,
+                                  std::size_t num_threads) {
+  if (num_threads != 1) opt.num_threads = num_threads;
+  return opt;
 }
 
 }  // namespace
@@ -44,8 +52,13 @@ StressFramework::StressFramework(
     const FrameworkOptions& options)
     : options_(options),
       single_(placement.structure(), options.load),
-      stage1_(placement, std::move(table), options.stage1),
+      stage1_(placement, std::move(table),
+              with_threads(options.stage1, options.num_threads)),
       model_(std::move(model)) {
+  if (options_.num_threads != 1) {
+    options_.stage1.num_threads = options_.num_threads;
+    options_.stage2.num_threads = options_.num_threads;
+  }
   TSV_REQUIRE(stage1_.table().coverage_radius() >=
                   options_.stage1.influence_radius,
               "stress table must cover the influence radius");
@@ -69,8 +82,10 @@ StressResult StressFramework::evaluate(
   if (stage2_ != nullptr) {
     const auto t1 = Clock::now();
     result.interactive = stage2_->evaluate(points);
-    for (std::size_t i = 0; i < points.size(); ++i)
-      result.stress[i] += result.interactive[i];
+    num::parallel_for(points.size(), options_.stage2.num_threads,
+                      [&](std::size_t i) {
+                        result.stress[i] += result.interactive[i];
+                      });
     result.stage2_seconds = seconds_since(t1);
   }
   return result;

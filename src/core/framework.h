@@ -29,6 +29,11 @@ struct FrameworkOptions {
   double table_radius = 30.0;
   std::size_t table_samples = 4096;
   bool enable_interactive = true;  ///< false = plain linear superposition
+  /// Convenience thread knob for both stages: 0 = hardware concurrency,
+  /// n > 1 = n threads; either overrides stage1.num_threads and
+  /// stage2.num_threads at construction. The default 1 leaves the per-stage
+  /// settings untouched (per-stage defaults are serial).
+  std::size_t num_threads = 1;
 };
 
 struct StressResult {

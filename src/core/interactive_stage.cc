@@ -1,5 +1,7 @@
 #include "core/interactive_stage.h"
 
+#include "numeric/parallel.h"
+
 namespace tsv::core {
 namespace {
 
@@ -57,43 +59,55 @@ InteractiveStage::ordered_pairs() const {
 
 std::vector<num::SymTensor2> InteractiveStage::evaluate(
     const std::vector<geo::Point>& points) const {
-  std::vector<num::SymTensor2> out(points.size());
-  if (placement_.size() < 2 || points.empty()) return out;
+  if (placement_.size() < 2 || points.empty())
+    return std::vector<num::SymTensor2>(points.size());
 
   // Index the simulation points so each pair only touches points within the
-  // victim's influence radius.
-  geo::Point lo = points.front(), hi = points.front();
-  for (const auto& p : points) {
-    lo.x = std::min(lo.x, p.x);
-    lo.y = std::min(lo.y, p.y);
-    hi.x = std::max(hi.x, p.x);
-    hi.y = std::max(hi.y, p.y);
-  }
+  // victim's influence radius. The hull is inclusive on every edge, so
+  // points exactly on the boundary stay indexed.
   const geo::GridIndex point_index(
-      points, geo::Box{lo, {hi.x + 1e-9, hi.y + 1e-9}},
+      points, geo::Box::bounding(points),
       std::max(options_.influence_radius / 2.0, 1.0));
 
   const auto& centers = placement_.centers();
-  std::vector<std::uint32_t> affected;
-  for (const auto& [v, a] : ordered_pairs()) {
-    const geo::Point& victim = centers[v];
-    const geo::Point& aggressor = centers[a];
-    const double pitch = geo::distance(victim, aggressor);
-    point_index.query_radius(victim, options_.influence_radius, affected);
-    if (options_.use_lookup_table) {
-      const ana::PairStressTable& table =
-          model_->table_for_pitch(pitch, options_.influence_radius);
-      for (const std::uint32_t n : affected)
-        out[n] += table.stress_at(victim, aggressor, points[n]);
-    } else {
-      const ana::RegionField& combined = model_->combined_for_pitch(pitch);
-      for (const std::uint32_t n : affected) {
-        out[n] += model_->stress_with_combined(combined, victim, aggressor,
-                                               pitch, points[n]);
-      }
-    }
-  }
-  return out;
+  const auto pairs = ordered_pairs();
+  // Pair-parallel: every chunk of pairs accumulates into its own private
+  // buffer (writing `out[n] +=` across chunks would race), and the partial
+  // fields merge in chunk index order afterwards. With num_threads == 1
+  // this degenerates to the exact serial pair loop.
+  return num::parallel_reduce<std::vector<num::SymTensor2>>(
+      pairs.size(), options_.num_threads,
+      [&] { return std::vector<num::SymTensor2>(points.size()); },
+      [&](std::vector<num::SymTensor2>& out, std::size_t begin,
+          std::size_t end) {
+        std::vector<std::uint32_t> affected;
+        for (std::size_t k = begin; k < end; ++k) {
+          const auto [v, a] = pairs[k];
+          const geo::Point& victim = centers[v];
+          const geo::Point& aggressor = centers[a];
+          const double pitch = geo::distance(victim, aggressor);
+          point_index.query_radius(victim, options_.influence_radius,
+                                   affected);
+          if (options_.use_lookup_table) {
+            const ana::PairStressTable& table =
+                model_->table_for_pitch(pitch, options_.influence_radius);
+            for (const std::uint32_t n : affected)
+              out[n] += table.stress_at(victim, aggressor, points[n]);
+          } else {
+            const ana::RegionField& combined =
+                model_->combined_for_pitch(pitch);
+            for (const std::uint32_t n : affected) {
+              out[n] += model_->stress_with_combined(combined, victim,
+                                                     aggressor, pitch,
+                                                     points[n]);
+            }
+          }
+        }
+      },
+      [](std::vector<num::SymTensor2>& total,
+         const std::vector<num::SymTensor2>& part) {
+        for (std::size_t n = 0; n < total.size(); ++n) total[n] += part[n];
+      });
 }
 
 }  // namespace tsv::core

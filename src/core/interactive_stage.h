@@ -24,6 +24,13 @@ struct InteractiveOptions {
   /// Recommended for full-chip runs; off by default so the accuracy
   /// benches exercise the exact series.
   bool use_lookup_table = false;
+  /// Threads for the batched evaluate: 0 = hardware concurrency, 1 = serial
+  /// (the default baseline path). Pairs are chunked statically; each chunk
+  /// accumulates into a private output buffer and the partials merge in
+  /// chunk index order, so results are deterministic for a fixed thread
+  /// count but can differ from the serial sum by floating-point regrouping
+  /// (<= ~1e-12 relative; the determinism tests pin this down).
+  std::size_t num_threads = 1;
 };
 
 class InteractiveStage {
@@ -39,7 +46,9 @@ class InteractiveStage {
 
   /// Interactive stress at many points. Organized pair-outer so that the
   /// combined response per pair is built once and reused for all affected
-  /// points (`point_index` accelerates the point lookup).
+  /// points (`point_index` accelerates the point lookup). Pair-parallel
+  /// over options().num_threads workers: `out[n] +=` across pairs would
+  /// race, so each worker owns a private buffer (see InteractiveOptions).
   std::vector<num::SymTensor2> evaluate(
       const std::vector<geo::Point>& points) const;
 

@@ -1,5 +1,7 @@
 #include "core/superposition.h"
 
+#include "numeric/parallel.h"
+
 namespace tsv::core {
 namespace {
 
@@ -43,14 +45,18 @@ num::SymTensor2 LinearSuperposition::stress_at(const geo::Point& p) const {
 std::vector<num::SymTensor2> LinearSuperposition::evaluate(
     const std::vector<geo::Point>& points) const {
   std::vector<num::SymTensor2> out(points.size());
-  std::vector<std::uint32_t> nearby;
-  for (std::size_t n = 0; n < points.size(); ++n) {
-    index_.query_radius(points[n], options_.influence_radius, nearby);
-    num::SymTensor2 sum;
-    for (const std::uint32_t i : nearby)
-      sum += table_->stress_at(placement_.centers()[i], points[n]);
-    out[n] = sum;
-  }
+  num::parallel_for_chunks(
+      points.size(), options_.num_threads,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        std::vector<std::uint32_t> nearby;
+        for (std::size_t n = begin; n < end; ++n) {
+          index_.query_radius(points[n], options_.influence_radius, nearby);
+          num::SymTensor2 sum;
+          for (const std::uint32_t i : nearby)
+            sum += table_->stress_at(placement_.centers()[i], points[n]);
+          out[n] = sum;
+        }
+      });
   return out;
 }
 

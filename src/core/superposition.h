@@ -16,6 +16,10 @@ struct SuperpositionOptions {
   /// TSVs farther than this from a simulation point are ignored
   /// (paper: 25 um; the field decays as 1/r^2).
   double influence_radius = 25.0;
+  /// Threads for the batched evaluate: 0 = hardware concurrency, 1 = serial
+  /// (the default baseline path). Points are independent, so results are
+  /// bitwise identical for every thread count.
+  std::size_t num_threads = 1;
 };
 
 class LinearSuperposition {
@@ -37,7 +41,9 @@ class LinearSuperposition {
   /// Stage-I stress at one point.
   num::SymTensor2 stress_at(const geo::Point& p) const;
 
-  /// Stage-I stress at many points (reuses the query scratch buffer).
+  /// Stage-I stress at many points, point-parallel over
+  /// options().num_threads workers (each owns a contiguous slice of `out`
+  /// and its own query scratch buffer).
   std::vector<num::SymTensor2> evaluate(
       const std::vector<geo::Point>& points) const;
 

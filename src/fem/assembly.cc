@@ -1,7 +1,10 @@
 #include "fem/assembly.h"
 
+#include <memory>
+
 #include "fem/blending.h"
 #include "fem/element.h"
+#include "numeric/parallel.h"
 
 namespace tsv::fem {
 namespace {
@@ -27,7 +30,7 @@ AssembledSystem assemble(const StructuredMesh& mesh,
                          const mat::ThermalLoad& load,
                          mat::PlaneAssumption plane,
                          const BoundaryDisplacement& boundary,
-                         bool blend_interfaces) {
+                         bool blend_interfaces, std::size_t num_threads) {
   AssembledSystem sys;
   const std::size_t n_nodes = mesh.node_count();
 
@@ -70,24 +73,44 @@ AssembledSystem assemble(const StructuredMesh& mesh,
     fe[r] = element_thermal_load(d_mat[r], eps_th[r], dx, dy);
   }
 
+  // Element-parallel precompute of the blended laws on interface-cut
+  // elements (the only per-element matrix work not covered by the three
+  // per-region prototypes). Each element owns its slot; the scatter below
+  // stays serial in element order so the triplet stream — and therefore the
+  // assembled floating-point sums — match the serial path exactly.
+  struct MixedElement {
+    num::Matrix ke;
+    num::Vector fe;
+  };
+  std::vector<std::unique_ptr<MixedElement>> mixed;
+  if (blend_interfaces) {
+    mixed.resize(mesh.element_count());
+    num::parallel_for(mesh.element_count(), num_threads, [&](std::size_t e) {
+      const std::size_t ex = e % mesh.nx();
+      const std::size_t ey = e / mesh.nx();
+      if (!mesh.is_mixed(ex, ey)) return;
+      const BlendedLaw law = hill_blend(d_mat, eps_th, mesh.fractions(ex, ey));
+      auto m = std::make_unique<MixedElement>();
+      m->ke = element_stiffness(law.d, dx, dy);
+      m->fe = element_load_from_eigenstress(law.eigenstress, dx, dy);
+      mixed[mesh.element_index(ex, ey)] = std::move(m);
+    });
+  }
+
   std::vector<num::Triplet> triplets;
   triplets.reserve(mesh.element_count() * 64);
   sys.load.assign(sys.free_dof_count, 0.0);
 
-  num::Matrix ke_mixed;
-  num::Vector fe_mixed;
   for (std::size_t ey = 0; ey < mesh.ny(); ++ey) {
     for (std::size_t ex = 0; ex < mesh.nx(); ++ex) {
       const int r = static_cast<int>(mesh.material(ex, ey));
       const num::Matrix* ke_e = &ke[r];
       const num::Vector* fe_e = &fe[r];
-      if (blend_interfaces && mesh.is_mixed(ex, ey)) {
-        const BlendedLaw law =
-            hill_blend(d_mat, eps_th, mesh.fractions(ex, ey));
-        ke_mixed = element_stiffness(law.d, dx, dy);
-        fe_mixed = element_load_from_eigenstress(law.eigenstress, dx, dy);
-        ke_e = &ke_mixed;
-        fe_e = &fe_mixed;
+      if (blend_interfaces) {
+        if (const MixedElement* m = mixed[mesh.element_index(ex, ey)].get()) {
+          ke_e = &m->ke;
+          fe_e = &m->fe;
+        }
       }
       const auto nodes = mesh.element_nodes(ex, ey);
       std::array<std::uint32_t, 8> dofs;

@@ -36,12 +36,17 @@ using BoundaryDisplacement = std::function<geo::Point(const geo::Point&)>;
 /// `blend_interfaces` applies a Hill-averaged constitutive law on elements
 /// cut by a material interface (measured to bias the soft-liner structure
 /// stiff; off by default — see DESIGN.md and the ablation bench).
+/// `num_threads` (0 = hardware concurrency, 1 = serial) parallelizes the
+/// element-local work (blended laws on interface elements); the triplet
+/// scatter stays serial in element order, so the assembled system is
+/// identical for every thread count.
 AssembledSystem assemble(const StructuredMesh& mesh,
                          const tsvlib::TsvStructure& structure,
                          const mat::ThermalLoad& load,
                          mat::PlaneAssumption plane,
                          const BoundaryDisplacement& boundary = nullptr,
-                         bool blend_interfaces = false);
+                         bool blend_interfaces = false,
+                         std::size_t num_threads = 1);
 
 /// Expands a reduced solution to the full (2 * node_count) displacement
 /// vector, inserting the prescribed values at constrained dofs.

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "fem/element.h"
+#include "numeric/parallel.h"
 #include "numeric/quadrature.h"
 
 namespace tsv::fem {
@@ -31,7 +32,7 @@ StressField recover_stress(std::shared_ptr<const StructuredMesh> mesh,
                            const mat::ThermalLoad& load,
                            mat::PlaneAssumption plane,
                            const num::Vector& displacement,
-                           bool blend_interfaces) {
+                           bool blend_interfaces, std::size_t num_threads) {
   TSV_REQUIRE(mesh != nullptr, "null mesh");
   TSV_REQUIRE(displacement.size() == 2 * mesh->node_count(),
               "displacement vector size mismatch");
@@ -68,65 +69,85 @@ StressField recover_stress(std::shared_ptr<const StructuredMesh> mesh,
     w[a] = n;
   }
 
-  // Pass 1: raw extrapolated corner stresses per element, accumulated per
-  // (node, material).
+  // Pass 1a (element-parallel): raw extrapolated corner stresses per
+  // element. Each element writes only its own raw[] slot, so the loop is
+  // race-free for any thread count.
   const std::size_t n_nodes = m.node_count();
+  std::vector<std::array<num::SymTensor2, 4>> raw(m.element_count());
+  num::parallel_for_chunks(
+      m.element_count(), num_threads,
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        num::Vector u_e(8);
+        for (std::size_t e = begin; e < end; ++e) {
+          const std::size_t ex = e % m.nx();
+          const std::size_t ey = e / m.nx();
+          const auto nodes = m.element_nodes(ex, ey);
+          for (std::size_t a = 0; a < 4; ++a) {
+            u_e[2 * a] = displacement[2 * nodes[a]];
+            u_e[2 * a + 1] = displacement[2 * nodes[a] + 1];
+          }
+          const int r = static_cast<int>(m.material(ex, ey));
+          const bool mixed = blend_interfaces && m.is_mixed(ex, ey);
+          BlendedLaw law;
+          if (mixed) law = hill_blend(d_mat, eps_th, m.fractions(ex, ey));
+          std::array<num::SymTensor2, 4> gp_stress;
+          for (std::size_t b = 0; b < 4; ++b) {
+            const num::SymTensor2 strain = element_strain(
+                u_e, gauss_ccw[b].first, gauss_ccw[b].second, dx, dy);
+            if (mixed) {
+              // sigma = D_blend eps - eigenstress_blend
+              const num::SymTensor2 s = mat::stress_from_strain(
+                  law.d, strain, num::Vector{0.0, 0.0, 0.0});
+              gp_stress[b] = s - num::SymTensor2{law.eigenstress[0],
+                                                 law.eigenstress[1],
+                                                 law.eigenstress[2]};
+            } else {
+              gp_stress[b] =
+                  mat::stress_from_strain(d_mat[r], strain, eps_th[r]);
+            }
+          }
+          auto& out = raw[m.element_index(ex, ey)];
+          for (std::size_t a = 0; a < 4; ++a) {
+            num::SymTensor2 v;
+            for (std::size_t b = 0; b < 4; ++b) v += w[a][b] * gp_stress[b];
+            out[a] = v;
+          }
+        }
+      });
+
+  // Pass 1b (serial): accumulate per (node, material). Elements sharing a
+  // node would race here, and the fixed element order keeps the averages
+  // identical for every thread count.
   std::vector<std::array<num::SymTensor2, 3>> acc(n_nodes);
   std::vector<std::array<std::uint16_t, 3>> cnt(
       n_nodes, std::array<std::uint16_t, 3>{0, 0, 0});
-  std::vector<std::array<num::SymTensor2, 4>> raw(m.element_count());
-
-  num::Vector u_e(8);
   for (std::size_t ey = 0; ey < m.ny(); ++ey) {
     for (std::size_t ex = 0; ex < m.nx(); ++ex) {
       const auto nodes = m.element_nodes(ex, ey);
-      for (std::size_t a = 0; a < 4; ++a) {
-        u_e[2 * a] = displacement[2 * nodes[a]];
-        u_e[2 * a + 1] = displacement[2 * nodes[a] + 1];
-      }
       const int r = static_cast<int>(m.material(ex, ey));
-      const bool mixed = blend_interfaces && m.is_mixed(ex, ey);
-      BlendedLaw law;
-      if (mixed) law = hill_blend(d_mat, eps_th, m.fractions(ex, ey));
-      std::array<num::SymTensor2, 4> gp_stress;
-      for (std::size_t b = 0; b < 4; ++b) {
-        const num::SymTensor2 strain = element_strain(
-            u_e, gauss_ccw[b].first, gauss_ccw[b].second, dx, dy);
-        if (mixed) {
-          // sigma = D_blend eps - eigenstress_blend
-          const num::SymTensor2 s = mat::stress_from_strain(
-              law.d, strain, num::Vector{0.0, 0.0, 0.0});
-          gp_stress[b] = s - num::SymTensor2{law.eigenstress[0],
-                                             law.eigenstress[1],
-                                             law.eigenstress[2]};
-        } else {
-          gp_stress[b] = mat::stress_from_strain(d_mat[r], strain, eps_th[r]);
-        }
-      }
-      auto& out = raw[m.element_index(ex, ey)];
+      const auto& v = raw[m.element_index(ex, ey)];
       for (std::size_t a = 0; a < 4; ++a) {
-        num::SymTensor2 v;
-        for (std::size_t b = 0; b < 4; ++b) v += w[a][b] * gp_stress[b];
-        out[a] = v;
-        acc[nodes[a]][r] += v;
+        acc[nodes[a]][r] += v[a];
         ++cnt[nodes[a]][r];
       }
     }
   }
 
-  // Pass 2: replace corner values by the per-(node, material) average.
+  // Pass 2 (element-parallel): replace corner values by the
+  // per-(node, material) average; reads acc/cnt, writes own averaged[] slot.
   std::vector<std::array<num::SymTensor2, 4>> averaged(m.element_count());
-  for (std::size_t ey = 0; ey < m.ny(); ++ey) {
-    for (std::size_t ex = 0; ex < m.nx(); ++ex) {
-      const auto nodes = m.element_nodes(ex, ey);
-      const int r = static_cast<int>(m.material(ex, ey));
-      auto& out = averaged[m.element_index(ex, ey)];
-      for (std::size_t a = 0; a < 4; ++a) {
-        TSV_ASSERT(cnt[nodes[a]][r] > 0);
-        out[a] = acc[nodes[a]][r] * (1.0 / static_cast<double>(cnt[nodes[a]][r]));
-      }
+  num::parallel_for(m.element_count(), num_threads, [&](std::size_t e) {
+    const std::size_t ex = e % m.nx();
+    const std::size_t ey = e / m.nx();
+    const auto nodes = m.element_nodes(ex, ey);
+    const int r = static_cast<int>(m.material(ex, ey));
+    auto& out = averaged[m.element_index(ex, ey)];
+    for (std::size_t a = 0; a < 4; ++a) {
+      TSV_ASSERT(cnt[nodes[a]][r] > 0);
+      out[a] =
+          acc[nodes[a]][r] * (1.0 / static_cast<double>(cnt[nodes[a]][r]));
     }
-  }
+  });
   return StressField(std::move(mesh), std::move(averaged));
 }
 

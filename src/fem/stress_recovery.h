@@ -14,11 +14,15 @@ namespace tsv::fem {
 
 /// Builds a sampled stress field from the full displacement vector
 /// (2 * node_count entries, constrained dofs included as zeros).
+/// `num_threads` (0 = hardware concurrency, 1 = serial) parallelizes the
+/// element-local work; the per-(node, material) accumulation runs serially
+/// in element order, so results are identical for every thread count.
 StressField recover_stress(std::shared_ptr<const StructuredMesh> mesh,
                            const tsvlib::TsvStructure& structure,
                            const mat::ThermalLoad& load,
                            mat::PlaneAssumption plane,
                            const num::Vector& displacement,
-                           bool blend_interfaces = false);
+                           bool blend_interfaces = false,
+                           std::size_t num_threads = 1);
 
 }  // namespace tsv::fem

@@ -43,7 +43,7 @@ FemSolution solve_thermo_elastic(const tsvlib::Placement& placement,
 
   AssembledSystem sys =
       assemble(*mesh, placement.structure(), load, options.plane, boundary,
-               options.blend_interfaces);
+               options.blend_interfaces, options.num_threads);
 
   num::Vector reduced;
   num::CgResult cg;
@@ -72,7 +72,8 @@ FemSolution solve_thermo_elastic(const tsvlib::Placement& placement,
   num::Vector full = expand_solution(sys, reduced, mesh->node_count());
   StressField stress = recover_stress(mesh, placement.structure(), load,
                                       options.plane, full,
-                                      options.blend_interfaces);
+                                      options.blend_interfaces,
+                                      options.num_threads);
   return FemSolution{std::move(stress), std::move(full), cg,
                      sys.free_dof_count};
 }

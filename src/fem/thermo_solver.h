@@ -37,6 +37,11 @@ struct FemOptions {
   /// bias the soft-liner TSV stiff (see DESIGN.md); keep off unless running
   /// the ablation bench.
   bool blend_interfaces = false;
+  /// Threads for the element-parallel assembly and stress-recovery loops:
+  /// 0 = hardware concurrency, 1 = serial (default). Results are identical
+  /// for every thread count (accumulation stays in element order). The
+  /// linear solve itself is serial.
+  std::size_t num_threads = 1;
   num::CgOptions cg;
 };
 

@@ -2,7 +2,9 @@
 // 2D points/vectors and axis-aligned boxes. All coordinates are micrometers
 // unless a caller documents otherwise.
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "numeric/check.h"
 
@@ -57,6 +59,23 @@ struct Box {
   Box() = default;
   Box(Point lo_, Point hi_) : lo(lo_), hi(hi_) {
     TSV_REQUIRE(lo.x <= hi.x && lo.y <= hi.y, "inverted box");
+  }
+
+  /// Closed hull of a non-empty point set. Inclusive on every edge: each
+  /// input point satisfies contains() exactly, with no epsilon padding —
+  /// spatial indexes built on the result clamp hull-edge points into their
+  /// last cell (see GridIndex::cell_of), so padding is never needed.
+  static Box bounding(const std::vector<Point>& points) {
+    TSV_REQUIRE(!points.empty(), "bounding box of an empty point set");
+    Point lo = points.front();
+    Point hi = points.front();
+    for (const Point& p : points) {
+      lo.x = std::min(lo.x, p.x);
+      lo.y = std::min(lo.y, p.y);
+      hi.x = std::max(hi.x, p.x);
+      hi.y = std::max(hi.y, p.y);
+    }
+    return Box{lo, hi};
   }
 
   static Box centered(Point center, double width, double height) {

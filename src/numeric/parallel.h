@@ -1,0 +1,134 @@
+#pragma once
+// Shared-memory parallelism for the framework's embarrassingly parallel
+// loops: Stage I is point-parallel, Stage II is pair-parallel, and the FEM
+// element loops are element-parallel.
+//
+// Design rules (all enforced here so callers stay simple):
+//   * Static chunking: [0, n) splits into at most `num_threads` contiguous
+//     chunks, so every index is owned by exactly one chunk and results are
+//     deterministic for a fixed thread count.
+//   * `num_threads` semantics everywhere: 0 = hardware concurrency,
+//     1 = exact serial path (no pool involvement, bitwise-identical to a
+//     plain loop), n = n.
+//   * parallel_reduce gives each chunk a private accumulator and merges the
+//     partials in chunk index order, making write ownership and merge order
+//     explicit (the serial path returns the single accumulator untouched).
+//   * Nested calls from inside a worker run serially instead of
+//     deadlocking; exceptions thrown by a chunk rethrow on the caller.
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "numeric/check.h"
+
+namespace tsv::num {
+
+/// Number of hardware threads (>= 1 even when the runtime reports 0).
+std::size_t hardware_thread_count();
+
+/// Resolves a user-facing `num_threads` knob: 0 = hardware concurrency,
+/// anything else is taken literally.
+std::size_t resolve_thread_count(std::size_t requested);
+
+/// True while the calling thread executes inside a parallel region (worker
+/// or participating caller). Nested parallel calls detect this and run
+/// serially.
+bool in_parallel_region();
+
+/// Persistent worker pool. One region runs at a time; concurrent run()
+/// callers serialize on an internal mutex. Most code should go through
+/// parallel_for / parallel_reduce instead of using the pool directly.
+class ThreadPool {
+ public:
+  /// Pool with `worker_threads` background threads (the run() caller also
+  /// participates, so 0 workers means strictly serial execution).
+  explicit ThreadPool(std::size_t worker_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_threads() const;
+
+  /// Runs fn(chunk) for every chunk in [0, chunks), distributing chunks over
+  /// the caller plus the workers; blocks until all chunks finish. The first
+  /// exception thrown by a chunk aborts the remaining chunks and rethrows
+  /// here. Called from inside a region (nested), runs inline serially.
+  void run(std::size_t chunks, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool with hardware_thread_count() - 1 workers.
+  static ThreadPool& shared();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Bounds of chunk `c` when [0, n) splits into `chunks` contiguous chunks.
+inline std::pair<std::size_t, std::size_t> chunk_bounds(std::size_t n,
+                                                        std::size_t chunks,
+                                                        std::size_t c) {
+  TSV_ASSERT(chunks > 0 && c < chunks);
+  return {n * c / chunks, n * (c + 1) / chunks};
+}
+
+/// Splits [0, n) into at most resolve_thread_count(num_threads) contiguous
+/// chunks and runs body(begin, end, chunk_index) for each. With one chunk
+/// (n <= 1, num_threads == 1, or a nested call) the body runs inline as
+/// body(0, n, 0) — the exact serial path.
+template <typename Body>
+void parallel_for_chunks(std::size_t n, std::size_t num_threads, Body&& body) {
+  if (n == 0) return;
+  const std::size_t chunks =
+      std::min(resolve_thread_count(num_threads), n);
+  if (chunks <= 1 || in_parallel_region()) {
+    body(std::size_t{0}, n, std::size_t{0});
+    return;
+  }
+  ThreadPool::shared().run(chunks, [&](std::size_t c) {
+    const auto [begin, end] = chunk_bounds(n, chunks, c);
+    body(begin, end, c);
+  });
+}
+
+/// Element-wise parallel loop: body(i) for i in [0, n), statically chunked.
+/// Safe whenever body(i) only writes state owned by index i.
+template <typename Body>
+void parallel_for(std::size_t n, std::size_t num_threads, Body&& body) {
+  parallel_for_chunks(n, num_threads,
+                      [&](std::size_t begin, std::size_t end, std::size_t) {
+                        for (std::size_t i = begin; i < end; ++i) body(i);
+                      });
+}
+
+/// Chunked reduction with explicit write ownership: every chunk builds a
+/// private accumulator `make()` and folds its range with
+/// body(acc, begin, end); partials then merge on the caller in chunk index
+/// order via merge(total, partial). Deterministic for a fixed thread count;
+/// with a single chunk the lone accumulator is returned without any merge,
+/// bitwise-identical to the serial loop.
+template <typename T, typename Make, typename Body, typename Merge>
+T parallel_reduce(std::size_t n, std::size_t num_threads, Make&& make,
+                  Body&& body, Merge&& merge) {
+  const std::size_t chunks =
+      n == 0 ? 1 : std::min(resolve_thread_count(num_threads), n);
+  if (chunks <= 1 || in_parallel_region()) {
+    T acc = make();
+    if (n > 0) body(acc, std::size_t{0}, n);
+    return acc;
+  }
+  std::vector<std::optional<T>> parts(chunks);
+  ThreadPool::shared().run(chunks, [&](std::size_t c) {
+    const auto [begin, end] = chunk_bounds(n, chunks, c);
+    parts[c].emplace(make());
+    body(*parts[c], begin, end);
+  });
+  T total = std::move(*parts[0]);
+  for (std::size_t c = 1; c < chunks; ++c) merge(total, *parts[c]);
+  return total;
+}
+
+}  // namespace tsv::num

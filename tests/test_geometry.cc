@@ -38,6 +38,52 @@ TEST(Box, ContainsAndCentered) {
   EXPECT_DOUBLE_EQ(b.center().x, 1.0);
 }
 
+TEST(Box, BoundingIsTheClosedHull) {
+  const std::vector<Point> pts = {{2.0, -1.0}, {-3.0, 4.0}, {0.5, 0.5}};
+  const Box b = Box::bounding(pts);
+  EXPECT_DOUBLE_EQ(b.lo.x, -3.0);
+  EXPECT_DOUBLE_EQ(b.lo.y, -1.0);
+  EXPECT_DOUBLE_EQ(b.hi.x, 2.0);
+  EXPECT_DOUBLE_EQ(b.hi.y, 4.0);
+  // Inclusive on every edge: all inputs are contained exactly.
+  for (const Point& p : pts) EXPECT_TRUE(b.contains(p));
+}
+
+TEST(Box, BoundingOfSinglePointIsDegenerate) {
+  const Box b = Box::bounding({{1.5, -2.5}});
+  EXPECT_DOUBLE_EQ(b.width(), 0.0);
+  EXPECT_DOUBLE_EQ(b.height(), 0.0);
+  EXPECT_TRUE(b.contains({1.5, -2.5}));
+}
+
+TEST(Box, BoundingOfEmptySetThrows) {
+  EXPECT_THROW(Box::bounding({}), std::invalid_argument);
+}
+
+// Regression for the former epsilon padding in the Stage II point index:
+// an index built on the exact closed hull must find points lying exactly on
+// the upper bounds (they clamp into the last cell, not off the grid).
+TEST(GridIndex, FindsPointsExactlyOnHullUpperEdge) {
+  const std::vector<Point> pts = {{0.0, 0.0}, {10.0, 0.0}, {10.0, 7.0},
+                                  {3.0, 7.0}, {10.0, 3.5}};
+  const GridIndex index(pts, Box::bounding(pts), 2.0);
+  // Query centered on the hull's hi corner picks up every edge point.
+  const auto found = index.query_radius({10.0, 7.0}, 4.0);
+  EXPECT_EQ(found, (std::vector<std::uint32_t>{2, 4}));
+  // Zero-radius query exactly on the edge point.
+  const auto exact = index.query_radius({10.0, 7.0}, 0.0);
+  EXPECT_EQ(exact, (std::vector<std::uint32_t>{2}));
+}
+
+TEST(GridIndex, DegenerateHullStillQueries) {
+  // All points on one vertical line: hull width is zero.
+  const std::vector<Point> pts = {{5.0, 0.0}, {5.0, 2.0}, {5.0, 9.0}};
+  const GridIndex index(pts, Box::bounding(pts), 2.5);
+  const auto found = index.query_radius({5.0, 1.0}, 1.5);
+  EXPECT_EQ(found, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(index.nearest({5.0, 8.0}), 2u);
+}
+
 TEST(Box, InvertedThrows) {
   EXPECT_THROW(Box({1.0, 0.0}, {0.0, 1.0}), std::invalid_argument);
 }

@@ -86,5 +86,45 @@ TEST(Superposition, EmptyPlacementGivesZeroField) {
   EXPECT_DOUBLE_EQ(ls.stress_at({1.0, 1.0}).s11, 0.0);
 }
 
+// Determinism: Stage I is point-parallel with each point computed by
+// exactly one worker through the identical code path, so results must be
+// BITWISE identical to the serial path for every thread count.
+TEST(Superposition, ParallelEvaluateBitwiseMatchesSerial) {
+  const tsvlib::Placement cluster = tsvlib::make_jittered_array(
+      kS, 40, 1.0e-2, 10.0, 2024);
+  std::vector<geo::Point> pts;
+  const geo::Box roi = cluster.bounding_box().expanded(25.0);
+  for (double x = roi.lo.x; x <= roi.hi.x; x += 3.1)
+    for (double y = roi.lo.y; y <= roi.hi.y; y += 3.7) pts.push_back({x, y});
+
+  SuperpositionOptions serial_opt;
+  serial_opt.num_threads = 1;
+  const LinearSuperposition serial(cluster, make_table(), serial_opt);
+  const auto want = serial.evaluate(pts);
+
+  for (const std::size_t threads : {2u, 4u}) {
+    SuperpositionOptions opt;
+    opt.num_threads = threads;
+    const LinearSuperposition ls(cluster, make_table(), opt);
+    const auto got = ls.evaluate(pts);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      EXPECT_EQ(got[i].s11, want[i].s11) << "threads=" << threads << " i=" << i;
+      EXPECT_EQ(got[i].s22, want[i].s22) << "threads=" << threads << " i=" << i;
+      EXPECT_EQ(got[i].s12, want[i].s12) << "threads=" << threads << " i=" << i;
+    }
+  }
+}
+
+TEST(Superposition, HardwareConcurrencyOptionEvaluates) {
+  const tsvlib::Placement arr = tsvlib::make_array(kS, 3, 3, 10.0);
+  SuperpositionOptions opt;
+  opt.num_threads = 0;  // hardware concurrency
+  const LinearSuperposition ls(arr, make_table(), opt);
+  const auto out = ls.evaluate({{1.0, 1.0}, {5.0, 5.0}, {30.0, 30.0}});
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].s11, ls.stress_at({1.0, 1.0}).s11);
+}
+
 }  // namespace
 }  // namespace tsv::core
