@@ -1,0 +1,285 @@
+// Full-chip scalability bench: synthetic designs (regular arrays +
+// clustered banks + random logic TSVs, see tsv/fullchip.h) evaluated with
+// the tiled streaming driver. For each design size it times Stage I and
+// three Stage II configurations at equal thread count:
+//
+//   series   — the exact potential series (the accuracy-bench path),
+//   lookup   — the polar look-up table with exact-pitch caching: regular
+//              arrays hit the cache, but every unique bank/logic pitch
+//              builds its own table,
+//   quant    — the pitch-quantized table cache (--quant, default 0.25 um):
+//              all pairs in a quantization bucket share one table, so the
+//              whole design needs ~(pitch range / step) builds.
+//
+// Prints a human table plus one machine-readable JSON line per design
+// (also appended to <out-dir>/fullchip.jsonl) for trajectory tracking.
+//
+// Options (beyond the shared bench flags):
+//   --designs=1000,10000   TSV counts to sweep
+//   --density=0.0025       TSVs per um^2 (chip is sized from count/density)
+//   --quant=0.25           pitch quantization step, um
+//   --skip-uncached        skip the exact-pitch lookup rows (they dominate
+//                          wall time at 10k+ TSVs: one table build per
+//                          unique pitch)
+//
+// No FEM solve is needed: Stage I uses the analytic radial table.
+
+#include <sys/resource.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/tiled_evaluator.h"
+#include "io/table_printer.h"
+#include "numeric/parallel.h"
+#include "tsv/fullchip.h"
+
+namespace {
+
+struct Options {
+  std::vector<std::size_t> designs = {1000, 10000};
+  double density = 0.25e-2;    // paper Table 6 sparse case
+  double quant_step = 0.25;    // um
+  double spacing = 2.0;        // um, simulation-point grid
+  std::size_t threads = 1;
+  std::size_t tile_points = 64 * 1024;
+  bool skip_uncached = false;
+  bool fast = false;
+  std::string out_dir = ".";
+};
+
+Options parse(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg == "--fast") {
+      o.fast = true;
+      o.spacing = 4.0;
+      o.designs = {1000};
+    } else if (arg == "--skip-uncached") {
+      o.skip_uncached = true;
+    } else if (arg.rfind("--designs=", 0) == 0) {
+      o.designs.clear();
+      std::string list = value("--designs=");
+      for (std::size_t pos = 0; pos < list.size();) {
+        const std::size_t comma = list.find(',', pos);
+        const std::size_t end = comma == std::string::npos ? list.size()
+                                                           : comma;
+        o.designs.push_back(std::stoul(list.substr(pos, end - pos)));
+        pos = end + 1;
+      }
+    } else if (arg.rfind("--density=", 0) == 0) {
+      o.density = std::stod(value("--density="));
+    } else if (arg.rfind("--quant=", 0) == 0) {
+      o.quant_step = std::stod(value("--quant="));
+    } else if (arg.rfind("--spacing=", 0) == 0) {
+      o.spacing = std::stod(value("--spacing="));
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      o.threads = std::stoul(value("--threads="));
+    } else if (arg.rfind("--tile-points=", 0) == 0) {
+      o.tile_points = std::stoul(value("--tile-points="));
+    } else if (arg.rfind("--out-dir=", 0) == 0) {
+      o.out_dir = value("--out-dir=");
+    } else {
+      throw std::invalid_argument("unknown bench option: " + arg);
+    }
+  }
+  return o;
+}
+
+double peak_rss_mb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  // Linux reports ru_maxrss in KiB.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+/// One Stage II configuration evaluated through the tiled driver with a
+/// fresh interactive model (so every run pays its own table builds).
+struct RunResult {
+  tsv::core::TiledStats stats;
+  tsv::ana::PairTableCacheStats cache;
+  std::size_t tables = 0;
+  double max_vm = 0.0;
+  std::vector<tsv::num::SymTensor2> probe;  ///< strided field subsample
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tsv;
+  const Options opt = parse(argc, argv);
+  const std::size_t threads = num::resolve_thread_count(opt.threads);
+  const tsvlib::TsvStructure structure = tsvlib::TsvStructure::baseline_bcb();
+  const mat::ThermalLoad load{};
+
+  std::printf("=== Full-chip workloads: tiled evaluation + pitch-quantized "
+              "Stage II cache ===\n");
+  std::printf("host hardware threads: %zu; rows use threads=%zu, spacing=%.3g "
+              "um, tile=%zu points, quant step=%.3g um\n",
+              num::hardware_thread_count(), threads, opt.spacing,
+              opt.tile_points, opt.quant_step);
+
+  const ana::SingleTsvModel single(structure, load);
+  const core::RadialStressTable table =
+      core::RadialStressTable::from_analytic(single, 30.0, 4096);
+  const auto response =
+      std::make_shared<const ana::InclusionResponse>(structure);
+
+  std::ofstream jsonl(opt.out_dir + "/fullchip.jsonl", std::ios::app);
+
+  for (const std::size_t count : opt.designs) {
+    const tsvlib::FullChipSpec spec =
+        tsvlib::spec_for_count(count, opt.density, 90000 + count);
+    const tsvlib::FullChipDesign design = tsvlib::make_fullchip(structure,
+                                                               spec);
+    const std::string csv_path =
+        opt.out_dir + "/fullchip_" + std::to_string(count) + ".csv";
+    tsvlib::write_fullchip_csv(csv_path, design);
+
+    const geo::Box roi = design.placement.bounding_box().expanded(25.0);
+    const geo::SampleGrid grid = geo::SampleGrid::with_spacing(roi,
+                                                               opt.spacing);
+    std::printf("\n--- design %zu TSVs (arrays %zu, banks %zu, logic %zu), "
+                "chip %.0f x %.0f um, %zu points -> %s ---\n",
+                design.placement.size(),
+                design.count(tsvlib::TsvKind::kArray),
+                design.count(tsvlib::TsvKind::kBank),
+                design.count(tsvlib::TsvKind::kRandom), spec.chip.width(),
+                spec.chip.height(), grid.size(), csv_path.c_str());
+
+    // Every run gets a fresh interactive model so the table cache starts
+    // cold; the probe keeps a strided subsample for cross-run accuracy
+    // checks without holding the O(chip) field.
+    const auto run = [&](bool lookup, double quant) {
+      const auto model = std::make_shared<const ana::InteractiveStressModel>(
+          response, single.k_hat());
+      core::FrameworkOptions fopt;
+      fopt.num_threads = threads;
+      fopt.stage2.use_lookup_table = lookup;
+      fopt.stage2.pitch_quant_step = quant;
+      const core::StressFramework framework(design.placement, table, model,
+                                            fopt);
+      core::TiledOptions topt;
+      topt.max_tile_points = opt.tile_points;
+      const core::TiledEvaluator tiled(framework, topt);
+      RunResult r;
+      std::size_t seen = 0;
+      r.stats = tiled.evaluate(grid, [&](const core::Tile& tile) {
+        for (std::size_t i = 0; i < tile.stress.size(); ++i, ++seen) {
+          r.max_vm = std::max(r.max_vm,
+                              num::von_mises_plane_stress(tile.stress[i]));
+          if (seen % 101 == 0) r.probe.push_back(tile.stress[i]);
+        }
+      });
+      r.cache = model->table_cache_stats();
+      r.tables = model->table_cache_size();
+      return r;
+    };
+
+    const RunResult series = run(false, 0.0);
+    RunResult lookup;
+    // The exact-pitch cache keeps one table per unique pitch alive — at 10k
+    // TSVs that is tens of GB of tables, so the uncached reference row only
+    // runs for small designs (the quantized speedup is measured there).
+    constexpr std::size_t kUncachedLimit = 2000;
+    const bool ran_uncached =
+        !opt.skip_uncached && design.placement.size() <= kUncachedLimit;
+    if (!ran_uncached && !opt.skip_uncached)
+      std::printf("(skipping exact-pitch lookup row: > %zu TSVs)\n",
+                  kUncachedLimit);
+    if (ran_uncached) lookup = run(true, 0.0);
+    const RunResult quant = run(true, opt.quant_step);
+
+    // Max probe deviation of the quantized-cache field vs the exact series,
+    // relative to the field scale (the documented look-up budget is ~1%).
+    double scale = 0.0;
+    double worst = 0.0;
+    for (std::size_t i = 0; i < series.probe.size(); ++i) {
+      scale = std::max({scale, std::abs(series.probe[i].s11),
+                        std::abs(series.probe[i].s22)});
+      worst = std::max({worst,
+                        std::abs(quant.probe[i].s11 - series.probe[i].s11),
+                        std::abs(quant.probe[i].s22 - series.probe[i].s22),
+                        std::abs(quant.probe[i].s12 - series.probe[i].s12)});
+    }
+    const double field_err = scale > 0.0 ? worst / scale : 0.0;
+
+    io::TablePrinter out({"stage II path", "stageI(s)", "stageII(s)",
+                          "tables", "hits", "misses", "hit%"});
+    const auto add_row = [&](const char* name, const RunResult& r) {
+      out.add_row({name, io::TablePrinter::format(r.stats.stage1_seconds, 3),
+                   io::TablePrinter::format(r.stats.stage2_seconds, 3),
+                   std::to_string(r.tables), std::to_string(r.cache.hits),
+                   std::to_string(r.cache.misses),
+                   io::TablePrinter::format(100.0 * r.cache.hit_rate(), 3)});
+    };
+    add_row("series", series);
+    if (ran_uncached) add_row("lookup (exact pitch)", lookup);
+    add_row("lookup (quantized)", quant);
+    out.print(std::cout);
+
+    const double speedup_vs_lookup =
+        ran_uncached && quant.stats.stage2_seconds > 0.0
+            ? lookup.stats.stage2_seconds / quant.stats.stage2_seconds
+            : 0.0;
+    const double speedup_vs_series =
+        quant.stats.stage2_seconds > 0.0
+            ? series.stats.stage2_seconds / quant.stats.stage2_seconds
+            : 0.0;
+    std::printf("tiles %zu (%zu x %zu, peak %zu points); pair culling "
+                "%zu/%zu evaluated\n",
+                series.stats.tiles, series.stats.tiles_x,
+                series.stats.tiles_y, series.stats.peak_tile_points,
+                series.stats.culled_pairs,
+                series.stats.total_pairs * series.stats.tiles);
+    if (ran_uncached)
+      std::printf("quantized cache speedup: %.1fx vs exact-pitch lookup, "
+                  "%.1fx vs series\n",
+                  speedup_vs_lookup, speedup_vs_series);
+    else
+      std::printf("quantized cache speedup: %.1fx vs series (uncached row "
+                  "skipped)\n", speedup_vs_series);
+    std::printf("quantized field vs series (probe of %zu points): max dev "
+                "%.2f%% of field scale; max von Mises %.1f MPa; peak RSS "
+                "%.0f MB\n",
+                series.probe.size(), 100.0 * field_err, series.max_vm,
+                peak_rss_mb());
+
+    char json[1024];
+    std::snprintf(
+        json, sizeof(json),
+        "{\"bench\":\"fullchip\",\"tsvs\":%zu,\"arrays\":%zu,\"banks\":%zu,"
+        "\"logic\":%zu,\"chip_um\":%.1f,\"points\":%zu,\"spacing_um\":%.3g,"
+        "\"threads\":%zu,\"tiles\":%zu,\"peak_tile_points\":%zu,"
+        "\"total_pairs\":%zu,\"stage1_s\":%.4f,\"stage2_series_s\":%.4f,"
+        "\"stage2_lookup_s\":%.4f,\"stage2_quant_s\":%.4f,"
+        "\"quant_step_um\":%.3g,\"quant_tables\":%zu,\"quant_hits\":%llu,"
+        "\"quant_misses\":%llu,\"quant_hit_rate\":%.4f,"
+        "\"speedup_vs_lookup\":%.2f,\"speedup_vs_series\":%.2f,"
+        "\"field_err_frac\":%.5f,\"max_vm_mpa\":%.2f,\"peak_rss_mb\":%.1f}",
+        design.placement.size(), design.count(tsvlib::TsvKind::kArray),
+        design.count(tsvlib::TsvKind::kBank),
+        design.count(tsvlib::TsvKind::kRandom), spec.chip.width(),
+        grid.size(), opt.spacing, threads, series.stats.tiles,
+        series.stats.peak_tile_points, series.stats.total_pairs,
+        quant.stats.stage1_seconds, series.stats.stage2_seconds,
+        ran_uncached ? lookup.stats.stage2_seconds : -1.0,
+        quant.stats.stage2_seconds, opt.quant_step, quant.tables,
+        static_cast<unsigned long long>(quant.cache.hits),
+        static_cast<unsigned long long>(quant.cache.misses),
+        quant.cache.hit_rate(), speedup_vs_lookup, speedup_vs_series,
+        field_err, series.max_vm, peak_rss_mb());
+    std::printf("json: %s\n", json);
+    if (jsonl) jsonl << json << '\n';
+  }
+  return 0;
+}

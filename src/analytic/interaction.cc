@@ -62,18 +62,44 @@ const RegionField& InteractiveStressModel::combined_for_pitch(
 }
 
 const PairStressTable& InteractiveStressModel::table_for_pitch(
-    double pitch, double r_max) const {
+    double pitch, double r_max, double quant_step) const {
+  TSV_REQUIRE(quant_step >= 0.0, "negative pitch quantization step");
+  if (quant_step > 0.0) {
+    // Snap to the nearest multiple of the step, but never below the TSV
+    // diameter (the combined response requires a non-overlapping pair).
+    double snapped = std::round(pitch / quant_step) * quant_step;
+    while (snapped < 2.0 * outer_radius_) snapped += quant_step;
+    pitch = snapped;
+  }
   const std::pair<long long, long long> key{std::llround(pitch * 1e6),
                                             std::llround(r_max * 1e6)};
   {
     const std::lock_guard<std::mutex> lock(cache_mutex_);
-    if (const auto it = table_cache_.find(key); it != table_cache_.end())
+    if (const auto it = table_cache_.find(key); it != table_cache_.end()) {
+      table_hits_.fetch_add(1, std::memory_order_relaxed);
       return it->second;
+    }
   }
+  table_misses_.fetch_add(1, std::memory_order_relaxed);
   const RegionField& combined = combined_for_pitch(pitch);
   PairStressTable table(*this, combined, pitch, r_max, PairTableOptions{});
   const std::lock_guard<std::mutex> lock(cache_mutex_);
   return table_cache_.emplace(key, std::move(table)).first->second;
+}
+
+PairTableCacheStats InteractiveStressModel::table_cache_stats() const {
+  return {table_hits_.load(std::memory_order_relaxed),
+          table_misses_.load(std::memory_order_relaxed)};
+}
+
+void InteractiveStressModel::reset_table_cache_stats() const {
+  table_hits_.store(0, std::memory_order_relaxed);
+  table_misses_.store(0, std::memory_order_relaxed);
+}
+
+std::size_t InteractiveStressModel::table_cache_size() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return table_cache_.size();
 }
 
 num::SymTensor2 InteractiveStressModel::stress_at(

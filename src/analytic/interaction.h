@@ -13,6 +13,8 @@
 // beta_n = -khat / dhat^(n+1); responses are combined once per pitch and
 // cached, so evaluating many points against the same pair is cheap.
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -24,6 +26,21 @@
 #include "geometry/point.h"
 
 namespace tsv::ana {
+
+/// Hit/miss counters of the per-pitch PairStressTable cache. A miss is a
+/// table build; full-chip arrays repeat a handful of pitches, so the hit
+/// rate measures how well pitch quantization amortizes the builds.
+struct PairTableCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+  std::uint64_t lookups() const { return hits + misses; }
+  double hit_rate() const {
+    return lookups() > 0
+               ? static_cast<double>(hits) / static_cast<double>(lookups())
+               : 0.0;
+  }
+};
 
 class InteractiveStressModel {
  public:
@@ -70,7 +87,29 @@ class InteractiveStressModel {
   /// of magnitude cheaper per point than the series (bilinear interpolation
   /// vs three Horner evaluations) at ~1% field accuracy; see the Stage II
   /// lookup option and bench_ablation. Thread-safe like combined_for_pitch.
-  const PairStressTable& table_for_pitch(double pitch, double r_max) const;
+  ///
+  /// `quant_step` (um) controls how pitches share tables. 0 keeps the exact
+  /// per-pitch cache (keys quantized only to 1e-6 um against fp noise):
+  /// regular arrays repeat a handful of pitches and hit constantly, but on
+  /// random placements every pair has a unique pitch and every lookup
+  /// builds. A positive step snaps the pitch to the nearest multiple of
+  /// `quant_step` (never below the TSV diameter), so a whole design needs
+  /// only ~(pitch range / step) table builds. The extra field error is the
+  /// pitch sensitivity over half a step — at the paper's geometry a 0.25 um
+  /// step stays within the table's own ~1% interpolation budget (see
+  /// test_quantized_cache).
+  const PairStressTable& table_for_pitch(double pitch, double r_max,
+                                         double quant_step = 0.0) const;
+
+  /// Cumulative hit/miss counters of table_for_pitch since construction (or
+  /// the last reset). Thread-safe; under concurrent builds of the same key
+  /// the losers still count as misses, so `misses` can slightly exceed the
+  /// number of cached tables.
+  PairTableCacheStats table_cache_stats() const;
+  void reset_table_cache_stats() const;
+
+  /// Number of distinct PairStressTables currently cached.
+  std::size_t table_cache_size() const;
 
  private:
   std::shared_ptr<const InclusionResponse> response_;
@@ -81,6 +120,8 @@ class InteractiveStressModel {
   mutable std::map<long long, RegionField> cache_;
   mutable std::map<std::pair<long long, long long>, PairStressTable>
       table_cache_;
+  mutable std::atomic<std::uint64_t> table_hits_{0};
+  mutable std::atomic<std::uint64_t> table_misses_{0};
 };
 
 }  // namespace tsv::ana

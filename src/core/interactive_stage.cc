@@ -1,5 +1,7 @@
 #include "core/interactive_stage.h"
 
+#include <algorithm>
+
 #include "numeric/parallel.h"
 
 namespace tsv::core {
@@ -7,6 +9,35 @@ namespace {
 
 geo::Box index_bounds(const tsvlib::Placement& p) {
   return p.empty() ? geo::Box{{0.0, 0.0}, {1.0, 1.0}} : p.bounding_box();
+}
+
+/// FNV-1a over the raw coordinate bytes. One pass over the points is far
+/// cheaper than rebuilding the GridIndex (counting sort + allocations), and
+/// a 64-bit digest plus the size check makes accidental collisions across
+/// sweep iterations vanishingly unlikely.
+std::uint64_t fingerprint_points(const std::vector<geo::Point>& points) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xffull;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const geo::Point& p : points) {
+    mix(p.x);
+    mix(p.y);
+  }
+  return h;
+}
+
+/// Distance from a point to a closed axis-aligned box (0 inside).
+double distance_to_box(const geo::Point& p, const geo::Box& box) {
+  const double dx = std::max({box.lo.x - p.x, 0.0, p.x - box.hi.x});
+  const double dy = std::max({box.lo.y - p.y, 0.0, p.y - box.hi.y});
+  return std::hypot(dx, dy);
 }
 
 }  // namespace
@@ -24,6 +55,8 @@ InteractiveStage::InteractiveStage(
   TSV_REQUIRE(options_.pair_pitch_cutoff > 0.0 &&
                   options_.influence_radius > 0.0,
               "cutoffs must be positive");
+  TSV_REQUIRE(options_.pitch_quant_step >= 0.0,
+              "negative pitch quantization step");
 }
 
 num::SymTensor2 InteractiveStage::stress_at(const geo::Point& p) const {
@@ -57,20 +90,73 @@ InteractiveStage::ordered_pairs() const {
   return pairs;
 }
 
+std::vector<std::pair<std::uint32_t, std::uint32_t>>
+InteractiveStage::ordered_pairs_near(const geo::Box& region) const {
+  const auto& centers = placement_.centers();
+  // Over-query a disc covering the region plus the influence halo, then
+  // keep the victims whose true box distance is within the radius.
+  const double half_diag =
+      std::hypot(region.width(), region.height()) / 2.0;
+  std::vector<std::uint32_t> candidates;
+  tsv_index_.query_radius(region.center(),
+                          half_diag + options_.influence_radius, candidates);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  std::vector<std::uint32_t> nearby;
+  for (const std::uint32_t v : candidates) {
+    if (distance_to_box(centers[v], region) > options_.influence_radius)
+      continue;
+    tsv_index_.query_radius(centers[v], options_.pair_pitch_cutoff, nearby);
+    for (const std::uint32_t a : nearby) {
+      if (a != v) pairs.emplace_back(v, a);
+    }
+  }
+  return pairs;
+}
+
+std::shared_ptr<const geo::GridIndex> InteractiveStage::point_index_for(
+    const std::vector<geo::Point>& points) const {
+  const std::uint64_t fp = fingerprint_points(points);
+  {
+    const std::lock_guard<std::mutex> lock(point_cache_mutex_);
+    if (point_index_cache_ != nullptr &&
+        point_index_cache_->size() == points.size() &&
+        point_cache_fingerprint_ == fp) {
+      return point_index_cache_;
+    }
+  }
+  // The hull is inclusive on every edge, so points exactly on the boundary
+  // stay indexed.
+  auto index = std::make_shared<const geo::GridIndex>(
+      points, geo::Box::bounding(points),
+      std::max(options_.influence_radius / 2.0, 1.0));
+  const std::lock_guard<std::mutex> lock(point_cache_mutex_);
+  point_cache_fingerprint_ = fp;
+  point_index_cache_ = index;
+  return index;
+}
+
 std::vector<num::SymTensor2> InteractiveStage::evaluate(
     const std::vector<geo::Point>& points) const {
   if (placement_.size() < 2 || points.empty())
     return std::vector<num::SymTensor2>(points.size());
+  const std::shared_ptr<const geo::GridIndex> index = point_index_for(points);
+  return evaluate_pairs(points, ordered_pairs(), *index);
+}
 
-  // Index the simulation points so each pair only touches points within the
-  // victim's influence radius. The hull is inclusive on every edge, so
-  // points exactly on the boundary stay indexed.
-  const geo::GridIndex point_index(
-      points, geo::Box::bounding(points),
-      std::max(options_.influence_radius / 2.0, 1.0));
+std::vector<num::SymTensor2> InteractiveStage::evaluate(
+    const std::vector<geo::Point>& points, const geo::Box& bounds) const {
+  if (placement_.size() < 2 || points.empty())
+    return std::vector<num::SymTensor2>(points.size());
+  const geo::GridIndex index(points, geo::Box::bounding(points),
+                             std::max(options_.influence_radius / 2.0, 1.0));
+  return evaluate_pairs(points, ordered_pairs_near(bounds), index);
+}
 
+std::vector<num::SymTensor2> InteractiveStage::evaluate_pairs(
+    const std::vector<geo::Point>& points,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs,
+    const geo::GridIndex& point_index) const {
   const auto& centers = placement_.centers();
-  const auto pairs = ordered_pairs();
   // Pair-parallel: every chunk of pairs accumulates into its own private
   // buffer (writing `out[n] +=` across chunks would race), and the partial
   // fields merge in chunk index order afterwards. With num_threads == 1
@@ -89,8 +175,8 @@ std::vector<num::SymTensor2> InteractiveStage::evaluate(
           point_index.query_radius(victim, options_.influence_radius,
                                    affected);
           if (options_.use_lookup_table) {
-            const ana::PairStressTable& table =
-                model_->table_for_pitch(pitch, options_.influence_radius);
+            const ana::PairStressTable& table = model_->table_for_pitch(
+                pitch, options_.influence_radius, options_.pitch_quant_step);
             for (const std::uint32_t n : affected)
               out[n] += table.stress_at(victim, aggressor, points[n]);
           } else {

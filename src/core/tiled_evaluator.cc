@@ -1,0 +1,92 @@
+#include "core/tiled_evaluator.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "numeric/parallel.h"
+
+namespace tsv::core {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+TiledEvaluator::TiledEvaluator(const StressFramework& framework,
+                               const TiledOptions& options)
+    : framework_(&framework), options_(options) {
+  TSV_REQUIRE(options_.max_tile_points >= 1,
+              "need at least one point per tile");
+}
+
+TiledStats TiledEvaluator::evaluate(const geo::SampleGrid& grid,
+                                    const TileConsumer& consume) const {
+  TSV_REQUIRE(consume != nullptr, "null tile consumer");
+  TiledStats stats;
+  // Square-ish tiles: side = floor(sqrt(max_tile_points)) capped by the grid
+  // extents, split evenly so tile sizes differ by at most one row/column.
+  const std::size_t side = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::floor(std::sqrt(static_cast<double>(
+                 options_.max_tile_points)))));
+  stats.tiles_x = (grid.nx() + side - 1) / side;
+  stats.tiles_y = (grid.ny() + side - 1) / side;
+  const InteractiveStage* stage2 = framework_->stage2();
+  if (stage2 != nullptr) stats.total_pairs = stage2->ordered_pairs().size();
+
+  std::vector<geo::Point> points;
+  std::vector<num::SymTensor2> stress;
+  std::vector<num::SymTensor2> interactive;
+  const std::vector<num::SymTensor2> empty;
+  for (std::size_t ty = 0; ty < stats.tiles_y; ++ty) {
+    const auto [iy0, iy1] = num::chunk_bounds(grid.ny(), stats.tiles_y, ty);
+    for (std::size_t tx = 0; tx < stats.tiles_x; ++tx) {
+      const auto [ix0, ix1] = num::chunk_bounds(grid.nx(), stats.tiles_x, tx);
+      const std::size_t tnx = ix1 - ix0;
+      const std::size_t tny = iy1 - iy0;
+      points.clear();
+      points.reserve(tnx * tny);
+      for (std::size_t iy = iy0; iy < iy1; ++iy)
+        for (std::size_t ix = ix0; ix < ix1; ++ix)
+          points.push_back(grid.point(ix, iy));
+      const geo::Box bounds{grid.point(ix0, iy0),
+                            grid.point(ix1 - 1, iy1 - 1)};
+
+      const auto t0 = Clock::now();
+      stress = framework_->stage1().evaluate(points);
+      stats.stage1_seconds += seconds_since(t0);
+
+      if (stage2 != nullptr) {
+        const auto t1 = Clock::now();
+        stats.culled_pairs += stage2->ordered_pairs_near(bounds).size();
+        interactive = stage2->evaluate(points, bounds);
+        num::parallel_for(points.size(),
+                          framework_->options().stage2.num_threads,
+                          [&](std::size_t i) { stress[i] += interactive[i]; });
+        stats.stage2_seconds += seconds_since(t1);
+      }
+
+      Tile tile{stats.tiles,
+                ix0,
+                iy0,
+                tnx,
+                tny,
+                bounds,
+                points,
+                stress,
+                options_.keep_interactive && stage2 != nullptr ? interactive
+                                                               : empty};
+      consume(tile);
+      ++stats.tiles;
+      stats.points += points.size();
+      stats.peak_tile_points = std::max(stats.peak_tile_points, points.size());
+    }
+  }
+  return stats;
+}
+
+}  // namespace tsv::core

@@ -1,0 +1,82 @@
+#pragma once
+// Tiled, streaming evaluation of the two-stage framework over a sample
+// grid — the full-chip driver. A 10k-TSV chip sampled at sub-um spacing has
+// millions of points; materializing the whole field (plus the Stage II
+// partial buffers of the pair-parallel reduce) costs O(chip) memory. This
+// driver splits the grid into cache-sized tiles, evaluates both stages per
+// tile (Stage II enumerates only the pairs whose victim can reach the tile,
+// via the TSV grid index) and hands each finished tile to a consumer, so
+// peak memory is O(tile) and results stream in deterministic row-major
+// tile order. The per-tile evaluations reuse the framework's thread pool:
+// tiles x threads compose because the outer tile loop is serial.
+
+#include <functional>
+#include <vector>
+
+#include "core/framework.h"
+#include "geometry/sample_grid.h"
+
+namespace tsv::core {
+
+struct TiledOptions {
+  /// Upper bound on points per tile. The default keeps a tile's output plus
+  /// one private Stage II buffer per thread comfortably inside the last
+  /// level cache for typical thread counts (64k points x 24 B/tensor =
+  /// 1.5 MB per buffer).
+  std::size_t max_tile_points = 64 * 1024;
+  /// Also expose the Stage II part of each tile (Tile::interactive). Off by
+  /// default: most consumers only need the total field.
+  bool keep_interactive = false;
+};
+
+/// One finished tile, valid only for the duration of the consumer call.
+struct Tile {
+  std::size_t index = 0;  ///< running number, row-major (y-outer) tile order
+  std::size_t ix0 = 0;    ///< first grid column of the tile
+  std::size_t iy0 = 0;    ///< first grid row of the tile
+  std::size_t nx = 0;     ///< tile extent in columns
+  std::size_t ny = 0;     ///< tile extent in rows
+  geo::Box bounds;        ///< hull of the tile's points
+  /// Tile points, row-major within the tile (y outer), and the fields at
+  /// them; `interactive` is empty unless TiledOptions::keep_interactive.
+  const std::vector<geo::Point>& points;
+  const std::vector<num::SymTensor2>& stress;
+  const std::vector<num::SymTensor2>& interactive;
+};
+
+using TileConsumer = std::function<void(const Tile&)>;
+
+struct TiledStats {
+  std::size_t tiles = 0;
+  std::size_t tiles_x = 0;
+  std::size_t tiles_y = 0;
+  std::size_t points = 0;
+  std::size_t peak_tile_points = 0;
+  double stage1_seconds = 0.0;
+  double stage2_seconds = 0.0;
+  /// Ordered pairs in the whole design, and the total over tiles of the
+  /// pairs each tile actually evaluated. Their ratio measures how much the
+  /// per-tile culling saves vs. evaluating every pair against every tile.
+  std::size_t total_pairs = 0;
+  std::size_t culled_pairs = 0;
+};
+
+class TiledEvaluator {
+ public:
+  explicit TiledEvaluator(const StressFramework& framework,
+                          const TiledOptions& options = {});
+
+  const TiledOptions& options() const { return options_; }
+
+  /// Evaluates the framework over `grid`, streaming tiles to `consume` in
+  /// row-major tile order. The Tile references are only valid inside the
+  /// callback — copy what you keep.
+  TiledStats evaluate(const geo::SampleGrid& grid,
+                      const TileConsumer& consume) const;
+
+ private:
+  const StressFramework* framework_;
+  TiledOptions options_;
+};
+
+}  // namespace tsv::core

@@ -1,0 +1,224 @@
+#include "tsv/fullchip.h"
+
+#include <cmath>
+#include <numbers>
+#include <random>
+#include <stdexcept>
+
+#include "geometry/grid_index.h"
+#include "io/csv.h"
+
+namespace tsv::tsvlib {
+namespace {
+
+/// Shared generator state: the occupancy grid holds every accepted center,
+/// so the min-pitch test is O(1) per candidate regardless of design size.
+struct Builder {
+  const FullChipSpec& spec;
+  std::mt19937_64 rng;
+  geo::OccupancyGrid occupied;
+  std::vector<TsvKind> kinds;
+
+  explicit Builder(const FullChipSpec& s)
+      : spec(s),
+        rng(s.seed),
+        occupied(s.chip, std::max(s.min_pitch, 1.0)) {}
+
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(rng);
+  }
+
+  bool fits(const geo::Point& p) const {
+    return spec.chip.contains(p) &&
+           !occupied.any_within(p, spec.min_pitch * (1.0 - 1e-12));
+  }
+
+  void accept(const geo::Point& p, TsvKind kind) {
+    occupied.insert(p);
+    kinds.push_back(kind);
+  }
+
+  [[noreturn]] void fail(const char* population) {
+    throw std::runtime_error(
+        std::string("make_fullchip: could not place the ") + population +
+        " population under the min-pitch constraint; enlarge the chip or "
+        "reduce the TSV counts");
+  }
+};
+
+void place_arrays(Builder& b) {
+  const FullChipSpec& spec = b.spec;
+  if (spec.array_blocks == 0 || spec.array_nx * spec.array_ny == 0) return;
+  const double ex = static_cast<double>(spec.array_nx - 1) * spec.array_pitch;
+  const double ey = static_cast<double>(spec.array_ny - 1) * spec.array_pitch;
+  if (ex > spec.chip.width() || ey > spec.chip.height())
+    throw std::invalid_argument(
+        "make_fullchip: an array block does not fit the chip");
+  std::vector<geo::Point> block;
+  block.reserve(spec.array_nx * spec.array_ny);
+  for (std::size_t i = 0; i < spec.array_blocks; ++i) {
+    bool placed = false;
+    for (int attempt = 0; attempt < 200 && !placed; ++attempt) {
+      const geo::Point origin{b.uniform(spec.chip.lo.x, spec.chip.hi.x - ex),
+                              b.uniform(spec.chip.lo.y, spec.chip.hi.y - ey)};
+      block.clear();
+      bool ok = true;
+      for (std::size_t iy = 0; iy < spec.array_ny && ok; ++iy) {
+        for (std::size_t ix = 0; ix < spec.array_nx && ok; ++ix) {
+          const geo::Point p{
+              origin.x + static_cast<double>(ix) * spec.array_pitch,
+              origin.y + static_cast<double>(iy) * spec.array_pitch};
+          // Block-internal spacing is array_pitch >= min_pitch by
+          // construction; only conflicts against already-accepted TSVs
+          // need checking.
+          if (!b.fits(p)) ok = false;
+          block.push_back(p);
+        }
+      }
+      if (!ok) continue;
+      for (const geo::Point& p : block) b.accept(p, TsvKind::kArray);
+      placed = true;
+    }
+    if (!placed) b.fail("array");
+  }
+}
+
+void place_banks(Builder& b) {
+  const FullChipSpec& spec = b.spec;
+  if (spec.bank_count == 0 || spec.bank_size == 0) return;
+  std::vector<geo::Point> bank;
+  bank.reserve(spec.bank_size);
+  for (std::size_t i = 0; i < spec.bank_count; ++i) {
+    bool placed = false;
+    for (int attempt = 0; attempt < 100 && !placed; ++attempt) {
+      const geo::Point center{b.uniform(spec.chip.lo.x, spec.chip.hi.x),
+                              b.uniform(spec.chip.lo.y, spec.chip.hi.y)};
+      bank.clear();
+      bool ok = true;
+      for (std::size_t k = 0; k < spec.bank_size && ok; ++k) {
+        bool found = false;
+        for (int draw = 0; draw < 300 && !found; ++draw) {
+          // Uniform in the disc: r = R sqrt(u).
+          const double r = spec.bank_radius * std::sqrt(b.uniform(0.0, 1.0));
+          const double phi = b.uniform(0.0, 2.0 * std::numbers::pi);
+          const geo::Point p{center.x + r * std::cos(phi),
+                             center.y + r * std::sin(phi)};
+          if (!b.fits(p)) continue;
+          bool local_ok = true;
+          for (const geo::Point& q : bank) {
+            if (geo::distance_squared(p, q) <
+                spec.min_pitch * spec.min_pitch) {
+              local_ok = false;
+              break;
+            }
+          }
+          if (!local_ok) continue;
+          bank.push_back(p);
+          found = true;
+        }
+        if (!found) ok = false;
+      }
+      if (!ok) continue;
+      for (const geo::Point& p : bank) b.accept(p, TsvKind::kBank);
+      placed = true;
+    }
+    if (!placed) b.fail("bank");
+  }
+}
+
+void place_random(Builder& b) {
+  const FullChipSpec& spec = b.spec;
+  const std::size_t max_attempts = spec.random_count * 2000 + 10000;
+  std::size_t attempts = 0;
+  for (std::size_t placed = 0; placed < spec.random_count;) {
+    if (++attempts > max_attempts) b.fail("logic-region");
+    const geo::Point p{b.uniform(spec.chip.lo.x, spec.chip.hi.x),
+                       b.uniform(spec.chip.lo.y, spec.chip.hi.y)};
+    if (!b.fits(p)) continue;
+    b.accept(p, TsvKind::kRandom);
+    ++placed;
+  }
+}
+
+}  // namespace
+
+const char* to_string(TsvKind kind) {
+  switch (kind) {
+    case TsvKind::kArray:
+      return "array";
+    case TsvKind::kBank:
+      return "bank";
+    case TsvKind::kRandom:
+      return "random";
+  }
+  return "?";
+}
+
+std::size_t FullChipDesign::count(TsvKind kind) const {
+  std::size_t n = 0;
+  for (const TsvKind k : kinds) n += (k == kind) ? 1 : 0;
+  return n;
+}
+
+FullChipDesign make_fullchip(const TsvStructure& s, const FullChipSpec& spec) {
+  TSV_REQUIRE(spec.min_pitch >= 2.0 * s.outer_radius(),
+              "min_pitch must keep TSVs from overlapping");
+  if (spec.array_blocks > 0 && spec.array_nx * spec.array_ny > 1 &&
+      spec.array_pitch < spec.min_pitch)
+    throw std::invalid_argument(
+        "make_fullchip: array_pitch below the global min_pitch");
+  TSV_REQUIRE(spec.bank_count == 0 || spec.bank_radius > 0.0,
+              "bank_radius must be positive");
+
+  Builder b(spec);
+  place_arrays(b);
+  place_banks(b);
+  place_random(b);
+
+  FullChipDesign design{Placement(s, b.occupied.points()),
+                        std::move(b.kinds)};
+  return design;
+}
+
+FullChipSpec spec_for_count(std::size_t count, double density,
+                            std::uint64_t seed) {
+  TSV_REQUIRE(density > 0.0, "density must be positive");
+  FullChipSpec spec;
+  spec.seed = seed;
+  const double side = std::sqrt(static_cast<double>(count) / density);
+  spec.chip = geo::Box{{0.0, 0.0}, {side, side}};
+
+  // ~40% arrays / ~30% banks / ~30% logic; the logic share absorbs the
+  // rounding so total() == count exactly.
+  const std::size_t block_tsvs = spec.array_nx * spec.array_ny;
+  spec.array_blocks = static_cast<std::size_t>(
+      std::round(0.4 * static_cast<double>(count) /
+                 static_cast<double>(block_tsvs)));
+  spec.bank_count = static_cast<std::size_t>(
+      std::round(0.3 * static_cast<double>(count) /
+                 static_cast<double>(spec.bank_size)));
+  const std::size_t structured =
+      spec.array_blocks * block_tsvs + spec.bank_count * spec.bank_size;
+  if (structured > count) {
+    // Tiny designs: fall back to pure logic-region TSVs.
+    spec.array_blocks = 0;
+    spec.bank_count = 0;
+    spec.random_count = count;
+  } else {
+    spec.random_count = count - structured;
+  }
+  return spec;
+}
+
+void write_fullchip_csv(const std::string& path,
+                        const FullChipDesign& design) {
+  io::CsvWriter csv(path);
+  csv.header({"x_um", "y_um", "kind"});
+  const auto& centers = design.placement.centers();
+  for (std::size_t i = 0; i < centers.size(); ++i) {
+    csv.row({std::to_string(centers[i].x), std::to_string(centers[i].y),
+             to_string(design.kinds[i])});
+  }
+}
+
+}  // namespace tsv::tsvlib

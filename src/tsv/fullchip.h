@@ -1,0 +1,76 @@
+#pragma once
+// Synthetic full-chip TSV workloads (the scale of the paper's Table 6 and
+// beyond). Real designs mix three populations: regular power/ground TSV
+// arrays, tightly clustered signal banks, and sparse TSVs scattered through
+// logic regions. A seeded generator composes all three on one chip with a
+// global minimum-pitch guarantee (enforced incrementally through
+// geo::OccupancyGrid, the dynamic sibling of the framework's GridIndex), so
+// scalability benches and property tests get reproducible designs at any
+// size without shipping placement files.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tsv/placement.h"
+
+namespace tsv::tsvlib {
+
+enum class TsvKind : std::uint8_t { kArray, kBank, kRandom };
+
+const char* to_string(TsvKind kind);
+
+struct FullChipSpec {
+  geo::Box chip{{0.0, 0.0}, {500.0, 500.0}};
+  double min_pitch = 10.0;  ///< um, global center-to-center floor
+  std::uint64_t seed = 1;
+
+  /// Regular arrays (power/ground bundles): `array_blocks` blocks of
+  /// array_nx x array_ny TSVs at array_pitch, dropped at random
+  /// non-conflicting anchors.
+  std::size_t array_blocks = 2;
+  std::size_t array_nx = 8;
+  std::size_t array_ny = 8;
+  double array_pitch = 10.0;
+
+  /// Clustered signal banks: `bank_count` banks of `bank_size` TSVs thrown
+  /// uniformly into a disc of `bank_radius` around a random bank center.
+  std::size_t bank_count = 4;
+  std::size_t bank_size = 16;
+  double bank_radius = 25.0;
+
+  /// Sparse logic-region TSVs, uniform over the whole chip.
+  std::size_t random_count = 128;
+
+  std::size_t total() const {
+    return array_blocks * array_nx * array_ny + bank_count * bank_size +
+           random_count;
+  }
+};
+
+/// A generated design: the placement plus the population each TSV belongs
+/// to (`kinds` aligns with placement.centers()).
+struct FullChipDesign {
+  Placement placement;
+  std::vector<TsvKind> kinds;
+
+  std::size_t count(TsvKind kind) const;
+};
+
+/// Generates a design satisfying `spec`. Deterministic for a given seed.
+/// Throws std::runtime_error when the chip cannot fit the requested
+/// populations under the min-pitch constraint (too many rejections), and
+/// std::invalid_argument for inconsistent specs (e.g. array_pitch below
+/// min_pitch).
+FullChipDesign make_fullchip(const TsvStructure& s, const FullChipSpec& spec);
+
+/// Spec with the default population mix (~40% array / ~30% bank / ~30%
+/// logic) scaled to `count` TSVs on a square chip sized for `density`
+/// TSVs per um^2 overall (paper Table 6 sweeps 0.25e-2 to 1.0e-2).
+FullChipSpec spec_for_count(std::size_t count, double density,
+                            std::uint64_t seed);
+
+/// CSV export (columns x_um, y_um, kind) for plotting and external tools.
+void write_fullchip_csv(const std::string& path, const FullChipDesign& design);
+
+}  // namespace tsv::tsvlib

@@ -48,17 +48,10 @@ Placement make_random(const TsvStructure& s, std::size_t count,
   std::uniform_real_distribution<double> ux(area.lo.x, area.hi.x);
   std::uniform_real_distribution<double> uy(area.lo.y, area.hi.y);
 
-  // Dart throwing with a bucket grid for the min-pitch test.
-  const double cell = min_pitch;
-  std::vector<geo::Point> accepted;
-  accepted.reserve(count);
-  const auto conflicts = [&](const geo::Point& cand) {
-    for (const auto& a : accepted) {
-      if (geo::distance_squared(a, cand) < min_pitch * min_pitch) return true;
-    }
-    return false;
-  };
-  (void)cell;
+  // Dart throwing with a dynamic bucket grid: the min-pitch test is O(1)
+  // per candidate, so 10k+ TSV full-chip workloads generate in linear time
+  // instead of the quadratic scan this used before.
+  geo::OccupancyGrid accepted(area, min_pitch);
   const std::size_t max_attempts = count * 1000 + 10000;
   std::size_t attempts = 0;
   while (accepted.size() < count) {
@@ -66,10 +59,11 @@ Placement make_random(const TsvStructure& s, std::size_t count,
       throw std::runtime_error(
           "make_random: could not fit the requested TSV count into the area "
           "under the min-pitch constraint");
-    geo::Point cand{ux(rng), uy(rng)};
-    if (!conflicts(cand)) accepted.push_back(cand);
+    const geo::Point cand{ux(rng), uy(rng)};
+    if (!accepted.any_within(cand, min_pitch * (1.0 - 1e-12)))
+      accepted.insert(cand);
   }
-  Placement p(s, std::move(accepted));
+  Placement p(s, accepted.points());
   return p;
 }
 

@@ -164,5 +164,63 @@ TEST(GridIndex, EmptyIndex) {
   EXPECT_EQ(index.nearest({0.5, 0.5}), 0u);  // size() sentinel
 }
 
+TEST(OccupancyGrid, InsertAndQueryMatchBruteForce) {
+  std::mt19937 rng(31);
+  std::uniform_real_distribution<double> u(0.0, 100.0);
+  OccupancyGrid grid(Box{{0, 0}, {100, 100}}, 7.0);
+  std::vector<Point> pts;
+  for (int step = 0; step < 300; ++step) {
+    const Point p{u(rng), u(rng)};
+    EXPECT_EQ(grid.insert(p), pts.size());
+    pts.push_back(p);
+    // Interleave queries with insertions — the dynamic use case that the
+    // CSR GridIndex cannot serve.
+    const Point q{u(rng), u(rng)};
+    const double radius = 0.5 + 0.05 * step;
+    const auto got = grid.query_radius(q, radius);
+    std::vector<std::uint32_t> expected;
+    for (std::uint32_t i = 0; i < pts.size(); ++i)
+      if (distance(pts[i], q) <= radius) expected.push_back(i);
+    EXPECT_EQ(got, expected) << "step " << step;
+    EXPECT_EQ(grid.any_within(q, radius), !expected.empty()) << "step " << step;
+  }
+  EXPECT_EQ(grid.size(), pts.size());
+  EXPECT_EQ(grid.points().size(), pts.size());
+}
+
+TEST(OccupancyGrid, AgreesWithGridIndexOnSamePoints) {
+  std::mt19937 rng(37);
+  std::uniform_real_distribution<double> u(0.0, 50.0);
+  std::vector<Point> pts(200);
+  for (auto& p : pts) p = {u(rng), u(rng)};
+  const Box bounds{{0, 0}, {50, 50}};
+  const GridIndex csr(pts, bounds, 5.0);
+  OccupancyGrid dyn(bounds, 5.0);
+  for (const Point& p : pts) dyn.insert(p);
+  for (int trial = 0; trial < 40; ++trial) {
+    const Point q{u(rng), u(rng)};
+    const double radius = 0.5 + 0.4 * trial;
+    EXPECT_EQ(dyn.query_radius(q, radius), csr.query_radius(q, radius))
+        << "trial " << trial;
+  }
+}
+
+TEST(OccupancyGrid, ClampsPointsOutsideBounds) {
+  OccupancyGrid grid(Box{{0, 0}, {10, 10}}, 2.5);
+  grid.insert({-3.0, 5.0});
+  grid.insert({13.0, 5.0});
+  EXPECT_TRUE(grid.any_within({-3.0, 5.0}, 0.5));
+  EXPECT_FALSE(grid.any_within({5.0, 5.0}, 1.0));
+  const auto got = grid.query_radius({13.0, 5.0}, 0.5);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 1u);
+}
+
+TEST(OccupancyGrid, EmptyGridFindsNothing) {
+  const OccupancyGrid grid(Box{{0, 0}, {1, 1}}, 1.0);
+  EXPECT_FALSE(grid.any_within({0.5, 0.5}, 100.0));
+  EXPECT_TRUE(grid.query_radius({0.5, 0.5}, 100.0).empty());
+}
+
 }  // namespace
 }  // namespace tsv::geo

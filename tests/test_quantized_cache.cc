@@ -1,0 +1,210 @@
+// Pitch-quantized PairStressTable cache: accuracy against the exact series
+// and hit/miss accounting that proves tables are actually shared. The 0.25 um
+// default step is validated here against the table's documented ~1% field
+// accuracy budget.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "analytic/interaction.h"
+#include "core/framework.h"
+#include "core/interactive_stage.h"
+#include "tsv/generators.h"
+
+namespace tsv::ana {
+namespace {
+
+const tsvlib::TsvStructure kS = tsvlib::TsvStructure::baseline_bcb();
+
+std::shared_ptr<const InteractiveStressModel> fresh_model() {
+  return std::make_shared<const InteractiveStressModel>(kS, mat::ThermalLoad{});
+}
+
+TEST(QuantizedCache, SnapsPitchToTheStepGrid) {
+  const auto model = fresh_model();
+  const PairStressTable& t = model->table_for_pitch(10.11, 25.0, 0.25);
+  EXPECT_NEAR(t.pitch(), 10.0, 1e-12);
+  const PairStressTable& u = model->table_for_pitch(10.05, 25.0, 0.25);
+  EXPECT_EQ(&t, &u);  // same bucket, same table object
+  const PairStressTable& v = model->table_for_pitch(10.30, 25.0, 0.25);
+  EXPECT_NEAR(v.pitch(), 10.25, 1e-12);
+  EXPECT_NE(&t, &v);
+}
+
+TEST(QuantizedCache, NeverSnapsBelowTheTsvDiameter) {
+  const auto model = fresh_model();
+  const double diameter = 2.0 * kS.outer_radius();
+  // A pitch just above the diameter would naively round below it.
+  const double pitch = diameter + 0.01;
+  const PairStressTable& t = model->table_for_pitch(pitch, 25.0, 1.0);
+  EXPECT_GE(t.pitch(), diameter - 1e-12);
+}
+
+TEST(QuantizedCache, ZeroStepKeepsExactPitchTables) {
+  const auto model = fresh_model();
+  const PairStressTable& a = model->table_for_pitch(10.11, 25.0, 0.0);
+  const PairStressTable& b = model->table_for_pitch(10.14, 25.0, 0.0);
+  EXPECT_NE(&a, &b);
+  EXPECT_NEAR(a.pitch(), 10.11, 1e-9);
+  EXPECT_EQ(model->table_cache_size(), 2u);
+}
+
+TEST(QuantizedCache, CountersTrackHitsAndMisses) {
+  const auto model = fresh_model();
+  EXPECT_EQ(model->table_cache_stats().lookups(), 0u);
+  model->table_for_pitch(9.9, 25.0, 0.25);   // miss (build)
+  model->table_for_pitch(10.05, 25.0, 0.25); // hit (same 10.0 bucket)
+  model->table_for_pitch(10.05, 25.0, 0.25); // hit
+  model->table_for_pitch(12.0, 25.0, 0.25);  // miss
+  const PairTableCacheStats stats = model->table_cache_stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.lookups(), 4u);
+  EXPECT_NEAR(stats.hit_rate(), 0.5, 1e-12);
+  EXPECT_EQ(model->table_cache_size(), 2u);
+
+  model->reset_table_cache_stats();
+  EXPECT_EQ(model->table_cache_stats().lookups(), 0u);
+  // The tables themselves survive a stats reset.
+  EXPECT_EQ(model->table_cache_size(), 2u);
+}
+
+// Accuracy of the raw table at off-bucket pitches, sampled at random polar
+// points including the steep-gradient liner ring: quantization must stay
+// inside the table's own documented budget (~3% of the pair field scale
+// plus a small absolute floor — the same bound test_pair_table locks for
+// un-quantized tables). The end-to-end 1%-of-total-field bound is checked
+// by QuantizedFrameworkMatchesSeriesWithinOnePercent below.
+TEST(QuantizedCache, QuantizedTableStaysWithinTableBudget) {
+  const auto model = fresh_model();
+  const double quant = 0.25;
+  std::mt19937_64 rng(12345);
+  std::uniform_real_distribution<double> upitch(6.5, 20.0);
+  std::uniform_real_distribution<double> uangle(0.0, 2.0 * 3.14159265358979);
+  std::uniform_real_distribution<double> uradius(0.0, 24.0);
+
+  double scale = 0.0;
+  double worst = 0.0;
+  for (int trial = 0; trial < 12; ++trial) {
+    const double pitch = upitch(rng);
+    const geo::Point victim{0.0, 0.0};
+    const geo::Point aggressor{pitch, 0.0};
+    const PairStressTable& table = model->table_for_pitch(pitch, 25.0, quant);
+    for (int k = 0; k < 60; ++k) {
+      const double r = uradius(rng);
+      const double phi = uangle(rng);
+      const geo::Point p{victim.x + r * std::cos(phi),
+                         victim.y + r * std::sin(phi)};
+      const num::SymTensor2 exact = model->stress_at(victim, aggressor, p);
+      const num::SymTensor2 approx = table.stress_at(victim, aggressor, p);
+      scale = std::max({scale, std::abs(exact.s11), std::abs(exact.s22),
+                        std::abs(exact.s12)});
+      worst = std::max({worst, std::abs(approx.s11 - exact.s11),
+                        std::abs(approx.s22 - exact.s22),
+                        std::abs(approx.s12 - exact.s12)});
+    }
+  }
+  ASSERT_GT(scale, 0.0);
+  EXPECT_LT(worst, 0.03 * scale + 0.02)
+      << "worst " << worst << " MPa vs scale " << scale << " MPa";
+}
+
+// The acceptance bound for full-chip runs: the total field (Stage I + the
+// quantized-lookup Stage II) must agree with the exact-series total field
+// within 1% of the field scale. bench_fullchip measures ~0.5% on 1k/10k
+// designs; this locks the same bound on a fixed seeded placement.
+TEST(QuantizedCache, QuantizedFrameworkMatchesSeriesWithinOnePercent) {
+  const tsvlib::Placement p =
+      tsvlib::make_random(kS, 25, geo::Box{{0, 0}, {110, 110}}, 10.0, 77);
+  const auto model = fresh_model();
+  const core::StressFramework series(p, model, {});
+  core::FrameworkOptions qopt;
+  qopt.stage2.use_lookup_table = true;
+  qopt.stage2.pitch_quant_step = 0.25;
+  const core::StressFramework quant(p, model, qopt);
+
+  const geo::SampleGrid grid =
+      geo::SampleGrid::with_spacing(p.bounding_box().expanded(8.0), 1.5);
+  const auto pts = grid.points();
+  const auto want = series.evaluate(pts).stress;
+  const auto got = quant.evaluate(pts).stress;
+  double scale = 0.0;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    scale = std::max({scale, std::abs(want[i].s11), std::abs(want[i].s22)});
+    worst = std::max({worst, std::abs(got[i].s11 - want[i].s11),
+                      std::abs(got[i].s22 - want[i].s22),
+                      std::abs(got[i].s12 - want[i].s12)});
+  }
+  ASSERT_GT(scale, 0.0);
+  EXPECT_LT(worst, 0.01 * scale)
+      << "worst " << worst << " MPa vs scale " << scale << " MPa";
+}
+
+// End-to-end through Stage II: on a random placement (every pair pitch
+// unique) the quantized cache must (a) reproduce the series field within the
+// 1% budget and (b) demonstrably share tables across pairs.
+TEST(QuantizedCache, StageTwoReusesTablesOnRandomPlacements) {
+  const tsvlib::Placement p =
+      tsvlib::make_random(kS, 30, geo::Box{{0, 0}, {120, 120}}, 10.0, 2024);
+  std::vector<geo::Point> pts;
+  const geo::Box roi = p.bounding_box().expanded(5.0);
+  for (double x = roi.lo.x; x <= roi.hi.x; x += 4.1)
+    for (double y = roi.lo.y; y <= roi.hi.y; y += 3.7) pts.push_back({x, y});
+
+  const auto series_model = fresh_model();
+  const core::InteractiveStage series(p, series_model, {});
+  const auto want = series.evaluate(pts);
+
+  core::InteractiveOptions qopt;
+  qopt.use_lookup_table = true;
+  qopt.pitch_quant_step = 0.25;
+  const auto quant_model = fresh_model();
+  const core::InteractiveStage quant(p, quant_model, qopt);
+  const auto got = quant.evaluate(pts);
+
+  double scale = 0.0;
+  double worst = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    scale = std::max({scale, std::abs(want[i].s11), std::abs(want[i].s22)});
+    worst = std::max({worst, std::abs(got[i].s11 - want[i].s11),
+                      std::abs(got[i].s22 - want[i].s22),
+                      std::abs(got[i].s12 - want[i].s12)});
+  }
+  ASSERT_GT(scale, 0.0);
+  // Relative to the Stage II part alone the table budget applies (the
+  // total-field 1% bound lives in QuantizedFrameworkMatchesSeriesWithin-
+  // OnePercent).
+  EXPECT_LT(worst, 0.03 * scale + 0.02);
+
+  // Every ordered pair does one lookup; the pitch range fits a bounded
+  // number of 0.25 um buckets, so almost all lookups must be hits.
+  const std::size_t pairs = quant.ordered_pairs().size();
+  const PairTableCacheStats stats = quant_model->table_cache_stats();
+  EXPECT_EQ(stats.lookups(), pairs);
+  const auto buckets = static_cast<std::uint64_t>(
+      (qopt.pair_pitch_cutoff - 2.0 * kS.outer_radius()) /
+          qopt.pitch_quant_step +
+      2.0);
+  EXPECT_LE(stats.misses, buckets);
+  EXPECT_EQ(stats.hits, stats.lookups() - stats.misses);
+  EXPECT_GT(stats.hits, stats.misses);  // genuine reuse, not one-offs
+  EXPECT_EQ(quant_model->table_cache_size(), stats.misses);
+
+  // The exact-pitch cache on the same placement builds one table per
+  // unordered pair (every pitch unique): quantization is what shares them.
+  const auto exact_model = fresh_model();
+  core::InteractiveOptions eopt;
+  eopt.use_lookup_table = true;
+  const core::InteractiveStage exact(p, exact_model, eopt);
+  (void)exact.evaluate(pts);
+  EXPECT_EQ(exact_model->table_cache_stats().misses, pairs / 2);
+  EXPECT_GT(exact_model->table_cache_size(), quant_model->table_cache_size());
+}
+
+}  // namespace
+}  // namespace tsv::ana

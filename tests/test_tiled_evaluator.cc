@@ -1,0 +1,194 @@
+#include "core/tiled_evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "tsv/generators.h"
+
+namespace tsv::core {
+namespace {
+
+const tsvlib::TsvStructure kS = tsvlib::TsvStructure::baseline_bcb();
+
+// A placement dense enough that Stage II matters and wide enough that small
+// tiles actually cull pairs.
+tsvlib::Placement cluster_placement() {
+  return tsvlib::make_random(kS, 40, geo::Box{{0, 0}, {150, 150}}, 10.0, 99);
+}
+
+geo::SampleGrid test_grid(const tsvlib::Placement& p) {
+  return geo::SampleGrid::with_spacing(p.bounding_box().expanded(10.0), 3.0);
+}
+
+TEST(TiledEvaluator, MatchesMonolithicEvaluation) {
+  const tsvlib::Placement p = cluster_placement();
+  const StressFramework fw(p);
+  const geo::SampleGrid grid = test_grid(p);
+  const StressResult want = fw.evaluate(grid);
+
+  TiledOptions topt;
+  topt.max_tile_points = 200;  // forces many tiles
+  const TiledEvaluator tiled(fw, topt);
+  std::vector<num::SymTensor2> got(grid.size());
+  const TiledStats stats = tiled.evaluate(grid, [&](const Tile& tile) {
+    for (std::size_t ty = 0; ty < tile.ny; ++ty)
+      for (std::size_t tx = 0; tx < tile.nx; ++tx)
+        got[(tile.iy0 + ty) * grid.nx() + (tile.ix0 + tx)] =
+            tile.stress[ty * tile.nx + tx];
+  });
+
+  ASSERT_EQ(stats.points, grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const double tol = 1e-12 * std::max(1.0, std::abs(want.stress[i].s11));
+    EXPECT_NEAR(got[i].s11, want.stress[i].s11, tol) << i;
+    EXPECT_NEAR(got[i].s22, want.stress[i].s22,
+                1e-12 * std::max(1.0, std::abs(want.stress[i].s22)))
+        << i;
+    EXPECT_NEAR(got[i].s12, want.stress[i].s12,
+                1e-12 * std::max(1.0, std::abs(want.stress[i].s12)))
+        << i;
+  }
+}
+
+TEST(TiledEvaluator, TilesCoverGridExactlyOnceInRowMajorOrder) {
+  const tsvlib::Placement p = cluster_placement();
+  const StressFramework fw(p);
+  const geo::SampleGrid grid = test_grid(p);
+  TiledOptions topt;
+  topt.max_tile_points = 150;
+  const TiledEvaluator tiled(fw, topt);
+
+  std::vector<int> covered(grid.size(), 0);
+  std::size_t expected_index = 0;
+  const TiledStats stats = tiled.evaluate(grid, [&](const Tile& tile) {
+    EXPECT_EQ(tile.index, expected_index++);
+    EXPECT_LE(tile.nx * tile.ny, topt.max_tile_points);
+    ASSERT_EQ(tile.points.size(), tile.nx * tile.ny);
+    ASSERT_EQ(tile.stress.size(), tile.nx * tile.ny);
+    for (std::size_t ty = 0; ty < tile.ny; ++ty) {
+      for (std::size_t tx = 0; tx < tile.nx; ++tx) {
+        const std::size_t ix = tile.ix0 + tx;
+        const std::size_t iy = tile.iy0 + ty;
+        ASSERT_LT(ix, grid.nx());
+        ASSERT_LT(iy, grid.ny());
+        covered[iy * grid.nx() + ix] += 1;
+        // Tile points are the grid points, row-major within the tile.
+        const geo::Point gp = grid.point(ix, iy);
+        const geo::Point tp = tile.points[ty * tile.nx + tx];
+        EXPECT_DOUBLE_EQ(tp.x, gp.x);
+        EXPECT_DOUBLE_EQ(tp.y, gp.y);
+        EXPECT_TRUE(tile.bounds.contains(tp));
+      }
+    }
+  });
+  for (std::size_t i = 0; i < covered.size(); ++i)
+    EXPECT_EQ(covered[i], 1) << "grid point " << i;
+  EXPECT_EQ(stats.tiles, expected_index);
+  EXPECT_EQ(stats.tiles, stats.tiles_x * stats.tiles_y);
+  EXPECT_LE(stats.peak_tile_points, topt.max_tile_points);
+  EXPECT_EQ(stats.points, grid.size());
+}
+
+TEST(TiledEvaluator, StatsReportCullingAndTimings) {
+  const tsvlib::Placement p = cluster_placement();
+  const StressFramework fw(p);
+  const geo::SampleGrid grid = test_grid(p);
+  TiledOptions topt;
+  topt.max_tile_points = 150;
+  const TiledEvaluator tiled(fw, topt);
+  const TiledStats stats = tiled.evaluate(grid, [](const Tile&) {});
+
+  ASSERT_NE(fw.stage2(), nullptr);
+  EXPECT_EQ(stats.total_pairs, fw.stage2()->ordered_pairs().size());
+  EXPECT_GT(stats.total_pairs, 0u);
+  // Every pair contributes to at least one tile, but small tiles of a large
+  // chip must cull: the per-tile total stays below pairs x tiles.
+  EXPECT_GE(stats.culled_pairs, stats.total_pairs);
+  EXPECT_LT(stats.culled_pairs, stats.total_pairs * stats.tiles);
+  EXPECT_GT(stats.stage1_seconds, 0.0);
+  EXPECT_GT(stats.stage2_seconds, 0.0);
+}
+
+TEST(TiledEvaluator, SingleTileWhenBudgetCoversTheGrid) {
+  const tsvlib::Placement pair = tsvlib::make_pair(kS, 10.0);
+  const StressFramework fw(pair);
+  const geo::SampleGrid grid(geo::Box::centered({0, 0}, 20, 10), 11, 6);
+  const TiledEvaluator tiled(fw);  // default budget 64k points
+  std::size_t tiles = 0;
+  const TiledStats stats = tiled.evaluate(grid, [&](const Tile& tile) {
+    ++tiles;
+    EXPECT_EQ(tile.nx, grid.nx());
+    EXPECT_EQ(tile.ny, grid.ny());
+  });
+  EXPECT_EQ(tiles, 1u);
+  EXPECT_EQ(stats.tiles, 1u);
+  EXPECT_EQ(stats.peak_tile_points, grid.size());
+}
+
+TEST(TiledEvaluator, KeepInteractiveExposesStageTwoPart) {
+  const tsvlib::Placement p = cluster_placement();
+  const StressFramework fw(p);
+  const geo::SampleGrid grid = test_grid(p);
+  const StressResult want = fw.evaluate(grid);
+
+  TiledOptions topt;
+  topt.max_tile_points = 300;
+  topt.keep_interactive = true;
+  const TiledEvaluator tiled(fw, topt);
+  bool any_nonzero = false;
+  tiled.evaluate(grid, [&](const Tile& tile) {
+    ASSERT_EQ(tile.interactive.size(), tile.stress.size());
+    for (std::size_t ty = 0; ty < tile.ny; ++ty) {
+      for (std::size_t tx = 0; tx < tile.nx; ++tx) {
+        const std::size_t gi = (tile.iy0 + ty) * grid.nx() + (tile.ix0 + tx);
+        const num::SymTensor2& got = tile.interactive[ty * tile.nx + tx];
+        EXPECT_NEAR(got.s11, want.interactive[gi].s11,
+                    1e-12 * std::max(1.0, std::abs(want.interactive[gi].s11)));
+        any_nonzero |= got.s11 != 0.0;
+      }
+    }
+  });
+  EXPECT_TRUE(any_nonzero);
+}
+
+// The tile driver composes with the Stage II thread pool: a parallel run
+// must agree with the serial one within the documented regrouping tolerance
+// and stay deterministic (this test carries the `tsan` label).
+TEST(TiledEvaluator, ParallelTilesMatchSerialWithinTolerance) {
+  const tsvlib::Placement p = cluster_placement();
+  const geo::SampleGrid grid = test_grid(p);
+
+  const auto run = [&](std::size_t threads) {
+    FrameworkOptions fopt;
+    fopt.num_threads = threads;
+    const StressFramework fw(p, fopt);
+    TiledOptions topt;
+    topt.max_tile_points = 250;
+    const TiledEvaluator tiled(fw, topt);
+    std::vector<num::SymTensor2> out(grid.size());
+    tiled.evaluate(grid, [&](const Tile& tile) {
+      for (std::size_t ty = 0; ty < tile.ny; ++ty)
+        for (std::size_t tx = 0; tx < tile.nx; ++tx)
+          out[(tile.iy0 + ty) * grid.nx() + (tile.ix0 + tx)] =
+              tile.stress[ty * tile.nx + tx];
+    });
+    return out;
+  };
+
+  const auto want = run(1);
+  const auto got = run(3);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(got[i].s11, want[i].s11,
+                1e-12 * std::max(1.0, std::abs(want[i].s11)))
+        << i;
+    EXPECT_NEAR(got[i].s12, want[i].s12,
+                1e-12 * std::max(1.0, std::abs(want[i].s12)))
+        << i;
+  }
+}
+
+}  // namespace
+}  // namespace tsv::core
