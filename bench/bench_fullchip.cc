@@ -29,11 +29,11 @@
 #include <cmath>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "common.h"
 #include "core/tiled_evaluator.h"
 #include "io/table_printer.h"
 #include "numeric/parallel.h"
@@ -133,8 +133,6 @@ int main(int argc, char** argv) {
       core::RadialStressTable::from_analytic(single, 30.0, 4096);
   const auto response =
       std::make_shared<const ana::InclusionResponse>(structure);
-
-  std::ofstream jsonl(opt.out_dir + "/fullchip.jsonl", std::ios::app);
 
   for (const std::size_t count : opt.designs) {
     const tsvlib::FullChipSpec spec =
@@ -254,32 +252,34 @@ int main(int argc, char** argv) {
                 series.probe.size(), 100.0 * field_err, series.max_vm,
                 peak_rss_mb());
 
-    char json[1024];
-    std::snprintf(
-        json, sizeof(json),
-        "{\"bench\":\"fullchip\",\"tsvs\":%zu,\"arrays\":%zu,\"banks\":%zu,"
-        "\"logic\":%zu,\"chip_um\":%.1f,\"points\":%zu,\"spacing_um\":%.3g,"
-        "\"threads\":%zu,\"tiles\":%zu,\"peak_tile_points\":%zu,"
-        "\"total_pairs\":%zu,\"stage1_s\":%.4f,\"stage2_series_s\":%.4f,"
-        "\"stage2_lookup_s\":%.4f,\"stage2_quant_s\":%.4f,"
-        "\"quant_step_um\":%.3g,\"quant_tables\":%zu,\"quant_hits\":%llu,"
-        "\"quant_misses\":%llu,\"quant_hit_rate\":%.4f,"
-        "\"speedup_vs_lookup\":%.2f,\"speedup_vs_series\":%.2f,"
-        "\"field_err_frac\":%.5f,\"max_vm_mpa\":%.2f,\"peak_rss_mb\":%.1f}",
-        design.placement.size(), design.count(tsvlib::TsvKind::kArray),
-        design.count(tsvlib::TsvKind::kBank),
-        design.count(tsvlib::TsvKind::kRandom), spec.chip.width(),
-        grid.size(), opt.spacing, threads, series.stats.tiles,
-        series.stats.peak_tile_points, series.stats.total_pairs,
-        quant.stats.stage1_seconds, series.stats.stage2_seconds,
-        ran_uncached ? lookup.stats.stage2_seconds : -1.0,
-        quant.stats.stage2_seconds, opt.quant_step, quant.tables,
-        static_cast<unsigned long long>(quant.cache.hits),
-        static_cast<unsigned long long>(quant.cache.misses),
-        quant.cache.hit_rate(), speedup_vs_lookup, speedup_vs_series,
-        field_err, series.max_vm, peak_rss_mb());
-    std::printf("json: %s\n", json);
-    if (jsonl) jsonl << json << '\n';
+    bench::JsonRow row("fullchip");
+    row.uint("tsvs", design.placement.size())
+        .uint("arrays", design.count(tsvlib::TsvKind::kArray))
+        .uint("banks", design.count(tsvlib::TsvKind::kBank))
+        .uint("logic", design.count(tsvlib::TsvKind::kRandom))
+        .num("chip_um", spec.chip.width(), "%.1f")
+        .uint("points", grid.size())
+        .num("spacing_um", opt.spacing, "%.3g")
+        .uint("threads", threads)
+        .uint("tiles", series.stats.tiles)
+        .uint("peak_tile_points", series.stats.peak_tile_points)
+        .uint("total_pairs", series.stats.total_pairs)
+        .num("stage1_s", quant.stats.stage1_seconds, "%.4f")
+        .num("stage2_series_s", series.stats.stage2_seconds, "%.4f")
+        .num("stage2_lookup_s",
+             ran_uncached ? lookup.stats.stage2_seconds : -1.0, "%.4f")
+        .num("stage2_quant_s", quant.stats.stage2_seconds, "%.4f")
+        .num("quant_step_um", opt.quant_step, "%.3g")
+        .uint("quant_tables", quant.tables)
+        .uint("quant_hits", quant.cache.hits)
+        .uint("quant_misses", quant.cache.misses)
+        .num("quant_hit_rate", quant.cache.hit_rate(), "%.4f")
+        .num("speedup_vs_lookup", speedup_vs_lookup, "%.2f")
+        .num("speedup_vs_series", speedup_vs_series, "%.2f")
+        .num("field_err_frac", field_err, "%.5f")
+        .num("max_vm_mpa", series.max_vm, "%.2f")
+        .num("peak_rss_mb", peak_rss_mb(), "%.1f");
+    bench::append_jsonl(opt.out_dir + "/fullchip.jsonl", row);
   }
   return 0;
 }

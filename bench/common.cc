@@ -1,6 +1,7 @@
 #include "common.h"
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 
 #include <chrono>
@@ -110,6 +111,47 @@ std::vector<std::string> table_headers(const std::string& first_column) {
           "Thr50:Rate%",
           "Crit:Err",
           "Crit:Rate%"};
+}
+
+JsonRow::JsonRow(const std::string& bench_name) { str("bench", bench_name); }
+
+JsonRow& JsonRow::raw(const std::string& key, const std::string& value) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"' + key + "\":" + value;
+  return *this;
+}
+
+JsonRow& JsonRow::str(const std::string& key, const std::string& value) {
+  std::string escaped = "\"";
+  for (const char c : value) {
+    if (c == '"' || c == '\\') escaped += '\\';
+    escaped += c;
+  }
+  escaped += '"';
+  return raw(key, escaped);
+}
+
+JsonRow& JsonRow::num(const std::string& key, double value, const char* fmt) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, value);
+  return raw(key, buf);
+}
+
+JsonRow& JsonRow::uint(const std::string& key, std::uint64_t value) {
+  return raw(key, std::to_string(value));
+}
+
+JsonRow& JsonRow::boolean(const std::string& key, bool value) {
+  return raw(key, value ? "true" : "false");
+}
+
+std::string JsonRow::json() const { return "{" + body_ + "}"; }
+
+void append_jsonl(const std::string& path, const JsonRow& row) {
+  const std::string line = row.json();
+  std::printf("json: %s\n", line.c_str());
+  std::ofstream out(path, std::ios::app);
+  if (out) out << line << '\n';
 }
 
 std::vector<PairSweepResult> run_pair_sweep(

@@ -4,6 +4,7 @@
 // FEM solve — the paper's methodology with COMSOL), golden solves, and the
 // paper-style error-table printing.
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -80,5 +81,37 @@ std::vector<PairSweepResult> run_pair_sweep(
     const tsvlib::TsvStructure& structure, core::StressMeasure measure,
     const std::vector<double>& pitches, const BenchConfig& config,
     const std::string& title);
+
+/// One machine-readable result row, emitted as a single JSON object in key
+/// insertion order. Replaces the ad-hoc snprintf JSON in the benches so
+/// every bench appends trajectory rows (<out-dir>/*.jsonl) the same way.
+///
+///   JsonRow row("fullchip");
+///   row.uint("tsvs", n).num("stage1_s", s1, "%.4f").str("mode", "quant");
+///   append_jsonl(out_dir + "/fullchip.jsonl", row);
+///
+/// num() takes a printf format so rows keep their established field
+/// precision (trajectory diffs stay byte-stable across refactors).
+class JsonRow {
+ public:
+  /// Every row starts with {"bench":"<name>"}.
+  explicit JsonRow(const std::string& bench_name);
+
+  JsonRow& str(const std::string& key, const std::string& value);
+  JsonRow& num(const std::string& key, double value, const char* fmt = "%.6g");
+  JsonRow& uint(const std::string& key, std::uint64_t value);
+  JsonRow& boolean(const std::string& key, bool value);
+
+  /// The row as a one-line JSON object (no trailing newline).
+  std::string json() const;
+
+ private:
+  JsonRow& raw(const std::string& key, const std::string& value);
+  std::string body_;  ///< comma-joined "key":value pairs
+};
+
+/// Appends `row` as one line to `path` (creating the file if needed) and
+/// echoes it to stdout as `json: {...}`.
+void append_jsonl(const std::string& path, const JsonRow& row);
 
 }  // namespace tsv::bench

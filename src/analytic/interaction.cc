@@ -102,6 +102,32 @@ std::size_t InteractiveStressModel::table_cache_size() const {
   return table_cache_.size();
 }
 
+std::vector<PairStressTable::Data>
+InteractiveStressModel::export_table_cache() const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  std::vector<PairStressTable::Data> out;
+  out.reserve(table_cache_.size());
+  // std::map iterates in key order, so the export (and any snapshot built
+  // from it) is deterministic.
+  for (const auto& [key, table] : table_cache_) out.push_back(table.to_data());
+  return out;
+}
+
+std::size_t InteractiveStressModel::import_table_cache(
+    std::vector<PairStressTable::Data> tables) const {
+  std::size_t inserted = 0;
+  for (PairStressTable::Data& data : tables) {
+    // Reconstruct the cache key exactly as table_for_pitch would: the
+    // stored pitch is already snapped, so no re-quantization is needed.
+    const std::pair<long long, long long> key{std::llround(data.pitch * 1e6),
+                                              std::llround(data.r_max * 1e6)};
+    PairStressTable table(std::move(data));
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    inserted += table_cache_.emplace(key, std::move(table)).second ? 1 : 0;
+  }
+  return inserted;
+}
+
 num::SymTensor2 InteractiveStressModel::stress_at(
     const geo::Point& victim, const geo::Point& aggressor,
     const geo::Point& p) const {

@@ -19,6 +19,7 @@
 #include <memory>
 #include <mutex>
 #include <utility>
+#include <vector>
 
 #include "analytic/mode_solver.h"
 #include "analytic/pair_table.h"
@@ -110,6 +111,19 @@ class InteractiveStressModel {
 
   /// Number of distinct PairStressTables currently cached.
   std::size_t table_cache_size() const;
+
+  /// Snapshot support (io/snapshot): copies every cached PairStressTable
+  /// out in deterministic key order. The cache key is reconstructed from
+  /// each table's own (pitch, r_max) — table_for_pitch stores tables under
+  /// their snapped pitch, so export → import round-trips exactly.
+  std::vector<PairStressTable::Data> export_table_cache() const;
+
+  /// Pre-warms the table cache from snapshot data (e.g. a warm start that
+  /// skips all table builds). Existing entries win on key collision.
+  /// Returns the number of tables inserted. Does not touch the hit/miss
+  /// counters.
+  std::size_t import_table_cache(
+      std::vector<PairStressTable::Data> tables) const;
 
  private:
   std::shared_ptr<const InclusionResponse> response_;

@@ -49,6 +49,39 @@ PairStressTable::PairStressTable(const InteractiveStressModel& model,
   build(segments_[2], r_outer, r_max, options.dr_substrate);
 }
 
+PairStressTable::PairStressTable(Data data)
+    : pitch_(data.pitch), r_max_(data.r_max), n_theta_(data.n_theta) {
+  TSV_REQUIRE(pitch_ > 0.0 && r_max_ > 0.0,
+              "pair table data: pitch and r_max must be positive");
+  TSV_REQUIRE(n_theta_ >= 8, "pair table data: need at least 8 theta samples");
+  dtheta_ = std::numbers::pi / static_cast<double>(n_theta_ - 1);
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    Data::Segment& in = data.segments[s];
+    TSV_REQUIRE(in.nr >= 2 && in.values.size() == in.nr * n_theta_,
+                "pair table data: segment shape mismatch");
+    TSV_REQUIRE(in.r1 > in.r0 && in.r0 >= 0.0,
+                "pair table data: inverted segment radii");
+    segments_[s].r0 = in.r0;
+    segments_[s].r1 = in.r1;
+    segments_[s].nr = in.nr;
+    segments_[s].values = std::move(in.values);
+  }
+}
+
+PairStressTable::Data PairStressTable::to_data() const {
+  Data data;
+  data.pitch = pitch_;
+  data.r_max = r_max_;
+  data.n_theta = n_theta_;
+  for (std::size_t s = 0; s < segments_.size(); ++s) {
+    data.segments[s].r0 = segments_[s].r0;
+    data.segments[s].r1 = segments_[s].r1;
+    data.segments[s].nr = segments_[s].nr;
+    data.segments[s].values = segments_[s].values;
+  }
+  return data;
+}
+
 std::size_t PairStressTable::sample_count() const {
   std::size_t n = 0;
   for (const auto& s : segments_) n += s.values.size();

@@ -34,12 +34,35 @@ struct PairTableOptions {
 
 class PairStressTable {
  public:
+  /// Plain mirror of a table's contents for binary snapshots
+  /// (io/snapshot): everything needed to reconstruct the table without
+  /// re-evaluating the potential series.
+  struct Data {
+    double pitch = 0.0;
+    double r_max = 0.0;
+    std::size_t n_theta = 0;
+    struct Segment {
+      double r0 = 0.0;
+      double r1 = 0.0;
+      std::size_t nr = 0;
+      std::vector<num::SymTensor2> values;  ///< nr x n_theta, radial outer
+    };
+    std::array<Segment, 3> segments;
+  };
 
   /// Tabulates the interactive field of `model` for the given pitch out to
   /// radius r_max (um) from the victim center.
   PairStressTable(const InteractiveStressModel& model,
                   const RegionField& combined, double pitch, double r_max,
                   const PairTableOptions& options = {});
+
+  /// Reconstructs a table from snapshot data (validates shape; throws
+  /// std::invalid_argument on inconsistent dimensions).
+  explicit PairStressTable(Data data);
+
+  /// Copies the table contents into snapshot form. Round trip through the
+  /// Data constructor is bitwise exact.
+  Data to_data() const;
 
   double pitch() const { return pitch_; }
   double r_max() const { return r_max_; }

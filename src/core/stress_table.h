@@ -37,6 +37,11 @@ class RadialStressTable : public SingleTsvField {
                                     std::size_t rays = 16);
 
   double max_radius() const { return max_radius_; }
+  /// Raw table entries (uniform on [0, max_radius]); exposed for binary
+  /// snapshots (io/snapshot) — the (srr, stt, max_radius) triple round-trips
+  /// through the value constructor bitwise.
+  const std::vector<double>& srr() const { return srr_; }
+  const std::vector<double>& stt() const { return stt_; }
 
   /// {srr, stt, 0} at distance r from the TSV center; zero beyond the table.
   num::SymTensor2 cylindrical(double r) const;

@@ -1,0 +1,490 @@
+#include "io/snapshot.h"
+
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <utility>
+
+#include "analytic/mode_solver.h"
+
+namespace tsv::io {
+namespace {
+
+constexpr char kMagic[8] = {'T', 'S', 'V', 'S', 'N', 'A', 'P', '\0'};
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+[[noreturn]] void snapshot_error(const std::string& path,
+                                 const std::string& what) {
+  throw std::runtime_error("snapshot '" + path + "': " + what);
+}
+
+/// Accumulates a payload; integers and doubles are appended as raw native
+/// little-endian bytes.
+class Writer {
+ public:
+  void u8(std::uint8_t v) { raw(&v, sizeof(v)); }
+  void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
+  void i32(std::int32_t v) { raw(&v, sizeof(v)); }
+  void f64(double v) { raw(&v, sizeof(v)); }
+  void size(std::size_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void str(const std::string& s) {
+    size(s.size());
+    buffer_.append(s);
+  }
+  void f64_vec(const std::vector<double>& v) {
+    size(v.size());
+    for (const double x : v) f64(x);
+  }
+  void point(const geo::Point& p) {
+    f64(p.x);
+    f64(p.y);
+  }
+  void tensor(const num::SymTensor2& t) {
+    f64(t.s11);
+    f64(t.s22);
+    f64(t.s12);
+  }
+  void tensor_vec(const std::vector<num::SymTensor2>& v) {
+    size(v.size());
+    for (const num::SymTensor2& t : v) tensor(t);
+  }
+
+  /// Writes header + payload + checksum to `path`.
+  void commit(const std::string& path, SnapshotKind kind) const {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) snapshot_error(path, "cannot open for writing");
+    out.write(kMagic, sizeof(kMagic));
+    const std::uint32_t version = kSnapshotVersion;
+    const std::uint32_t kind_u = static_cast<std::uint32_t>(kind);
+    const std::uint64_t payload = buffer_.size();
+    const std::uint64_t checksum = fnv1a64(buffer_);
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    out.write(reinterpret_cast<const char*>(&kind_u), sizeof(kind_u));
+    out.write(reinterpret_cast<const char*>(&payload), sizeof(payload));
+    out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+    out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+    if (!out) snapshot_error(path, "write failed");
+  }
+
+ private:
+  void raw(const void* p, std::size_t n) {
+    buffer_.append(static_cast<const char*>(p), n);
+  }
+  std::string buffer_;
+};
+
+/// Validated payload cursor: every get_* bounds-checks before reading, so
+/// malformed payloads fail with a clear error instead of reading garbage.
+class Reader {
+ public:
+  Reader(std::string payload, std::string path)
+      : payload_(std::move(payload)), path_(std::move(path)) {}
+
+  std::uint8_t u8() { return get<std::uint8_t>(); }
+  std::uint32_t u32() { return get<std::uint32_t>(); }
+  std::uint64_t u64() { return get<std::uint64_t>(); }
+  std::int32_t i32() { return get<std::int32_t>(); }
+  double f64() { return get<double>(); }
+  std::size_t size() {
+    const std::uint64_t n = u64();
+    // An impossible element count (larger than the remaining payload)
+    // means a corrupt length field; fail before trying to allocate it.
+    if (n > payload_.size() - cursor_)
+      snapshot_error(path_, "malformed payload (impossible element count)");
+    return static_cast<std::size_t>(n);
+  }
+
+  std::string str() {
+    const std::size_t n = size();
+    need(n);
+    std::string s = payload_.substr(cursor_, n);
+    cursor_ += n;
+    return s;
+  }
+  std::vector<double> f64_vec() {
+    const std::size_t n = size();
+    std::vector<double> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = f64();
+    return v;
+  }
+  geo::Point point() {
+    geo::Point p;
+    p.x = f64();
+    p.y = f64();
+    return p;
+  }
+  num::SymTensor2 tensor() {
+    num::SymTensor2 t;
+    t.s11 = f64();
+    t.s22 = f64();
+    t.s12 = f64();
+    return t;
+  }
+  std::vector<num::SymTensor2> tensor_vec() {
+    const std::size_t n = size();
+    std::vector<num::SymTensor2> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = tensor();
+    return v;
+  }
+
+  void expect_end() const {
+    if (cursor_ != payload_.size())
+      snapshot_error(path_, "malformed payload (trailing bytes)");
+  }
+
+ private:
+  template <typename T>
+  T get() {
+    need(sizeof(T));
+    T v;
+    std::memcpy(&v, payload_.data() + cursor_, sizeof(T));
+    cursor_ += sizeof(T);
+    return v;
+  }
+  void need(std::size_t n) const {
+    if (cursor_ + n > payload_.size())
+      snapshot_error(path_, "malformed payload (truncated field)");
+  }
+
+  std::string payload_;
+  std::string path_;
+  std::size_t cursor_ = 0;
+};
+
+struct FileContents {
+  SnapshotInfo info;
+  std::string payload;
+};
+
+/// Reads the whole file, validating magic, version, size, and checksum.
+FileContents read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) snapshot_error(path, "cannot open for reading");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string bytes = std::move(buf).str();
+
+  constexpr std::size_t kHeader = sizeof(kMagic) + 2 * sizeof(std::uint32_t) +
+                                  sizeof(std::uint64_t);
+  if (bytes.size() < kHeader + sizeof(std::uint64_t))
+    snapshot_error(path, "truncated file (shorter than the header)");
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+    snapshot_error(path, "not a tsvstress snapshot (bad magic)");
+
+  FileContents fc;
+  std::size_t off = sizeof(kMagic);
+  const auto read_pod = [&](auto& v) {
+    std::memcpy(&v, bytes.data() + off, sizeof(v));
+    off += sizeof(v);
+  };
+  std::uint32_t kind_u = 0;
+  read_pod(fc.info.version);
+  read_pod(kind_u);
+  read_pod(fc.info.payload_bytes);
+  fc.info.kind = static_cast<SnapshotKind>(kind_u);
+
+  if (fc.info.version != kSnapshotVersion) {
+    std::ostringstream os;
+    os << "format version mismatch: file has version " << fc.info.version
+       << ", this build reads version " << kSnapshotVersion;
+    snapshot_error(path, os.str());
+  }
+  if (bytes.size() != off + fc.info.payload_bytes + sizeof(std::uint64_t))
+    snapshot_error(path, "truncated file (payload size does not match)");
+
+  fc.payload = bytes.substr(off, static_cast<std::size_t>(
+                                     fc.info.payload_bytes));
+  std::uint64_t stored = 0;
+  std::memcpy(&stored, bytes.data() + off + fc.payload.size(),
+              sizeof(stored));
+  fc.info.checksum = stored;
+  const std::uint64_t computed = fnv1a64(fc.payload);
+  if (computed != stored) {
+    std::ostringstream os;
+    os << "checksum mismatch (file is corrupt): stored " << std::hex << stored
+       << ", computed " << computed;
+    snapshot_error(path, os.str());
+  }
+  return fc;
+}
+
+Reader open_kind(const std::string& path, SnapshotKind expected) {
+  FileContents fc = read_file(path);
+  if (fc.info.kind != expected) {
+    std::ostringstream os;
+    os << "kind mismatch: expected " << to_string(expected) << ", file holds "
+       << to_string(fc.info.kind);
+    snapshot_error(path, os.str());
+  }
+  return Reader(std::move(fc.payload), path);
+}
+
+// --- shared sub-encoders -------------------------------------------------
+
+void put_material(Writer& w, const mat::Material& m) {
+  w.str(m.name);
+  w.f64(m.youngs_modulus);
+  w.f64(m.poisson_ratio);
+  w.f64(m.cte);
+}
+
+mat::Material get_material(Reader& r) {
+  mat::Material m;
+  m.name = r.str();
+  m.youngs_modulus = r.f64();
+  m.poisson_ratio = r.f64();
+  m.cte = r.f64();
+  return m;
+}
+
+void put_structure(Writer& w, const tsvlib::TsvStructure& s) {
+  w.f64(s.body_radius);
+  w.f64(s.liner_thickness);
+  w.f64(s.landing_pad);
+  put_material(w, s.body);
+  put_material(w, s.liner);
+  put_material(w, s.substrate);
+}
+
+tsvlib::TsvStructure get_structure(Reader& r) {
+  tsvlib::TsvStructure s;
+  s.body_radius = r.f64();
+  s.liner_thickness = r.f64();
+  s.landing_pad = r.f64();
+  s.body = get_material(r);
+  s.liner = get_material(r);
+  s.substrate = get_material(r);
+  s.validate();
+  return s;
+}
+
+void put_radial_table(Writer& w, const core::RadialStressTable& t) {
+  w.f64(t.max_radius());
+  w.f64_vec(t.srr());
+  w.f64_vec(t.stt());
+}
+
+core::RadialStressTable get_radial_table(Reader& r) {
+  const double max_radius = r.f64();
+  std::vector<double> srr = r.f64_vec();
+  std::vector<double> stt = r.f64_vec();
+  return core::RadialStressTable(std::move(srr), std::move(stt), max_radius);
+}
+
+void put_pair_tables(Writer& w,
+                     const std::vector<ana::PairStressTable::Data>& tables) {
+  w.size(tables.size());
+  for (const ana::PairStressTable::Data& t : tables) {
+    w.f64(t.pitch);
+    w.f64(t.r_max);
+    w.size(t.n_theta);
+    for (const auto& seg : t.segments) {
+      w.f64(seg.r0);
+      w.f64(seg.r1);
+      w.size(seg.nr);
+      w.tensor_vec(seg.values);
+    }
+  }
+}
+
+std::vector<ana::PairStressTable::Data> get_pair_tables(Reader& r) {
+  const std::size_t count = r.size();
+  std::vector<ana::PairStressTable::Data> tables(count);
+  for (ana::PairStressTable::Data& t : tables) {
+    t.pitch = r.f64();
+    t.r_max = r.f64();
+    t.n_theta = r.size();
+    for (auto& seg : t.segments) {
+      seg.r0 = r.f64();
+      seg.r1 = r.f64();
+      seg.nr = r.size();
+      seg.values = r.tensor_vec();
+    }
+  }
+  return tables;
+}
+
+}  // namespace
+
+const char* to_string(SnapshotKind kind) {
+  switch (kind) {
+    case SnapshotKind::kRadialTable:
+      return "radial-table";
+    case SnapshotKind::kPairTableCache:
+      return "pair-table-cache";
+    case SnapshotKind::kPlacement:
+      return "placement";
+    case SnapshotKind::kEngineState:
+      return "engine-state";
+  }
+  return "unknown";
+}
+
+SnapshotInfo read_snapshot_info(const std::string& path) {
+  return read_file(path).info;
+}
+
+void save_radial_table(const std::string& path,
+                       const core::RadialStressTable& table) {
+  Writer w;
+  put_radial_table(w, table);
+  w.commit(path, SnapshotKind::kRadialTable);
+}
+
+core::RadialStressTable load_radial_table(const std::string& path) {
+  Reader r = open_kind(path, SnapshotKind::kRadialTable);
+  core::RadialStressTable table = get_radial_table(r);
+  r.expect_end();
+  return table;
+}
+
+std::size_t save_pair_table_cache(const std::string& path,
+                                  const ana::InteractiveStressModel& model) {
+  Writer w;
+  const std::vector<ana::PairStressTable::Data> tables =
+      model.export_table_cache();
+  put_pair_tables(w, tables);
+  w.commit(path, SnapshotKind::kPairTableCache);
+  return tables.size();
+}
+
+std::size_t load_pair_table_cache(const std::string& path,
+                                  const ana::InteractiveStressModel& model) {
+  Reader r = open_kind(path, SnapshotKind::kPairTableCache);
+  std::vector<ana::PairStressTable::Data> tables = get_pair_tables(r);
+  r.expect_end();
+  return model.import_table_cache(std::move(tables));
+}
+
+void save_placement(const std::string& path, const tsvlib::Placement& p) {
+  Writer w;
+  put_structure(w, p.structure());
+  w.size(p.size());
+  for (const geo::Point& c : p.centers()) w.point(c);
+  w.commit(path, SnapshotKind::kPlacement);
+}
+
+tsvlib::Placement load_placement(const std::string& path) {
+  Reader r = open_kind(path, SnapshotKind::kPlacement);
+  tsvlib::TsvStructure structure = get_structure(r);
+  const std::size_t n = r.size();
+  std::vector<geo::Point> centers(n);
+  for (geo::Point& c : centers) c = r.point();
+  r.expect_end();
+  return tsvlib::Placement(structure, std::move(centers));
+}
+
+void save_engine_state(const std::string& path,
+                       const core::IncrementalEngine& engine) {
+  const auto* radial =
+      dynamic_cast<const core::RadialStressTable*>(&engine.table());
+  TSV_REQUIRE(radial != nullptr,
+              "engine snapshots require a RadialStressTable Stage-I field");
+  const core::IncrementalEngine::State state = engine.state();
+  const core::IncrementalOptions& opt = state.options;
+
+  Writer w;
+  put_structure(w, state.structure);
+  w.point(state.grid_box.lo);
+  w.point(state.grid_box.hi);
+  w.size(state.grid_nx);
+  w.size(state.grid_ny);
+  w.f64(opt.stage1.influence_radius);
+  w.size(opt.stage1.num_threads);
+  w.f64(opt.stage2.pair_pitch_cutoff);
+  w.f64(opt.stage2.influence_radius);
+  w.u8(opt.stage2.use_lookup_table ? 1 : 0);
+  w.f64(opt.stage2.pitch_quant_step);
+  w.size(opt.stage2.num_threads);
+  w.u8(opt.enable_interactive ? 1 : 0);
+  w.size(opt.num_threads);
+
+  // Stage-II characterization: k_hat plus the response options, enough to
+  // re-derive the InteractiveStressModel exactly.
+  const std::shared_ptr<const ana::InteractiveStressModel> model =
+      engine.model();
+  w.f64(model != nullptr ? model->k_hat() : 0.0);
+  const ana::InclusionResponseOptions ropt =
+      model != nullptr ? model->response().options()
+                       : ana::InclusionResponseOptions{};
+  w.i32(ropt.max_basis_power);
+  w.i32(ropt.series_order);
+  w.i32(ropt.collocation_points);
+
+  w.size(state.centers.size());
+  for (const geo::Point& c : state.centers) w.point(c);
+  for (const std::uint8_t a : state.active) w.u8(a);
+  w.tensor_vec(state.stage1);
+  w.tensor_vec(state.stage2);
+
+  put_radial_table(w, *radial);
+  put_pair_tables(w, model != nullptr
+                         ? model->export_table_cache()
+                         : std::vector<ana::PairStressTable::Data>{});
+  w.commit(path, SnapshotKind::kEngineState);
+}
+
+core::IncrementalEngine load_engine_state(const std::string& path) {
+  Reader r = open_kind(path, SnapshotKind::kEngineState);
+  core::IncrementalEngine::State state;
+  state.structure = get_structure(r);
+  const geo::Point lo = r.point();
+  const geo::Point hi = r.point();
+  state.grid_box = geo::Box{lo, hi};
+  state.grid_nx = r.size();
+  state.grid_ny = r.size();
+  core::IncrementalOptions& opt = state.options;
+  opt.stage1.influence_radius = r.f64();
+  opt.stage1.num_threads = r.size();
+  opt.stage2.pair_pitch_cutoff = r.f64();
+  opt.stage2.influence_radius = r.f64();
+  opt.stage2.use_lookup_table = r.u8() != 0;
+  opt.stage2.pitch_quant_step = r.f64();
+  opt.stage2.num_threads = r.size();
+  opt.enable_interactive = r.u8() != 0;
+  opt.num_threads = r.size();
+
+  const double k_hat = r.f64();
+  ana::InclusionResponseOptions ropt;
+  ropt.max_basis_power = r.i32();
+  ropt.series_order = r.i32();
+  ropt.collocation_points = r.i32();
+
+  const std::size_t slots = r.size();
+  state.centers.resize(slots);
+  for (geo::Point& c : state.centers) c = r.point();
+  state.active.resize(slots);
+  for (std::uint8_t& a : state.active) a = r.u8();
+  state.stage1 = r.tensor_vec();
+  state.stage2 = r.tensor_vec();
+
+  auto table =
+      std::make_shared<const core::RadialStressTable>(get_radial_table(r));
+  std::vector<ana::PairStressTable::Data> pair_tables = get_pair_tables(r);
+  r.expect_end();
+
+  std::shared_ptr<const ana::InteractiveStressModel> model;
+  if (opt.enable_interactive) {
+    // Re-characterize the inclusion response (cheap relative to the table
+    // builds the warmed cache now skips) and restore the cache.
+    model = std::make_shared<const ana::InteractiveStressModel>(
+        std::make_shared<const ana::InclusionResponse>(state.structure, ropt),
+        k_hat);
+    model->import_table_cache(std::move(pair_tables));
+  }
+  return core::IncrementalEngine::restore(std::move(state), std::move(table),
+                                          std::move(model));
+}
+
+}  // namespace tsv::io

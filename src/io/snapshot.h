@@ -1,0 +1,99 @@
+#pragma once
+// Versioned, checksummed binary snapshots for the framework's expensive
+// state: characterized tables, placements, and the incremental engine.
+//
+// Cold starts pay for every radial-table characterization and every
+// Stage-II pair-table build; in an ECO loop (bench_eco) or a long-lived
+// service those are pure re-derivations of state that never changes. A
+// snapshot lets a warm start skip them entirely: save once, load in
+// milliseconds.
+//
+// File layout (all integers and IEEE doubles in native little-endian byte
+// order, written raw):
+//
+//   bytes 0..7   magic "TSVSNAP\0"
+//   u32          format version (kSnapshotVersion)
+//   u32          object kind (SnapshotKind)
+//   u64          payload size in bytes
+//   ...          payload
+//   u64          FNV-1a 64 checksum of the payload
+//
+// Readers reject wrong magic, wrong version, wrong kind, truncation, and
+// checksum mismatches with distinct std::runtime_error messages. Doubles
+// are stored bitwise, so save -> load -> save round-trips byte-identically
+// (std::map iteration makes the pair-cache export order deterministic).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analytic/interaction.h"
+#include "core/incremental_engine.h"
+#include "core/stress_table.h"
+#include "tsv/placement.h"
+
+namespace tsv::io {
+
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+enum class SnapshotKind : std::uint32_t {
+  kRadialTable = 1,
+  kPairTableCache = 2,
+  kPlacement = 3,
+  kEngineState = 4,
+};
+
+const char* to_string(SnapshotKind kind);
+
+/// Parsed header of a snapshot file (payload checksum already verified).
+struct SnapshotInfo {
+  std::uint32_t version = 0;
+  SnapshotKind kind = SnapshotKind::kRadialTable;
+  std::uint64_t payload_bytes = 0;
+  std::uint64_t checksum = 0;
+};
+
+/// Reads and validates a snapshot header + checksum without decoding the
+/// payload (any kind). Throws std::runtime_error on malformed files.
+SnapshotInfo read_snapshot_info(const std::string& path);
+
+// --- Stage-I radial table ------------------------------------------------
+
+void save_radial_table(const std::string& path,
+                       const core::RadialStressTable& table);
+core::RadialStressTable load_radial_table(const std::string& path);
+
+// --- Stage-II pair-table cache -------------------------------------------
+
+/// Saves every PairStressTable cached on `model` (the pitch-quantized
+/// Stage-II cache). Returns the number of tables written.
+std::size_t save_pair_table_cache(const std::string& path,
+                                  const ana::InteractiveStressModel& model);
+
+/// Pre-warms `model`'s table cache from a snapshot; returns the number of
+/// tables inserted (existing entries win on collision).
+std::size_t load_pair_table_cache(const std::string& path,
+                                  const ana::InteractiveStressModel& model);
+
+// --- Placements ----------------------------------------------------------
+
+void save_placement(const std::string& path, const tsvlib::Placement& p);
+tsvlib::Placement load_placement(const std::string& path);
+
+// --- Incremental engine --------------------------------------------------
+
+/// Saves the full warm state of an engine: placement slots, options, both
+/// accumulated fields, the Stage-I radial table, the Stage-II model
+/// characterization settings (k_hat + response options), and every cached
+/// pair table. Requires the engine's single-TSV field to be a
+/// RadialStressTable (throws std::invalid_argument otherwise).
+void save_engine_state(const std::string& path,
+                       const core::IncrementalEngine& engine);
+
+/// Rebuilds an engine from a snapshot without re-evaluating anything: the
+/// radial table is decoded, the interactive model is re-characterized from
+/// the stored structure/options and its pair-table cache warmed from the
+/// stored tables, and the accumulated fields are restored verbatim.
+core::IncrementalEngine load_engine_state(const std::string& path);
+
+}  // namespace tsv::io

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "tsv/generators.h"
 
@@ -78,6 +80,59 @@ TEST(Koz, ReportAggregatesAcrossTsvs) {
   EXPECT_GT(report.total_area, 4.0 * M_PI * 9.0);  // beyond 4 TSV outlines
   EXPECT_GE(report.worst_radius, report.mean_radius);
   EXPECT_LT(report.worst_tsv, 4u);
+}
+
+bool contours_identical(const std::vector<KozContour>& a,
+                        const std::vector<KozContour>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].radius != b[i].radius) return false;  // bitwise per ray
+    if (a[i].max_radius != b[i].max_radius) return false;
+    if (a[i].min_radius != b[i].min_radius) return false;
+    if (a[i].area != b[i].area) return false;
+  }
+  return true;
+}
+
+TEST(Koz, ContoursIdenticalAcrossFrameworkThreadCounts) {
+  const tsvlib::Placement arr = tsvlib::make_array(kS, 3, 3, 11.0);
+  KozOptions opt;
+  opt.limit = 60.0;
+  opt.rays = 32;
+
+  FrameworkOptions serial_opt;
+  serial_opt.num_threads = 1;
+  const StressFramework serial(arr, serial_opt);
+  const auto want = compute_koz(serial, arr, opt);
+
+  FrameworkOptions par_opt;
+  par_opt.num_threads = 4;
+  const StressFramework parallel(arr, par_opt);
+  // The contour search samples the field point-by-point, so the framework
+  // thread knob must not change a single bit of the contours.
+  EXPECT_TRUE(contours_identical(compute_koz(parallel, arr, opt), want));
+}
+
+TEST(Koz, ConcurrentComputeKozIsDeterministic) {
+  const tsvlib::Placement pair = tsvlib::make_pair(kS, 9.0);
+  const StressFramework fw(pair);
+  KozOptions opt;
+  opt.limit = 60.0;
+  opt.rays = 32;
+  const auto want = compute_koz(fw, pair, opt);
+
+  // Concurrent KOZ extraction on one shared framework races only on the
+  // model's internal caches (mutex-guarded); every thread must reproduce
+  // the serial contours bitwise.
+  constexpr std::size_t kThreads = 4;
+  std::vector<std::vector<KozContour>> got(kThreads);
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t)
+    workers.emplace_back(
+        [&, t] { got[t] = compute_koz(fw, pair, opt); });
+  for (auto& w : workers) w.join();
+  for (std::size_t t = 0; t < kThreads; ++t)
+    EXPECT_TRUE(contours_identical(got[t], want)) << "thread " << t;
 }
 
 TEST(Koz, InvalidOptionsRejected) {

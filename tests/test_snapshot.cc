@@ -1,0 +1,232 @@
+// io/snapshot: save -> load must round-trip bitwise (and re-save
+// byte-identically), and malformed files — wrong magic, wrong version,
+// corrupt payload, wrong kind, truncation — must be rejected with distinct,
+// clear errors.
+
+#include "io/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/incremental_engine.h"
+#include "tsv/generators.h"
+
+namespace tsv::io {
+namespace {
+
+const tsvlib::TsvStructure kS = tsvlib::TsvStructure::baseline_bcb();
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string read_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+core::RadialStressTable make_table() {
+  return core::RadialStressTable::from_analytic(
+      ana::SingleTsvModel(kS, mat::ThermalLoad{}), 30.0, 512);
+}
+
+std::shared_ptr<const ana::InteractiveStressModel> make_model() {
+  return std::make_shared<const ana::InteractiveStressModel>(
+      std::make_shared<const ana::InclusionResponse>(kS),
+      ana::SingleTsvModel(kS, mat::ThermalLoad{}).k_hat());
+}
+
+/// Expects `fn` to throw std::runtime_error whose message contains `what`.
+template <typename Fn>
+void expect_rejection(Fn&& fn, const std::string& what) {
+  try {
+    fn();
+    FAIL() << "expected rejection mentioning '" << what << "'";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(what), std::string::npos)
+        << "actual message: " << e.what();
+  }
+}
+
+TEST(Snapshot, RadialTableRoundTripsBitwise) {
+  const std::string path = temp_path("radial.snap");
+  const core::RadialStressTable table = make_table();
+  save_radial_table(path, table);
+
+  const core::RadialStressTable loaded = load_radial_table(path);
+  EXPECT_EQ(loaded.max_radius(), table.max_radius());
+  ASSERT_EQ(loaded.srr().size(), table.srr().size());
+  EXPECT_EQ(std::memcmp(loaded.srr().data(), table.srr().data(),
+                        table.srr().size() * sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(loaded.stt().data(), table.stt().data(),
+                        table.stt().size() * sizeof(double)), 0);
+
+  // save -> load -> save is byte-identical.
+  const std::string path2 = temp_path("radial2.snap");
+  save_radial_table(path2, loaded);
+  EXPECT_EQ(read_bytes(path), read_bytes(path2));
+}
+
+TEST(Snapshot, PairTableCacheRoundTrip) {
+  const std::string path = temp_path("pairs.snap");
+  const auto model = make_model();
+  const ana::PairStressTable& t12 = model->table_for_pitch(12.0, 25.0, 0.25);
+  model->table_for_pitch(17.3, 25.0, 0.25);
+  ASSERT_EQ(model->table_cache_size(), 2u);
+  EXPECT_EQ(save_pair_table_cache(path, *model), 2u);
+
+  const auto warmed = make_model();
+  EXPECT_EQ(load_pair_table_cache(path, *warmed), 2u);
+  EXPECT_EQ(warmed->table_cache_size(), 2u);
+  warmed->reset_table_cache_stats();
+  const ana::PairStressTable& w12 = warmed->table_for_pitch(12.0, 25.0, 0.25);
+  // Pre-warmed: the lookup hits instead of building…
+  EXPECT_EQ(warmed->table_cache_stats().misses, 0u);
+  EXPECT_EQ(warmed->table_cache_stats().hits, 1u);
+  // …and the restored table evaluates bitwise like the original.
+  const geo::Point victim{0.0, 0.0}, aggressor{12.0, 0.0}, p{4.0, 2.0};
+  const num::SymTensor2 a = t12.stress_at(victim, aggressor, p);
+  const num::SymTensor2 b = w12.stress_at(victim, aggressor, p);
+  EXPECT_EQ(a.s11, b.s11);
+  EXPECT_EQ(a.s22, b.s22);
+  EXPECT_EQ(a.s12, b.s12);
+}
+
+TEST(Snapshot, PlacementRoundTripsBitwise) {
+  const std::string path = temp_path("placement.snap");
+  tsvlib::TsvStructure s = tsvlib::TsvStructure::baseline_sio2();
+  s.body_radius = 3.25;
+  const tsvlib::Placement p(s, {{0.0, 0.0}, {13.5, -2.25}, {-7.0, 21.0}});
+  save_placement(path, p);
+
+  const tsvlib::Placement loaded = load_placement(path);
+  EXPECT_EQ(loaded.structure().body_radius, s.body_radius);
+  EXPECT_EQ(loaded.structure().liner.name, s.liner.name);
+  EXPECT_EQ(loaded.structure().liner.cte, s.liner.cte);
+  ASSERT_EQ(loaded.size(), p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(loaded.centers()[i].x, p.centers()[i].x);
+    EXPECT_EQ(loaded.centers()[i].y, p.centers()[i].y);
+  }
+}
+
+TEST(Snapshot, EngineStateRoundTripsBitwiseAndStaysEditable) {
+  const std::string path = temp_path("engine.snap");
+  const tsvlib::Placement placement = tsvlib::make_five_cross(kS, 12.0);
+  const geo::SampleGrid grid =
+      geo::SampleGrid::with_spacing(placement.bounding_box().expanded(25.0),
+                                    4.0);
+  const auto table =
+      std::make_shared<const core::RadialStressTable>(make_table());
+  core::IncrementalOptions opt;
+  opt.stage2.use_lookup_table = true;
+  opt.stage2.pitch_quant_step = 0.25;
+  core::IncrementalEngine engine(placement, grid, table, make_model(), opt);
+  engine.apply({core::EcoOp::move(0, {2.0, 1.0})});
+  save_engine_state(path, engine);
+
+  core::IncrementalEngine warmed = load_engine_state(path);
+  EXPECT_EQ(warmed.active_count(), engine.active_count());
+  EXPECT_EQ(warmed.grid().size(), engine.grid().size());
+  ASSERT_EQ(warmed.stage1_field().size(), engine.stage1_field().size());
+  EXPECT_EQ(std::memcmp(warmed.stage1_field().data(),
+                        engine.stage1_field().data(),
+                        engine.stage1_field().size() *
+                            sizeof(num::SymTensor2)), 0);
+  EXPECT_EQ(std::memcmp(warmed.stage2_field().data(),
+                        engine.stage2_field().data(),
+                        engine.stage2_field().size() *
+                            sizeof(num::SymTensor2)), 0);
+  // The warm cache came back too: no table builds on the next lookup.
+  ASSERT_NE(warmed.model(), nullptr);
+  EXPECT_EQ(warmed.model()->table_cache_size(),
+            engine.model()->table_cache_size());
+
+  // save -> load -> save is byte-identical.
+  const std::string path2 = temp_path("engine2.snap");
+  save_engine_state(path2, warmed);
+  EXPECT_EQ(read_bytes(path), read_bytes(path2));
+
+  // Identical edits on both engines stay bitwise in lock-step.
+  const core::Delta delta = {core::EcoOp::move(1, {13.0, 3.0})};
+  engine.apply(delta);
+  warmed.apply(delta);
+  EXPECT_EQ(std::memcmp(warmed.stage2_field().data(),
+                        engine.stage2_field().data(),
+                        engine.stage2_field().size() *
+                            sizeof(num::SymTensor2)), 0);
+}
+
+TEST(Snapshot, InfoReportsValidatedHeader) {
+  const std::string path = temp_path("info.snap");
+  const tsvlib::Placement p(kS, {{0.0, 0.0}});
+  save_placement(path, p);
+  const SnapshotInfo info = read_snapshot_info(path);
+  EXPECT_EQ(info.version, kSnapshotVersion);
+  EXPECT_EQ(info.kind, SnapshotKind::kPlacement);
+  EXPECT_GT(info.payload_bytes, 0u);
+  EXPECT_EQ(read_bytes(path).size(),
+            24 + info.payload_bytes + 8);  // header + payload + checksum
+}
+
+TEST(Snapshot, RejectsBadMagic) {
+  const std::string path = temp_path("magic.snap");
+  std::string bytes = "this is definitely not a snapshot file at all";
+  write_bytes(path, bytes);
+  expect_rejection([&] { read_snapshot_info(path); }, "magic");
+}
+
+TEST(Snapshot, RejectsWrongVersion) {
+  const std::string path = temp_path("version.snap");
+  save_placement(path, tsvlib::Placement(kS, {{0.0, 0.0}}));
+  std::string bytes = read_bytes(path);
+  bytes[8] = static_cast<char>(kSnapshotVersion + 1);  // u32 version field
+  write_bytes(path, bytes);
+  expect_rejection([&] { load_placement(path); }, "version");
+}
+
+TEST(Snapshot, RejectsCorruptPayload) {
+  const std::string path = temp_path("corrupt.snap");
+  save_placement(path, tsvlib::Placement(kS, {{0.0, 0.0}}));
+  std::string bytes = read_bytes(path);
+  bytes[30] = static_cast<char>(bytes[30] ^ 0x5a);  // flip payload bits
+  write_bytes(path, bytes);
+  expect_rejection([&] { load_placement(path); }, "checksum");
+}
+
+TEST(Snapshot, RejectsWrongKind) {
+  const std::string path = temp_path("kind.snap");
+  save_placement(path, tsvlib::Placement(kS, {{0.0, 0.0}}));
+  expect_rejection([&] { load_radial_table(path); }, "kind");
+}
+
+TEST(Snapshot, RejectsTruncation) {
+  const std::string path = temp_path("trunc.snap");
+  save_radial_table(path, make_table());
+  const std::string bytes = read_bytes(path);
+  // Cut mid-payload and mid-header.
+  write_bytes(path, bytes.substr(0, bytes.size() / 2));
+  expect_rejection([&] { load_radial_table(path); }, "truncated");
+  write_bytes(path, bytes.substr(0, 10));
+  expect_rejection([&] { read_snapshot_info(path); }, "truncated");
+}
+
+TEST(Snapshot, MissingFileRejected) {
+  expect_rejection(
+      [&] { read_snapshot_info(temp_path("does_not_exist.snap")); },
+      "cannot open");
+}
+
+}  // namespace
+}  // namespace tsv::io

@@ -23,7 +23,8 @@ cmake -B "$BUILD_DIR" -S . \
 # targets keeps the sanitizer build turnaround short.
 cmake --build "$BUILD_DIR" -j --target \
   test_parallel test_superposition test_interactive_stage \
-  test_framework_parallel test_tiled_evaluator
+  test_framework_parallel test_tiled_evaluator test_koz \
+  test_incremental_engine
 
 (cd "$BUILD_DIR" && ctest -L tsan --output-on-failure -j)
 echo "sanitizer=${SANITIZER}: all labeled tests passed with zero reports"

@@ -1,9 +1,16 @@
-// tsvstress command-line front end: read a placement file, evaluate the
-// stress field on a grid, write CSV.
+// tsvstress command-line front end.
 //
-//   tsvstress_cli <placement.tsv> [options]
+//   tsvstress_cli evaluate <placement.tsv> [options]   one-shot field eval
+//   tsvstress_cli eco      <placement.tsv> [options]   incremental edits
+//   tsvstress_cli snapshot save <placement.tsv> [options]
+//   tsvstress_cli snapshot info <file.snap>
 //
-// Options:
+// Invocations that start with a placement file (no subcommand) are treated
+// as an implicit `evaluate`, so pre-subcommand scripts keep working:
+//
+//   tsvstress_cli design.tsv --spacing=1 --out=field.csv
+//
+// evaluate options:
 //   --spacing=X       grid spacing, um (default 0.5)
 //   --margin=X        halo around the placement bounding box, um (default 25)
 //   --ls-only         linear superposition only (no interactive stage)
@@ -12,33 +19,53 @@
 //                     (default von_mises)
 //   --out=FILE        output CSV (default stress.csv)
 //
+// eco options (besides --spacing/--margin/--measure/--out/--lookup):
+//   --snapshot=FILE       warm-start from an engine snapshot instead of
+//                         building from the placement (placement arg optional)
+//   --moves=K             apply K random legal single-TSV moves
+//   --seed=S              RNG seed for --moves (default 7)
+//   --edits=FILE          apply an edit script as one atomic batch; lines:
+//                             add <x_um> <y_um>
+//                             move <id> <x_um> <y_um>
+//                             remove <id>
+//   --verify              full recompute afterwards; report the drift of the
+//                         incremental fields
+//   --save-snapshot=FILE  save the engine state after the edits
+//   --quant=X             Stage II pitch quantization step, um (default 0.25,
+//                         only with --lookup)
+//   --threads=N           threads for the cold build / --verify recompute
+//
+// snapshot save: builds the engine (same knobs as eco) and writes the
+// engine-state snapshot to --out=FILE (default engine.snap). A later
+// `eco --snapshot=FILE` then skips characterization and evaluation.
+// snapshot info: prints the header of any snapshot file (kind, version,
+// payload size, checksum) after validating its checksum.
+//
 // Placement format (see src/tsv/placement_io.h):
 //   structure <body_radius_um> <liner_thickness_um> <BCB|SiO2>
 //   tsv <x_um> <y_um>
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <memory>
+#include <random>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/framework.h"
+#include "core/incremental_engine.h"
 #include "core/metrics.h"
 #include "io/csv.h"
+#include "io/snapshot.h"
 #include "tsv/placement_io.h"
 
 namespace {
 
 using namespace tsv;
-
-struct CliOptions {
-  std::string placement_path;
-  std::string out_path = "stress.csv";
-  double spacing = 0.5;
-  double margin = 25.0;
-  bool ls_only = false;
-  bool lookup = false;
-  core::StressMeasure measure = core::StressMeasure::kVonMises;
-};
 
 core::StressMeasure parse_measure(const std::string& name) {
   if (name == "sigma_xx") return core::StressMeasure::kSigmaXX;
@@ -49,76 +76,334 @@ core::StressMeasure parse_measure(const std::string& name) {
   throw std::invalid_argument("unknown measure: " + name);
 }
 
-CliOptions parse(int argc, char** argv) {
-  CliOptions o;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--ls-only") {
-      o.ls_only = true;
-    } else if (arg == "--lookup") {
-      o.lookup = true;
-    } else if (arg.rfind("--spacing=", 0) == 0) {
-      o.spacing = std::stod(arg.substr(10));
-    } else if (arg.rfind("--margin=", 0) == 0) {
-      o.margin = std::stod(arg.substr(9));
-    } else if (arg.rfind("--measure=", 0) == 0) {
-      o.measure = parse_measure(arg.substr(10));
-    } else if (arg.rfind("--out=", 0) == 0) {
-      o.out_path = arg.substr(6);
-    } else if (arg.rfind("--", 0) == 0) {
-      throw std::invalid_argument("unknown option: " + arg);
-    } else if (o.placement_path.empty()) {
-      o.placement_path = arg;
+/// Flags shared by every subcommand that evaluates a field.
+struct CommonOptions {
+  std::string placement_path;
+  std::string out_path;
+  double spacing = 0.5;
+  double margin = 25.0;
+  bool ls_only = false;
+  bool lookup = false;
+  double quant_step = 0.25;
+  std::size_t threads = 1;
+  core::StressMeasure measure = core::StressMeasure::kVonMises;
+};
+
+/// eco-specific flags (also parsed by `snapshot save` where they apply).
+struct EcoOptions {
+  std::string snapshot_path;       ///< warm start (--snapshot=)
+  std::string save_snapshot_path;  ///< --save-snapshot=
+  std::string edits_path;          ///< --edits=
+  std::size_t moves = 0;           ///< --moves=
+  std::uint64_t seed = 7;
+  bool verify = false;
+};
+
+/// Parses one flag into `c`/`e`; returns false when the flag is unknown.
+bool parse_flag(const std::string& arg, CommonOptions& c, EcoOptions& e) {
+  const auto value = [&](const char* prefix) {
+    return arg.substr(std::strlen(prefix));
+  };
+  if (arg == "--ls-only") {
+    c.ls_only = true;
+  } else if (arg == "--lookup") {
+    c.lookup = true;
+  } else if (arg == "--verify") {
+    e.verify = true;
+  } else if (arg.rfind("--spacing=", 0) == 0) {
+    c.spacing = std::stod(value("--spacing="));
+  } else if (arg.rfind("--margin=", 0) == 0) {
+    c.margin = std::stod(value("--margin="));
+  } else if (arg.rfind("--measure=", 0) == 0) {
+    c.measure = parse_measure(value("--measure="));
+  } else if (arg.rfind("--out=", 0) == 0) {
+    c.out_path = value("--out=");
+  } else if (arg.rfind("--quant=", 0) == 0) {
+    c.quant_step = std::stod(value("--quant="));
+  } else if (arg.rfind("--threads=", 0) == 0) {
+    c.threads = std::stoul(value("--threads="));
+  } else if (arg.rfind("--snapshot=", 0) == 0) {
+    e.snapshot_path = value("--snapshot=");
+  } else if (arg.rfind("--save-snapshot=", 0) == 0) {
+    e.save_snapshot_path = value("--save-snapshot=");
+  } else if (arg.rfind("--edits=", 0) == 0) {
+    e.edits_path = value("--edits=");
+  } else if (arg.rfind("--moves=", 0) == 0) {
+    e.moves = std::stoul(value("--moves="));
+  } else if (arg.rfind("--seed=", 0) == 0) {
+    e.seed = std::stoull(value("--seed="));
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void parse_args(const std::vector<std::string>& args, CommonOptions& c,
+                EcoOptions& e, const std::string& usage) {
+  for (const std::string& arg : args) {
+    if (arg.rfind("--", 0) == 0) {
+      if (!parse_flag(arg, c, e))
+        throw std::invalid_argument("unknown option: " + arg + "\n" + usage);
+    } else if (c.placement_path.empty()) {
+      c.placement_path = arg;
     } else {
-      throw std::invalid_argument("unexpected argument: " + arg);
+      throw std::invalid_argument("unexpected argument: " + arg + "\n" +
+                                  usage);
     }
   }
-  if (o.placement_path.empty())
-    throw std::invalid_argument(
-        "usage: tsvstress_cli <placement.tsv> [--spacing=X] [--margin=X] "
-        "[--ls-only] [--lookup] [--measure=M] [--out=FILE]");
-  return o;
+}
+
+void write_field_csv(const std::string& out_path,
+                     const std::vector<geo::Point>& pts,
+                     const std::vector<num::SymTensor2>& field,
+                     core::StressMeasure measure) {
+  std::vector<double> values(pts.size());
+  double peak = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    values[i] = core::extract(measure, field[i]);
+    peak = std::max(peak, std::abs(values[i]));
+  }
+  io::write_scalar_field(out_path, pts, values);
+  std::printf("wrote %s (%s, peak |value| %.1f MPa)\n", out_path.c_str(),
+              core::to_string(measure), peak);
+}
+
+// --- evaluate ------------------------------------------------------------
+
+int run_evaluate(const std::vector<std::string>& args) {
+  constexpr const char* kUsage =
+      "usage: tsvstress_cli evaluate <placement.tsv> [--spacing=X] "
+      "[--margin=X] [--ls-only] [--lookup] [--measure=M] [--out=FILE]";
+  CommonOptions c;
+  EcoOptions e;
+  parse_args(args, c, e, kUsage);
+  if (c.placement_path.empty()) throw std::invalid_argument(kUsage);
+  if (c.out_path.empty()) c.out_path = "stress.csv";
+
+  const tsvlib::Placement placement =
+      tsvlib::read_placement_file(c.placement_path);
+  placement.validate_no_overlap();
+  std::printf("placement: %zu TSVs (R=%.2f um, liner %s), min pitch %.2f "
+              "um\n", placement.size(), placement.structure().body_radius,
+              placement.structure().liner.name.c_str(),
+              placement.min_pitch());
+
+  core::FrameworkOptions options;
+  options.enable_interactive = !c.ls_only;
+  options.stage2.use_lookup_table = c.lookup;
+  options.num_threads = c.threads;
+  const core::StressFramework framework(placement, options);
+
+  const geo::Box roi = placement.bounding_box().expanded(c.margin);
+  const geo::SampleGrid grid = geo::SampleGrid::with_spacing(roi, c.spacing);
+  std::printf("grid: %zu x %zu points, spacing %.3g um\n", grid.nx(),
+              grid.ny(), c.spacing);
+
+  const core::StressResult result = framework.evaluate(grid);
+  std::printf("stage I %.2fs, stage II %.2fs\n", result.stage1_seconds,
+              result.stage2_seconds);
+  write_field_csv(c.out_path, grid.points(), result.stress, c.measure);
+  return 0;
+}
+
+// --- eco -----------------------------------------------------------------
+
+/// Parses the --edits script: one op per line, `#` comments and blank lines
+/// skipped. The whole file is one atomic Delta.
+core::Delta read_edit_script(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open edit script: " + path);
+  core::Delta delta;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::istringstream ss(line);
+    std::string op;
+    if (!(ss >> op) || op[0] == '#') continue;
+    const auto fail = [&](const std::string& what) {
+      throw std::runtime_error(path + ":" + std::to_string(lineno) + ": " +
+                               what);
+    };
+    if (op == "add") {
+      geo::Point p;
+      if (!(ss >> p.x >> p.y)) fail("expected: add <x_um> <y_um>");
+      delta.push_back(core::EcoOp::add(p));
+    } else if (op == "move") {
+      std::uint32_t id = 0;
+      geo::Point p;
+      if (!(ss >> id >> p.x >> p.y))
+        fail("expected: move <id> <x_um> <y_um>");
+      delta.push_back(core::EcoOp::move(id, p));
+    } else if (op == "remove") {
+      std::uint32_t id = 0;
+      if (!(ss >> id)) fail("expected: remove <id>");
+      delta.push_back(core::EcoOp::remove(id));
+    } else {
+      fail("unknown edit op: " + op);
+    }
+  }
+  return delta;
+}
+
+/// Builds a cold engine from a placement file (characterizes the structure,
+/// evaluates both stages over the placement's expanded bounding box).
+core::IncrementalEngine build_engine(const CommonOptions& c) {
+  const tsvlib::Placement placement =
+      tsvlib::read_placement_file(c.placement_path);
+  placement.validate_no_overlap();
+  std::printf("placement: %zu TSVs, min pitch %.2f um\n", placement.size(),
+              placement.min_pitch());
+
+  const mat::ThermalLoad load{};
+  const ana::SingleTsvModel single(placement.structure(), load);
+  const auto table = std::make_shared<const core::RadialStressTable>(
+      core::RadialStressTable::from_analytic(single, 30.0, 4096));
+  std::shared_ptr<const ana::InteractiveStressModel> model;
+  if (!c.ls_only)
+    model = std::make_shared<const ana::InteractiveStressModel>(
+        std::make_shared<const ana::InclusionResponse>(placement.structure()),
+        single.k_hat());
+
+  core::IncrementalOptions opt;
+  opt.enable_interactive = !c.ls_only;
+  opt.stage2.use_lookup_table = c.lookup;
+  opt.stage2.pitch_quant_step = c.quant_step;
+  opt.num_threads = c.threads;
+
+  const geo::Box roi = placement.bounding_box().expanded(c.margin);
+  const geo::SampleGrid grid = geo::SampleGrid::with_spacing(roi, c.spacing);
+  std::printf("grid: %zu x %zu points, spacing %.3g um\n", grid.nx(),
+              grid.ny(), c.spacing);
+  return core::IncrementalEngine(placement, grid, table, model, opt);
+}
+
+int run_eco(const std::vector<std::string>& args) {
+  constexpr const char* kUsage =
+      "usage: tsvstress_cli eco <placement.tsv | --snapshot=FILE> "
+      "[--moves=K] [--seed=S] [--edits=FILE] [--verify] "
+      "[--save-snapshot=FILE] [--out=FILE] [--measure=M] [eval flags]";
+  CommonOptions c;
+  EcoOptions e;
+  parse_args(args, c, e, kUsage);
+  if (c.placement_path.empty() && e.snapshot_path.empty())
+    throw std::invalid_argument(kUsage);
+
+  core::IncrementalEngine engine =
+      e.snapshot_path.empty() ? build_engine(c)
+                              : io::load_engine_state(e.snapshot_path);
+  if (!e.snapshot_path.empty())
+    std::printf("warm start from %s: %zu TSVs, %zu points\n",
+                e.snapshot_path.c_str(), engine.active_count(),
+                engine.grid().size());
+
+  if (!e.edits_path.empty()) {
+    const core::Delta delta = read_edit_script(e.edits_path);
+    const core::ApplyStats st = engine.apply(delta);
+    std::printf("applied %zu edits in %.4g ms (%zu dirty points, "
+                "%zu/%zu pairs removed/added)\n",
+                st.ops, 1e3 * st.seconds, st.dirty_points, st.removed_pairs,
+                st.added_pairs);
+  }
+
+  if (e.moves > 0) {
+    std::mt19937_64 rng(e.seed);
+    std::uniform_real_distribution<double> jump(-8.0, 8.0);
+    const std::vector<std::uint32_t> ids = engine.active_ids();
+    if (ids.empty()) throw std::runtime_error("--moves on an empty engine");
+    std::uniform_int_distribution<std::size_t> pick(0, ids.size() - 1);
+    double total_s = 0.0;
+    std::size_t applied = 0;
+    for (std::size_t k = 0; k < e.moves; ++k) {
+      for (int attempt = 0; attempt < 100; ++attempt) {
+        const std::uint32_t id = ids[pick(rng)];
+        const geo::Point p = engine.center(id);
+        try {
+          const core::ApplyStats st = engine.apply(
+              {core::EcoOp::move(id, {p.x + jump(rng), p.y + jump(rng)})});
+          total_s += st.seconds;
+          ++applied;
+          break;
+        } catch (const std::invalid_argument&) {
+          // Overlap — retry with a fresh id/displacement.
+        }
+      }
+    }
+    std::printf("applied %zu random moves, mean %.4g ms\n", applied,
+                applied > 0 ? 1e3 * total_s / static_cast<double>(applied)
+                            : 0.0);
+  }
+
+  if (e.verify) {
+    const double drift = engine.rebuild();
+    std::printf("verify: full recompute drift %.3g MPa\n", drift);
+  }
+  if (!e.save_snapshot_path.empty()) {
+    io::save_engine_state(e.save_snapshot_path, engine);
+    std::printf("saved engine snapshot to %s\n",
+                e.save_snapshot_path.c_str());
+  }
+  if (!c.out_path.empty())
+    write_field_csv(c.out_path, engine.grid().points(), engine.total_field(),
+                    c.measure);
+  return 0;
+}
+
+// --- snapshot ------------------------------------------------------------
+
+int run_snapshot(const std::vector<std::string>& args) {
+  constexpr const char* kUsage =
+      "usage: tsvstress_cli snapshot save <placement.tsv> [--out=FILE] "
+      "[eval flags]\n"
+      "       tsvstress_cli snapshot info <file.snap>";
+  if (args.empty()) throw std::invalid_argument(kUsage);
+  const std::string verb = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+
+  if (verb == "info") {
+    if (rest.size() != 1) throw std::invalid_argument(kUsage);
+    const io::SnapshotInfo info = io::read_snapshot_info(rest[0]);
+    std::printf("%s: kind %s, format version %u, payload %llu bytes, "
+                "checksum %016llx (valid)\n",
+                rest[0].c_str(), io::to_string(info.kind), info.version,
+                static_cast<unsigned long long>(info.payload_bytes),
+                static_cast<unsigned long long>(info.checksum));
+    return 0;
+  }
+  if (verb == "save") {
+    CommonOptions c;
+    EcoOptions e;
+    parse_args(rest, c, e, kUsage);
+    if (c.placement_path.empty()) throw std::invalid_argument(kUsage);
+    if (c.out_path.empty()) c.out_path = "engine.snap";
+    const core::IncrementalEngine engine = build_engine(c);
+    io::save_engine_state(c.out_path, engine);
+    const io::SnapshotInfo info = io::read_snapshot_info(c.out_path);
+    std::printf("saved engine snapshot to %s (%llu payload bytes)\n",
+                c.out_path.c_str(),
+                static_cast<unsigned long long>(info.payload_bytes));
+    return 0;
+  }
+  throw std::invalid_argument("unknown snapshot verb: " + verb + "\n" +
+                              kUsage);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  constexpr const char* kUsage =
+      "usage: tsvstress_cli <evaluate|eco|snapshot> ...\n"
+      "       tsvstress_cli <placement.tsv> [options]   (implicit evaluate)";
   try {
-    const CliOptions cli = parse(argc, argv);
-    const tsvlib::Placement placement =
-        tsvlib::read_placement_file(cli.placement_path);
-    placement.validate_no_overlap();
-    std::printf("placement: %zu TSVs (R=%.2f um, liner %s), min pitch %.2f "
-                "um\n", placement.size(), placement.structure().body_radius,
-                placement.structure().liner.name.c_str(),
-                placement.min_pitch());
-
-    core::FrameworkOptions options;
-    options.enable_interactive = !cli.ls_only;
-    options.stage2.use_lookup_table = cli.lookup;
-    const core::StressFramework framework(placement, options);
-
-    const geo::Box roi = placement.bounding_box().expanded(cli.margin);
-    const geo::SampleGrid grid =
-        geo::SampleGrid::with_spacing(roi, cli.spacing);
-    std::printf("grid: %zu x %zu points, spacing %.3g um\n", grid.nx(),
-                grid.ny(), cli.spacing);
-
-    const core::StressResult result = framework.evaluate(grid);
-    std::printf("stage I %.2fs, stage II %.2fs\n", result.stage1_seconds,
-                result.stage2_seconds);
-
-    const std::vector<geo::Point> pts = grid.points();
-    std::vector<double> values(pts.size());
-    double peak = 0.0;
-    for (std::size_t i = 0; i < pts.size(); ++i) {
-      values[i] = core::extract(cli.measure, result.stress[i]);
-      peak = std::max(peak, std::abs(values[i]));
-    }
-    io::write_scalar_field(cli.out_path, pts, values);
-    std::printf("wrote %s (%s, peak |value| %.1f MPa)\n",
-                cli.out_path.c_str(), core::to_string(cli.measure), peak);
-    return 0;
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (args.empty()) throw std::invalid_argument(kUsage);
+    const std::string& cmd = args[0];
+    const std::vector<std::string> rest(args.begin() + 1, args.end());
+    if (cmd == "evaluate") return run_evaluate(rest);
+    if (cmd == "eco") return run_eco(rest);
+    if (cmd == "snapshot") return run_snapshot(rest);
+    // Flat invocation: first argument is the placement file.
+    return run_evaluate(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
