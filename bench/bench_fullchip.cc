@@ -11,6 +11,10 @@
 //              all pairs in a quantization bucket share one table, so the
 //              whole design needs ~(pitch range / step) builds.
 //
+// The quant configuration is then re-run with tiled checkpointing enabled
+// (io::evaluate_with_checkpoint, ~3 checkpoints per run) to measure the
+// wall-time overhead of crash tolerance — the README quotes a <= 5% budget.
+//
 // Prints a human table plus one machine-readable JSON line per design
 // (also appended to <out-dir>/fullchip.jsonl) for trajectory tracking.
 //
@@ -26,6 +30,7 @@
 
 #include <sys/resource.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -35,6 +40,7 @@
 
 #include "common.h"
 #include "core/tiled_evaluator.h"
+#include "io/snapshot.h"
 #include "io/table_printer.h"
 #include "numeric/parallel.h"
 #include "tsv/fullchip.h"
@@ -109,6 +115,7 @@ struct RunResult {
   tsv::ana::PairTableCacheStats cache;
   std::size_t tables = 0;
   double max_vm = 0.0;
+  double wall_seconds = 0.0;  ///< full evaluate() wall time, consumer included
   std::vector<tsv::num::SymTensor2> probe;  ///< strided field subsample
 };
 
@@ -157,7 +164,9 @@ int main(int argc, char** argv) {
     // Every run gets a fresh interactive model so the table cache starts
     // cold; the probe keeps a strided subsample for cross-run accuracy
     // checks without holding the O(chip) field.
-    const auto run = [&](bool lookup, double quant) {
+    std::size_t ckpt_every = 8;
+    const auto run = [&](bool lookup, double quant,
+                         const std::string& ckpt_path = std::string()) {
       const auto model = std::make_shared<const ana::InteractiveStressModel>(
           response, single.k_hat());
       core::FrameworkOptions fopt;
@@ -171,13 +180,21 @@ int main(int argc, char** argv) {
       const core::TiledEvaluator tiled(framework, topt);
       RunResult r;
       std::size_t seen = 0;
-      r.stats = tiled.evaluate(grid, [&](const core::Tile& tile) {
+      const auto consume = [&](const core::Tile& tile) {
         for (std::size_t i = 0; i < tile.stress.size(); ++i, ++seen) {
           r.max_vm = std::max(r.max_vm,
                               num::von_mises_plane_stress(tile.stress[i]));
           if (seen % 101 == 0) r.probe.push_back(tile.stress[i]);
         }
-      });
+      };
+      const auto start = std::chrono::steady_clock::now();
+      r.stats = ckpt_path.empty()
+                    ? tiled.evaluate(grid, consume)
+                    : io::evaluate_with_checkpoint(tiled, grid, consume,
+                                                   ckpt_path, ckpt_every);
+      r.wall_seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
       r.cache = model->table_cache_stats();
       r.tables = model->table_cache_size();
       return r;
@@ -196,6 +213,28 @@ int main(int argc, char** argv) {
                   kUncachedLimit);
     if (ran_uncached) lookup = run(true, 0.0);
     const RunResult quant = run(true, opt.quant_step);
+
+    // Checkpointed re-run of the quantized configuration: same field, plus
+    // resumable checkpoints (io::evaluate_with_checkpoint). Each checkpoint
+    // holds the whole finished prefix of the field, so the cadence sets the
+    // total bytes written; ~3 checkpoints per run keeps the wall-time delta
+    // against the plain quant run inside the <= 5% budget.
+    const std::string ckpt_path =
+        opt.out_dir + "/fullchip_" + std::to_string(count) + ".ckpt";
+    // Roughly 3 checkpoints per run whatever the tile count (8 on the 25-tile
+    // 10k design), so small designs still exercise the write path.
+    ckpt_every = std::max<std::size_t>(1, series.stats.tiles / 3);
+    const RunResult quant_ckpt = run(true, opt.quant_step, ckpt_path);
+    // One more interleaved trial per variant, min wall each: single-run
+    // deltas on a shared host are dominated by scheduler noise (the plain
+    // quant wall itself moves a few percent between runs).
+    const double plain_wall =
+        std::min(quant.wall_seconds, run(true, opt.quant_step).wall_seconds);
+    const double ckpt_wall =
+        std::min(quant_ckpt.wall_seconds,
+                 run(true, opt.quant_step, ckpt_path).wall_seconds);
+    const double ckpt_overhead =
+        plain_wall > 0.0 ? ckpt_wall / plain_wall - 1.0 : 0.0;
 
     // Max probe deviation of the quantized-cache field vs the exact series,
     // relative to the field scale (the documented look-up budget is ~1%).
@@ -251,6 +290,12 @@ int main(int argc, char** argv) {
                 "%.0f MB\n",
                 series.probe.size(), 100.0 * field_err, series.max_vm,
                 peak_rss_mb());
+    std::printf("checkpointing (every %zu tiles): %zu checkpoints, %.3f s "
+                "writing; wall %.3f s vs %.3f s plain (min of 2 each) -> "
+                "overhead %+.2f%%\n",
+                ckpt_every, quant_ckpt.stats.checkpoints_written,
+                quant_ckpt.stats.checkpoint_seconds, ckpt_wall, plain_wall,
+                100.0 * ckpt_overhead);
 
     bench::JsonRow row("fullchip");
     row.uint("tsvs", design.placement.size())
@@ -278,6 +323,12 @@ int main(int argc, char** argv) {
         .num("speedup_vs_series", speedup_vs_series, "%.2f")
         .num("field_err_frac", field_err, "%.5f")
         .num("max_vm_mpa", series.max_vm, "%.2f")
+        .uint("checkpoint_every_tiles", ckpt_every)
+        .uint("checkpoints_written", quant_ckpt.stats.checkpoints_written)
+        .num("checkpoint_write_s", quant_ckpt.stats.checkpoint_seconds, "%.4f")
+        .num("quant_wall_s", plain_wall, "%.4f")
+        .num("quant_ckpt_wall_s", ckpt_wall, "%.4f")
+        .num("checkpoint_overhead_frac", ckpt_overhead, "%.4f")
         .num("peak_rss_mb", peak_rss_mb(), "%.1f");
     bench::append_jsonl(opt.out_dir + "/fullchip.jsonl", row);
   }

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "io/atomic_file.h"
 #include "tsv/generators.h"
 
 namespace tsv::bench {
@@ -150,8 +151,15 @@ std::string JsonRow::json() const { return "{" + body_ + "}"; }
 void append_jsonl(const std::string& path, const JsonRow& row) {
   const std::string line = row.json();
   std::printf("json: %s\n", line.c_str());
-  std::ofstream out(path, std::ios::app);
-  if (out) out << line << '\n';
+  try {
+    // Atomic append (write temp + rename): a crash mid-append can corrupt a
+    // plain O_APPEND stream's last line; here the previous file survives.
+    io::atomic_append_line(path, line);
+  } catch (const std::exception& e) {
+    // Results already went to stdout; a failed journal append should not
+    // kill a long benchmark run.
+    std::fprintf(stderr, "warning: %s\n", e.what());
+  }
 }
 
 std::vector<PairSweepResult> run_pair_sweep(

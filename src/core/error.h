@@ -1,0 +1,106 @@
+#pragma once
+// The library's error taxonomy. Every failure a caller can meaningfully
+// react to is thrown as a tsv::Error subclass carrying a category, so a
+// long-running service (or the CLI) can map failures to recovery policies
+// without parsing message strings:
+//
+//   kInvalidInput    — the caller handed us something malformed (bad
+//                      placement file, NaN coordinate, wrong path). Fix the
+//                      input; retrying cannot help.
+//   kNumericFailure  — every numerical backend failed (CG diverged AND the
+//                      direct fallback could not produce an acceptable
+//                      residual). Usually a modeling problem.
+//   kIoCorruption    — on-disk state is damaged (truncated snapshot, bad
+//                      checksum, failed write). The artifact must be
+//                      regenerated; inputs and code are fine.
+//   kResourceLimit   — a request exceeds what the configuration can satisfy
+//                      (e.g. a full-chip population that cannot be placed
+//                      under the min-pitch constraint). Relax the request.
+//
+// All subclasses derive from std::runtime_error, so pre-taxonomy call sites
+// that catch std::runtime_error keep working. Cheap argument validation on
+// public APIs stays TSV_REQUIRE (std::invalid_argument, see
+// numeric/check.h); the taxonomy covers failures of *data*, not of call
+// contracts.
+//
+// The CLI maps categories to distinct process exit codes (exit_code());
+// tests and scripts assert on those instead of message text.
+
+#include <stdexcept>
+#include <string>
+
+namespace tsv {
+
+enum class ErrorCategory {
+  kInvalidInput,
+  kNumericFailure,
+  kIoCorruption,
+  kResourceLimit,
+};
+
+inline const char* to_string(ErrorCategory c) {
+  switch (c) {
+    case ErrorCategory::kInvalidInput:
+      return "invalid-input";
+    case ErrorCategory::kNumericFailure:
+      return "numeric-failure";
+    case ErrorCategory::kIoCorruption:
+      return "io-corruption";
+    case ErrorCategory::kResourceLimit:
+      return "resource-limit";
+  }
+  return "unknown";
+}
+
+/// Process exit code the CLI uses for each category (0 = success, 1 =
+/// uncategorized std::exception).
+inline int exit_code(ErrorCategory c) {
+  switch (c) {
+    case ErrorCategory::kInvalidInput:
+      return 2;
+    case ErrorCategory::kNumericFailure:
+      return 3;
+    case ErrorCategory::kIoCorruption:
+      return 4;
+    case ErrorCategory::kResourceLimit:
+      return 5;
+  }
+  return 1;
+}
+
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCategory category, const std::string& what)
+      : std::runtime_error(what), category_(category) {}
+
+  ErrorCategory category() const { return category_; }
+
+ private:
+  ErrorCategory category_;
+};
+
+class InvalidInputError : public Error {
+ public:
+  explicit InvalidInputError(const std::string& what)
+      : Error(ErrorCategory::kInvalidInput, what) {}
+};
+
+class NumericFailureError : public Error {
+ public:
+  explicit NumericFailureError(const std::string& what)
+      : Error(ErrorCategory::kNumericFailure, what) {}
+};
+
+class IoCorruptionError : public Error {
+ public:
+  explicit IoCorruptionError(const std::string& what)
+      : Error(ErrorCategory::kIoCorruption, what) {}
+};
+
+class ResourceLimitError : public Error {
+ public:
+  explicit ResourceLimitError(const std::string& what)
+      : Error(ErrorCategory::kResourceLimit, what) {}
+};
+
+}  // namespace tsv

@@ -2,7 +2,9 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstring>
 
+#include "core/error.h"
 #include "numeric/parallel.h"
 
 namespace tsv::core {
@@ -14,6 +16,23 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
+class Fnv1a {
+ public:
+  void bytes(const void* p, std::size_t n) {
+    const auto* c = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= c[i];
+      h_ *= 1099511628211ull;
+    }
+  }
+  void f64(double v) { bytes(&v, sizeof(v)); }
+  void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 1469598103934665603ull;
+};
+
 }  // namespace
 
 TiledEvaluator::TiledEvaluator(const StressFramework& framework,
@@ -23,8 +42,36 @@ TiledEvaluator::TiledEvaluator(const StressFramework& framework,
               "need at least one point per tile");
 }
 
+std::uint64_t TiledEvaluator::fingerprint(const geo::SampleGrid& grid) const {
+  Fnv1a h;
+  const tsvlib::Placement& p = framework_->stage1().placement();
+  h.u64(p.size());
+  for (const geo::Point& c : p.centers()) {
+    h.f64(c.x);
+    h.f64(c.y);
+  }
+  h.f64(p.structure().body_radius);
+  h.f64(p.structure().liner_thickness);
+  h.f64(grid.box().lo.x);
+  h.f64(grid.box().lo.y);
+  h.f64(grid.box().hi.x);
+  h.f64(grid.box().hi.y);
+  h.u64(grid.nx());
+  h.u64(grid.ny());
+  h.u64(options_.max_tile_points);
+  h.u64(options_.keep_interactive ? 1 : 0);
+  h.u64(framework_->stage2() != nullptr ? 1 : 0);
+  return h.value();
+}
+
 TiledStats TiledEvaluator::evaluate(const geo::SampleGrid& grid,
                                     const TileConsumer& consume) const {
+  return evaluate(grid, consume, CheckpointConfig{0, nullptr, nullptr});
+}
+
+TiledStats TiledEvaluator::evaluate(const geo::SampleGrid& grid,
+                                    const TileConsumer& consume,
+                                    const CheckpointConfig& checkpoint) const {
   TSV_REQUIRE(consume != nullptr, "null tile consumer");
   TiledStats stats;
   // Square-ish tiles: side = floor(sqrt(max_tile_points)) capped by the grid
@@ -37,6 +84,31 @@ TiledStats TiledEvaluator::evaluate(const geo::SampleGrid& grid,
   stats.tiles_y = (grid.ny() + side - 1) / side;
   const InteractiveStage* stage2 = framework_->stage2();
   if (stage2 != nullptr) stats.total_pairs = stage2->ordered_pairs().size();
+
+  const bool checkpointing =
+      checkpoint.writer != nullptr && checkpoint.every_tiles > 0;
+  const std::size_t total_tiles = stats.tiles_x * stats.tiles_y;
+
+  // Accumulated completed-tile state (only when a writer may need it).
+  TiledCheckpoint cp;
+  cp.fingerprint = fingerprint(grid);
+  if (checkpointing) {
+    cp.stress.reserve(grid.size());
+    if (options_.keep_interactive && stage2 != nullptr)
+      cp.interactive.reserve(grid.size());
+  }
+  const TiledCheckpoint* resume = checkpoint.resume;
+  if (resume != nullptr) {
+    if (resume->fingerprint != cp.fingerprint)
+      throw InvalidInputError(
+          "tiled checkpoint does not match this run (different placement, "
+          "grid, or tiling configuration)");
+    if (resume->tiles_done > total_tiles)
+      throw InvalidInputError(
+          "tiled checkpoint claims more finished tiles than the run has");
+  }
+  std::size_t resume_offset = 0;  // cursor into resume->stress
+  std::size_t fresh_tiles = 0;    // computed (not replayed) since last write
 
   std::vector<geo::Point> points;
   std::vector<num::SymTensor2> stress;
@@ -56,18 +128,46 @@ TiledStats TiledEvaluator::evaluate(const geo::SampleGrid& grid,
       const geo::Box bounds{grid.point(ix0, iy0),
                             grid.point(ix1 - 1, iy1 - 1)};
 
-      const auto t0 = Clock::now();
-      stress = framework_->stage1().evaluate(points);
-      stats.stage1_seconds += seconds_since(t0);
+      const bool replay = resume != nullptr && stats.tiles < resume->tiles_done;
+      if (replay) {
+        // Finished before the interruption: stream the stored field instead
+        // of re-evaluating (bitwise what the original run produced).
+        if (resume_offset + points.size() > resume->stress.size())
+          throw InvalidInputError(
+              "tiled checkpoint is shorter than its tile count claims");
+        stress.assign(resume->stress.begin() +
+                          static_cast<std::ptrdiff_t>(resume_offset),
+                      resume->stress.begin() +
+                          static_cast<std::ptrdiff_t>(resume_offset +
+                                                      points.size()));
+        if (options_.keep_interactive && stage2 != nullptr) {
+          if (resume_offset + points.size() > resume->interactive.size())
+            throw InvalidInputError(
+                "tiled checkpoint is missing its interactive fields");
+          interactive.assign(
+              resume->interactive.begin() +
+                  static_cast<std::ptrdiff_t>(resume_offset),
+              resume->interactive.begin() +
+                  static_cast<std::ptrdiff_t>(resume_offset + points.size()));
+        }
+        resume_offset += points.size();
+        ++stats.resumed_tiles;
+      } else {
+        const auto t0 = Clock::now();
+        stress = framework_->stage1().evaluate(points);
+        stats.stage1_seconds += seconds_since(t0);
 
-      if (stage2 != nullptr) {
-        const auto t1 = Clock::now();
-        stats.culled_pairs += stage2->ordered_pairs_near(bounds).size();
-        interactive = stage2->evaluate(points, bounds);
-        num::parallel_for(points.size(),
-                          framework_->options().stage2.num_threads,
-                          [&](std::size_t i) { stress[i] += interactive[i]; });
-        stats.stage2_seconds += seconds_since(t1);
+        if (stage2 != nullptr) {
+          const auto t1 = Clock::now();
+          stats.culled_pairs += stage2->ordered_pairs_near(bounds).size();
+          interactive = stage2->evaluate(points, bounds);
+          num::parallel_for(points.size(),
+                            framework_->options().stage2.num_threads,
+                            [&](std::size_t i) {
+                              stress[i] += interactive[i];
+                            });
+          stats.stage2_seconds += seconds_since(t1);
+        }
       }
 
       Tile tile{stats.tiles,
@@ -84,6 +184,23 @@ TiledStats TiledEvaluator::evaluate(const geo::SampleGrid& grid,
       ++stats.tiles;
       stats.points += points.size();
       stats.peak_tile_points = std::max(stats.peak_tile_points, points.size());
+
+      if (checkpointing) {
+        cp.stress.insert(cp.stress.end(), stress.begin(), stress.end());
+        if (options_.keep_interactive && stage2 != nullptr)
+          cp.interactive.insert(cp.interactive.end(), interactive.begin(),
+                                interactive.end());
+        cp.tiles_done = stats.tiles;
+        if (!replay) ++fresh_tiles;
+        // The final tile needs no checkpoint: the run is complete.
+        if (!replay && fresh_tiles % checkpoint.every_tiles == 0 &&
+            stats.tiles < total_tiles) {
+          const auto t2 = Clock::now();
+          checkpoint.writer(cp);
+          stats.checkpoint_seconds += seconds_since(t2);
+          ++stats.checkpoints_written;
+        }
+      }
     }
   }
   return stats;

@@ -10,6 +10,7 @@
 // tile order. The per-tile evaluations reuse the framework's thread pool:
 // tiles x threads compose because the outer tile loop is serial.
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
@@ -46,6 +47,37 @@ struct Tile {
 
 using TileConsumer = std::function<void(const Tile&)>;
 
+/// Completed-tile state of an interrupted (or in-flight) tiled run — enough
+/// to resume without re-evaluating finished tiles. The fingerprint binds
+/// the state to one (placement, grid, tiling) configuration so a stale
+/// checkpoint can never be resumed against the wrong run. Persistence is
+/// the io layer's job (io::save_tiled_checkpoint / load_tiled_checkpoint).
+struct TiledCheckpoint {
+  std::uint64_t fingerprint = 0;
+  std::size_t tiles_done = 0;
+  /// Fields of the finished tiles, concatenated in row-major tile order
+  /// (each tile row-major internally, matching Tile::stress).
+  std::vector<num::SymTensor2> stress;
+  /// Stage II parts, only populated when TiledOptions::keep_interactive.
+  std::vector<num::SymTensor2> interactive;
+};
+
+/// Checkpointing policy for one evaluate() run.
+struct CheckpointConfig {
+  /// Call `writer` after every this many freshly computed tiles. The final
+  /// tile never triggers a write: a completed run needs no checkpoint.
+  std::size_t every_tiles = 16;
+  /// Persistence hook (e.g. [&](const auto& cp) {
+  /// io::save_tiled_checkpoint(path, cp); }). Null disables writing, which
+  /// makes resume-only replay possible.
+  std::function<void(const TiledCheckpoint&)> writer;
+  /// Resume state: finished tiles are replayed to the consumer from the
+  /// stored fields (bitwise identical, no re-evaluation) and computation
+  /// continues at the first unfinished tile. Must match this run's
+  /// fingerprint (throws tsv::InvalidInputError otherwise).
+  const TiledCheckpoint* resume = nullptr;
+};
+
 struct TiledStats {
   std::size_t tiles = 0;
   std::size_t tiles_x = 0;
@@ -59,6 +91,12 @@ struct TiledStats {
   /// per-tile culling saves vs. evaluating every pair against every tile.
   std::size_t total_pairs = 0;
   std::size_t culled_pairs = 0;
+  /// Checkpoint accounting: tiles replayed from a resume checkpoint instead
+  /// of evaluated, checkpoint writes performed, and the wall-clock they
+  /// cost (the overhead the ≤5% budget in EXPERIMENTS.md tracks).
+  std::size_t resumed_tiles = 0;
+  std::size_t checkpoints_written = 0;
+  double checkpoint_seconds = 0.0;
 };
 
 class TiledEvaluator {
@@ -73,6 +111,17 @@ class TiledEvaluator {
   /// callback — copy what you keep.
   TiledStats evaluate(const geo::SampleGrid& grid,
                       const TileConsumer& consume) const;
+
+  /// Same, with periodic checkpointing and/or resume (see CheckpointConfig).
+  /// The streamed tiles — replayed and computed — are identical to an
+  /// uninterrupted run's.
+  TiledStats evaluate(const geo::SampleGrid& grid, const TileConsumer& consume,
+                      const CheckpointConfig& checkpoint) const;
+
+  /// FNV-1a fingerprint of everything a checkpoint must agree on: the
+  /// placement (centers + structure), the grid geometry, the tile budget,
+  /// and keep_interactive.
+  std::uint64_t fingerprint(const geo::SampleGrid& grid) const;
 
  private:
   const StressFramework* framework_;

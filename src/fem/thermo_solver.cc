@@ -5,11 +5,38 @@
 #include <stdexcept>
 
 #include "analytic/single_tsv.h"
+#include "core/error.h"
 #include "fem/assembly.h"
 #include "fem/stress_recovery.h"
 #include "numeric/sparse_cholesky.h"
 
 namespace tsv::fem {
+namespace {
+
+/// Verified relative residual ||A x - b|| / ||b||, recomputed from scratch
+/// so the acceptance decision never trusts a backend's own bookkeeping.
+double verified_residual(const num::SparseMatrix& a, const num::Vector& b,
+                         const num::Vector& x) {
+  const num::Vector ax = a.multiply(x);
+  double rn = 0.0, bn = 0.0;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    rn += (ax[i] - b[i]) * (ax[i] - b[i]);
+    bn += b[i] * b[i];
+  }
+  return bn > 0.0 ? std::sqrt(rn / bn) : std::sqrt(rn);
+}
+
+}  // namespace
+
+const char* to_string(LinearSolver s) {
+  switch (s) {
+    case LinearSolver::kConjugateGradient:
+      return "pcg";
+    case LinearSolver::kDirectCholesky:
+      return "direct-cholesky";
+  }
+  return "unknown";
+}
 
 FemSolution solve_thermo_elastic(const tsvlib::Placement& placement,
                                  const mat::ThermalLoad& load,
@@ -45,28 +72,86 @@ FemSolution solve_thermo_elastic(const tsvlib::Placement& placement,
       assemble(*mesh, placement.structure(), load, options.plane, boundary,
                options.blend_interfaces, options.num_threads);
 
+  // Solve through the fallback chain: the configured backend first, then —
+  // when that backend is PCG and it failed — the direct sparse Cholesky.
+  // Every accepted solution passes an independent residual verification; a
+  // hard throw happens only when no backend can produce an acceptable one.
   num::Vector reduced;
   num::CgResult cg;
-  if (options.solver == LinearSolver::kDirectCholesky) {
+  SolveReport report;
+
+  const auto direct_solve = [&](bool is_fallback) {
     const num::SparseCholesky chol(sys.stiffness);
     reduced = chol.solve(sys.load);
-    cg.converged = true;
-    cg.iterations = 1;
-    const num::Vector r = sys.stiffness.multiply(reduced);
-    double rn = 0.0, bn = 0.0;
-    for (std::size_t i = 0; i < r.size(); ++i) {
-      rn += (r[i] - sys.load[i]) * (r[i] - sys.load[i]);
-      bn += sys.load[i] * sys.load[i];
+    report.backend = LinearSolver::kDirectCholesky;
+    report.fallback_used = is_fallback;
+    report.iterations = 1;
+    report.residual = verified_residual(sys.stiffness, sys.load, reduced);
+    if (!is_fallback) {
+      cg.converged = true;
+      cg.iterations = 1;
+      cg.relative_residual = report.residual;
     }
-    cg.relative_residual = bn > 0.0 ? std::sqrt(rn / bn) : 0.0;
+    const double acceptance = is_fallback
+                                  ? options.fallback_residual
+                                  : std::max(options.fallback_residual,
+                                             options.cg.rel_tolerance);
+    if (!std::isfinite(report.residual) || report.residual > acceptance) {
+      std::ostringstream os;
+      os << "FEM direct Cholesky solve failed residual verification: "
+         << report.residual << " > " << acceptance;
+      if (is_fallback)
+        os << " (after CG failure: " << num::to_string(report.cg_failure)
+           << ")";
+      throw NumericFailureError(os.str());
+    }
+  };
+
+  if (options.solver == LinearSolver::kDirectCholesky) {
+    try {
+      direct_solve(/*is_fallback=*/false);
+    } catch (const NumericFailureError&) {
+      throw;
+    } catch (const std::runtime_error& e) {
+      // SparseCholesky throws std::runtime_error on a non-SPD pivot.
+      throw NumericFailureError(
+          std::string("FEM direct Cholesky solve failed: ") + e.what());
+    }
   } else {
     cg = num::conjugate_gradient(sys.stiffness, sys.load, reduced, options.cg);
-  }
-  if (!cg.converged) {
-    std::ostringstream os;
-    os << "FEM linear solve did not converge: " << cg.iterations
-       << " iterations, relative residual " << cg.relative_residual;
-    throw std::runtime_error(os.str());
+    report.backend = LinearSolver::kConjugateGradient;
+    report.iterations = cg.iterations;
+    report.residual = cg.relative_residual;
+    if (cg.converged) {
+      report.residual = verified_residual(sys.stiffness, sys.load, reduced);
+      // CG tracks its residual through a recurrence that can drift from the
+      // true one; demote a solution whose *verified* residual is far off.
+      if (!std::isfinite(report.residual) ||
+          report.residual > std::max(options.fallback_residual,
+                                     100.0 * options.cg.rel_tolerance)) {
+        cg.converged = false;
+        cg.failure = num::CgFailure::kDiverged;
+      }
+    }
+    if (!cg.converged) {
+      report.cg_failure = cg.failure;
+      std::ostringstream os;
+      os << "FEM CG solve failed (" << num::to_string(cg.failure) << "): "
+         << cg.iterations << " iterations, relative residual "
+         << cg.relative_residual;
+      if (!options.allow_fallback) throw NumericFailureError(os.str());
+      // A NaN-poisoned iterate must not leak into the retry.
+      reduced.assign(sys.load.size(), 0.0);
+      try {
+        direct_solve(/*is_fallback=*/true);
+      } catch (const NumericFailureError&) {
+        throw;
+      } catch (const std::runtime_error& e) {
+        throw NumericFailureError(os.str() +
+                                  "; direct Cholesky fallback also failed: " +
+                                  e.what());
+      }
+    }
   }
 
   num::Vector full = expand_solution(sys, reduced, mesh->node_count());
@@ -74,7 +159,7 @@ FemSolution solve_thermo_elastic(const tsvlib::Placement& placement,
                                       options.plane, full,
                                       options.blend_interfaces,
                                       options.num_threads);
-  return FemSolution{std::move(stress), std::move(full), cg,
+  return FemSolution{std::move(stress), std::move(full), cg, report,
                      sys.free_dof_count};
 }
 

@@ -20,6 +20,21 @@ enum class LinearSolver {
                        ///< (fill grows ~ n * bandwidth on 2D meshes)
 };
 
+const char* to_string(LinearSolver s);
+
+/// What the linear-solve stage actually did: which backend produced the
+/// accepted solution, whether the fallback chain had to engage, and the
+/// independently verified residual of the returned solution (recomputed
+/// from A x - b after the solve, not trusted from the backend).
+struct SolveReport {
+  LinearSolver backend = LinearSolver::kConjugateGradient;
+  bool fallback_used = false;
+  std::size_t iterations = 0;
+  double residual = 0.0;  ///< verified ||A x - b|| / ||b||
+  /// Why the CG attempt failed, when the fallback engaged (kNone otherwise).
+  num::CgFailure cg_failure = num::CgFailure::kNone;
+};
+
 struct FemOptions {
   LinearSolver solver = LinearSolver::kConjugateGradient;
   /// Target element edge length, um. 0.25 resolves the liner with two
@@ -43,17 +58,30 @@ struct FemOptions {
   /// linear solve itself is serial.
   std::size_t num_threads = 1;
   num::CgOptions cg;
+  /// When the CG attempt fails (divergence, NaN, stagnation, breakdown, or
+  /// iteration exhaustion), retry with the direct sparse Cholesky backend
+  /// instead of throwing. A hard NumericFailureError is only raised when
+  /// every backend has failed the post-solve residual verification.
+  bool allow_fallback = true;
+  /// Acceptance threshold on the verified relative residual of a fallback
+  /// (or direct) solution. Looser than cg.rel_tolerance: a direct factor's
+  /// rounding error on an ill-conditioned system is still a usable field.
+  double fallback_residual = 1e-8;
 };
 
 struct FemSolution {
   StressField stress;
   num::Vector displacement;  ///< full vector, 2 dofs per node
-  num::CgResult cg;
+  num::CgResult cg;  ///< the CG attempt (synthesized for direct solves)
+  SolveReport report;
   std::size_t free_dofs = 0;
 };
 
 /// Solves the thermo-elastic problem on `domain` expanded by options.margin.
-/// Throws std::runtime_error if the linear solver fails to converge.
+/// Throws tsv::NumericFailureError (a std::runtime_error) only when every
+/// enabled solver backend fails: with options.allow_fallback, a failed CG
+/// attempt silently retries through the direct Cholesky backend and the
+/// outcome is recorded in FemSolution::report.
 FemSolution solve_thermo_elastic(const tsvlib::Placement& placement,
                                  const mat::ThermalLoad& load,
                                  const geo::Box& domain,

@@ -2,12 +2,13 @@
 
 #include <stdexcept>
 
+#include "core/error.h"
 #include "numeric/check.h"
 
 namespace tsv::io {
 
 CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path) {
-  if (!out_) throw std::runtime_error("cannot open for write: " + path);
+  if (!out_) throw InvalidInputError("cannot open for write: " + path);
   out_.precision(10);
 }
 
@@ -29,7 +30,7 @@ void CsvWriter::row(const std::vector<double>& values) {
     out_ << values[i];
   }
   out_ << '\n';
-  if (!out_) throw std::runtime_error("write failed: " + path_);
+  if (!out_) throw IoCorruptionError("write failed: " + path_);
 }
 
 void CsvWriter::row(const std::vector<std::string>& values) {
@@ -40,7 +41,7 @@ void CsvWriter::row(const std::vector<std::string>& values) {
     out_ << values[i];
   }
   out_ << '\n';
-  if (!out_) throw std::runtime_error("write failed: " + path_);
+  if (!out_) throw IoCorruptionError("write failed: " + path_);
 }
 
 void write_scalar_field(const std::string& path,

@@ -1,5 +1,6 @@
 #include "io/snapshot.h"
 
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
@@ -7,6 +8,9 @@
 #include <utility>
 
 #include "analytic/mode_solver.h"
+#include "core/error.h"
+#include "io/atomic_file.h"
+#include "numeric/fault_injection.h"
 
 namespace tsv::io {
 namespace {
@@ -24,13 +28,14 @@ std::uint64_t fnv1a64(const std::string& bytes) {
 
 [[noreturn]] void snapshot_error(const std::string& path,
                                  const std::string& what) {
-  throw std::runtime_error("snapshot '" + path + "': " + what);
+  throw IoCorruptionError("snapshot '" + path + "': " + what);
 }
 
 /// Accumulates a payload; integers and doubles are appended as raw native
 /// little-endian bytes.
 class Writer {
  public:
+  void reserve(std::size_t bytes) { buffer_.reserve(bytes); }
   void u8(std::uint8_t v) { raw(&v, sizeof(v)); }
   void u32(std::uint32_t v) { raw(&v, sizeof(v)); }
   void u64(std::uint64_t v) { raw(&v, sizeof(v)); }
@@ -56,25 +61,37 @@ class Writer {
     f64(t.s12);
   }
   void tensor_vec(const std::vector<num::SymTensor2>& v) {
+    // Bulk append: the on-disk layout (s11, s22, s12 doubles per tensor) is
+    // exactly the in-memory layout, and per-element f64 calls dominate the
+    // checkpoint write time on full-chip fields.
+    static_assert(sizeof(num::SymTensor2) == 3 * sizeof(double));
     size(v.size());
-    for (const num::SymTensor2& t : v) tensor(t);
+    raw(v.data(), v.size() * sizeof(num::SymTensor2));
   }
 
-  /// Writes header + payload + checksum to `path`.
-  void commit(const std::string& path, SnapshotKind kind) const {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) snapshot_error(path, "cannot open for writing");
-    out.write(kMagic, sizeof(kMagic));
+  /// Writes header + payload + checksum to `path` atomically (temp file +
+  /// rename), so a crash mid-save can never leave a torn snapshot behind —
+  /// either the previous file survives intact or the new one is complete.
+  /// `durable=false` skips the fsync (see atomic_write_file).
+  void commit(const std::string& path, SnapshotKind kind,
+              bool durable = true) const {
+    std::string bytes;
+    bytes.reserve(sizeof(kMagic) + 2 * sizeof(std::uint32_t) +
+                  2 * sizeof(std::uint64_t) + buffer_.size());
+    bytes.append(kMagic, sizeof(kMagic));
     const std::uint32_t version = kSnapshotVersion;
     const std::uint32_t kind_u = static_cast<std::uint32_t>(kind);
     const std::uint64_t payload = buffer_.size();
     const std::uint64_t checksum = fnv1a64(buffer_);
-    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
-    out.write(reinterpret_cast<const char*>(&kind_u), sizeof(kind_u));
-    out.write(reinterpret_cast<const char*>(&payload), sizeof(payload));
-    out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
-    out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
-    if (!out) snapshot_error(path, "write failed");
+    const auto append_pod = [&](const auto& v) {
+      bytes.append(reinterpret_cast<const char*>(&v), sizeof(v));
+    };
+    append_pod(version);
+    append_pod(kind_u);
+    append_pod(payload);
+    bytes.append(buffer_);
+    append_pod(checksum);
+    atomic_write_file(path, bytes, durable);
   }
 
  private:
@@ -132,9 +149,13 @@ class Reader {
     return t;
   }
   std::vector<num::SymTensor2> tensor_vec() {
+    // Bulk read, mirroring Writer::tensor_vec (same byte layout).
     const std::size_t n = size();
     std::vector<num::SymTensor2> v(n);
-    for (std::size_t i = 0; i < n; ++i) v[i] = tensor();
+    const std::size_t bytes = n * sizeof(num::SymTensor2);
+    need(bytes);
+    std::memcpy(v.data(), payload_.data() + cursor_, bytes);
+    cursor_ += bytes;
     return v;
   }
 
@@ -170,7 +191,9 @@ struct FileContents {
 /// Reads the whole file, validating magic, version, size, and checksum.
 FileContents read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) snapshot_error(path, "cannot open for reading");
+  // A missing/unreadable path is the caller's mistake, not disk corruption.
+  if (!in) throw InvalidInputError("snapshot '" + path +
+                                   "': cannot open for reading");
   std::ostringstream buf;
   buf << in.rdbuf();
   std::string bytes = std::move(buf).str();
@@ -327,6 +350,8 @@ const char* to_string(SnapshotKind kind) {
       return "placement";
     case SnapshotKind::kEngineState:
       return "engine-state";
+    case SnapshotKind::kTiledCheckpoint:
+      return "tiled-checkpoint";
   }
   return "unknown";
 }
@@ -485,6 +510,87 @@ core::IncrementalEngine load_engine_state(const std::string& path) {
   }
   return core::IncrementalEngine::restore(std::move(state), std::move(table),
                                           std::move(model));
+}
+
+void save_tiled_checkpoint(const std::string& path,
+                           const core::TiledCheckpoint& cp) {
+  Writer w;
+  w.reserve(4 * sizeof(std::uint64_t) +
+            (cp.stress.size() + cp.interactive.size()) *
+                sizeof(num::SymTensor2));
+  w.u64(cp.fingerprint);
+  w.size(cp.tiles_done);
+  w.tensor_vec(cp.stress);
+  w.tensor_vec(cp.interactive);
+  // Not fsynced: a checkpoint defends against a killed run (the page cache
+  // survives that), its reader tolerates a damaged file, and the fsync wait
+  // would dominate the checkpoint overhead on full-chip fields.
+  w.commit(path, SnapshotKind::kTiledCheckpoint, /*durable=*/false);
+  // Fault harness: the atomic commit above makes torn writes from crashes
+  // impossible, so simulate *external* damage (disk/filesystem corruption
+  // after a successful save) by chopping the finished file in half. Resume
+  // must survive this by discarding the checkpoint, not by crashing.
+  if (fault::should_fire(fault::Site::kCheckpointTruncate)) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string bytes = std::move(buf).str();
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size() / 2));
+  }
+}
+
+core::TiledCheckpoint load_tiled_checkpoint(const std::string& path) {
+  Reader r = open_kind(path, SnapshotKind::kTiledCheckpoint);
+  core::TiledCheckpoint cp;
+  cp.fingerprint = r.u64();
+  cp.tiles_done = r.size();
+  cp.stress = r.tensor_vec();
+  cp.interactive = r.tensor_vec();
+  r.expect_end();
+  return cp;
+}
+
+std::optional<core::TiledCheckpoint> try_load_tiled_checkpoint(
+    const std::string& path) {
+  try {
+    return load_tiled_checkpoint(path);
+  } catch (const std::exception&) {
+    // Missing, truncated, corrupt, or wrong kind: resume is impossible,
+    // restarting from scratch is always correct.
+    return std::nullopt;
+  }
+}
+
+core::TiledStats evaluate_with_checkpoint(const core::TiledEvaluator& evaluator,
+                                          const geo::SampleGrid& grid,
+                                          const core::TileConsumer& consume,
+                                          const std::string& checkpoint_path,
+                                          std::size_t every_tiles) {
+  std::optional<core::TiledCheckpoint> resume =
+      try_load_tiled_checkpoint(checkpoint_path);
+  // A checkpoint from a different placement/grid/tiling must not be
+  // resumed; treat it like a corrupt one and start clean.
+  if (resume && resume->fingerprint != evaluator.fingerprint(grid))
+    resume.reset();
+
+  core::CheckpointConfig config;
+  config.every_tiles = every_tiles;
+  config.writer = [&checkpoint_path](const core::TiledCheckpoint& cp) {
+    try {
+      save_tiled_checkpoint(checkpoint_path, cp);
+    } catch (const std::exception& e) {
+      // Checkpoints are insurance, not output: a failed write (disk full,
+      // permissions) must not kill the run it is protecting. The previous
+      // checkpoint, if any, is still intact thanks to the atomic save.
+      std::fprintf(stderr, "warning: checkpoint write failed: %s\n", e.what());
+    }
+  };
+  config.resume = resume ? &*resume : nullptr;
+  core::TiledStats stats = evaluator.evaluate(grid, consume, config);
+  std::remove(checkpoint_path.c_str());
+  return stats;
 }
 
 }  // namespace tsv::io

@@ -24,12 +24,14 @@
 // (std::map iteration makes the pair-cache export order deterministic).
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "analytic/interaction.h"
 #include "core/incremental_engine.h"
 #include "core/stress_table.h"
+#include "core/tiled_evaluator.h"
 #include "tsv/placement.h"
 
 namespace tsv::io {
@@ -41,6 +43,7 @@ enum class SnapshotKind : std::uint32_t {
   kPairTableCache = 2,
   kPlacement = 3,
   kEngineState = 4,
+  kTiledCheckpoint = 5,
 };
 
 const char* to_string(SnapshotKind kind);
@@ -95,5 +98,29 @@ void save_engine_state(const std::string& path,
 /// the stored structure/options and its pair-table cache warmed from the
 /// stored tables, and the accumulated fields are restored verbatim.
 core::IncrementalEngine load_engine_state(const std::string& path);
+
+// --- Tiled-run checkpoints -----------------------------------------------
+
+void save_tiled_checkpoint(const std::string& path,
+                           const core::TiledCheckpoint& cp);
+core::TiledCheckpoint load_tiled_checkpoint(const std::string& path);
+
+/// Best-effort load for resume: returns nullopt (instead of throwing) when
+/// the file is missing, truncated, corrupt, or not a checkpoint — all cases
+/// where the right recovery is to start the run from scratch.
+std::optional<core::TiledCheckpoint> try_load_tiled_checkpoint(
+    const std::string& path);
+
+/// Runs `evaluator.evaluate(grid, consume)` with crash resilience: resumes
+/// from `checkpoint_path` when a usable checkpoint with a matching
+/// fingerprint exists (stale/corrupt ones are ignored), writes a fresh
+/// checkpoint every `every_tiles` computed tiles, and removes the file once
+/// the run completes. Interrupt-and-rerun therefore streams the exact tiles
+/// an uninterrupted run would have.
+core::TiledStats evaluate_with_checkpoint(const core::TiledEvaluator& evaluator,
+                                          const geo::SampleGrid& grid,
+                                          const core::TileConsumer& consume,
+                                          const std::string& checkpoint_path,
+                                          std::size_t every_tiles = 16);
 
 }  // namespace tsv::io

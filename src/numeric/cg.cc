@@ -1,8 +1,10 @@
 #include "numeric/cg.h"
 
 #include <cmath>
+#include <limits>
 #include <memory>
 
+#include "numeric/fault_injection.h"
 #include "numeric/ichol.h"
 
 namespace tsv::num {
@@ -50,6 +52,24 @@ class SsorApplier {
 };
 
 }  // namespace
+
+std::string to_string(CgFailure f) {
+  switch (f) {
+    case CgFailure::kNone:
+      return "none";
+    case CgFailure::kMaxIterations:
+      return "max-iterations";
+    case CgFailure::kBreakdown:
+      return "breakdown (matrix not SPD)";
+    case CgFailure::kNanDetected:
+      return "nan-detected";
+    case CgFailure::kDiverged:
+      return "diverged";
+    case CgFailure::kStagnation:
+      return "stagnation";
+  }
+  return "unknown";
+}
 
 std::string to_string(Preconditioner p) {
   switch (p) {
@@ -120,6 +140,11 @@ CgResult conjugate_gradient(const SparseMatrix& a, const Vector& b, Vector& x,
     result.converged = true;
     return result;
   }
+  if (!std::isfinite(norm_b)) {
+    result.failure = CgFailure::kNanDetected;
+    result.relative_residual = std::numeric_limits<double>::quiet_NaN();
+    return result;
+  }
 
   Vector r = b;
   Vector ax = a.multiply(x);
@@ -131,19 +156,51 @@ CgResult conjugate_gradient(const SparseMatrix& a, const Vector& b, Vector& x,
   double rz = dot(r, z);
   Vector ap(n);
 
+  double best_residual = std::numeric_limits<double>::infinity();
+  std::size_t best_iteration = 0;
+  result.failure = CgFailure::kMaxIterations;
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
     result.relative_residual = norm2(r) / norm_b;
+    if (!std::isfinite(result.relative_residual)) {
+      result.failure = CgFailure::kNanDetected;
+      return result;
+    }
     if (result.relative_residual <= options.rel_tolerance) {
       result.converged = true;
+      result.failure = CgFailure::kNone;
       result.iterations = it;
       return result;
     }
+    if (result.relative_residual < best_residual) {
+      best_residual = result.relative_residual;
+      best_iteration = it;
+    } else {
+      if (options.divergence_factor > 0.0 &&
+          result.relative_residual >
+              options.divergence_factor * best_residual) {
+        result.failure = CgFailure::kDiverged;
+        return result;
+      }
+      if (options.stagnation_window > 0 &&
+          it - best_iteration >= options.stagnation_window) {
+        result.failure = CgFailure::kStagnation;
+        return result;
+      }
+    }
     a.multiply(p, ap);
     const double p_ap = dot(p, ap);
-    if (p_ap <= 0.0) break;  // not SPD (or breakdown): report non-convergence
+    if (p_ap <= 0.0) {
+      // Not SPD (or breakdown): report non-convergence.
+      result.failure = CgFailure::kBreakdown;
+      break;
+    }
     const double alpha = rz / p_ap;
     axpy(alpha, p, x);
     axpy(-alpha, ap, r);
+    if (fault::should_fire(fault::Site::kCgPoisonNan)) {
+      x[0] = std::numeric_limits<double>::quiet_NaN();
+      r[0] = std::numeric_limits<double>::quiet_NaN();
+    }
     precondition(r, z);
     const double rz_next = dot(r, z);
     const double beta = rz_next / rz;
@@ -152,7 +209,9 @@ CgResult conjugate_gradient(const SparseMatrix& a, const Vector& b, Vector& x,
     result.iterations = it + 1;
   }
   result.relative_residual = norm2(r) / norm_b;
-  result.converged = result.relative_residual <= options.rel_tolerance;
+  result.converged = result.relative_residual <= options.rel_tolerance &&
+                     std::isfinite(result.relative_residual);
+  if (result.converged) result.failure = CgFailure::kNone;
   return result;
 }
 

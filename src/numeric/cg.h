@@ -17,6 +17,27 @@ struct CgOptions {
   std::size_t max_iterations = 20000;
   Preconditioner preconditioner = Preconditioner::kIncompleteCholesky;
   double ssor_omega = 1.2;
+  /// Abort when the relative residual grows past `divergence_factor` times
+  /// the best residual seen (0 disables). CG residuals oscillate, so this
+  /// is deliberately loose; only a genuinely diverging run trips it.
+  double divergence_factor = 1e8;
+  /// Abort when the best relative residual has not improved for this many
+  /// consecutive iterations (0 disables) — the classic symptom of asking
+  /// for a tolerance below what the conditioning can deliver.
+  std::size_t stagnation_window = 1000;
+};
+
+/// Why a solve stopped without converging. Detection is deliberately inside
+/// the iteration loop: a NaN contaminates the whole Krylov basis, so every
+/// iteration past the first bad one is wasted work, and callers (the FEM
+/// fallback chain) want to know *why* so they can pick the right recovery.
+enum class CgFailure {
+  kNone,           ///< converged
+  kMaxIterations,  ///< iteration budget exhausted while still improving
+  kBreakdown,      ///< p' A p <= 0: the matrix is not SPD (or breakdown)
+  kNanDetected,    ///< NaN/Inf in the rhs, iterate, or residual
+  kDiverged,       ///< residual grew divergence_factor past the best seen
+  kStagnation,     ///< no best-residual progress for stagnation_window its
 };
 
 struct CgResult {
@@ -26,14 +47,17 @@ struct CgResult {
   /// Which preconditioner actually ran (IC(0) falls back to SSOR on
   /// factorization breakdown).
   Preconditioner used = Preconditioner::kNone;
+  CgFailure failure = CgFailure::kNone;
 };
 
 /// Solves A x = b; x is used as the initial guess and overwritten with the
 /// solution. Throws std::invalid_argument on shape mismatch; a non-converged
-/// run is reported through the result, not an exception.
+/// run is reported through the result (converged == false plus a `failure`
+/// classification), not an exception.
 CgResult conjugate_gradient(const SparseMatrix& a, const Vector& b, Vector& x,
                             const CgOptions& options = {});
 
 std::string to_string(Preconditioner p);
+std::string to_string(CgFailure f);
 
 }  // namespace tsv::num

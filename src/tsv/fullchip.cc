@@ -5,6 +5,7 @@
 #include <random>
 #include <stdexcept>
 
+#include "core/error.h"
 #include "geometry/grid_index.h"
 #include "io/csv.h"
 
@@ -39,7 +40,7 @@ struct Builder {
   }
 
   [[noreturn]] void fail(const char* population) {
-    throw std::runtime_error(
+    throw ResourceLimitError(
         std::string("make_fullchip: could not place the ") + population +
         " population under the min-pitch constraint; enlarge the chip or "
         "reduce the TSV counts");

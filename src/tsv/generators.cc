@@ -4,6 +4,7 @@
 #include <random>
 #include <stdexcept>
 
+#include "core/error.h"
 #include "geometry/grid_index.h"
 
 namespace tsv::tsvlib {
@@ -56,7 +57,7 @@ Placement make_random(const TsvStructure& s, std::size_t count,
   std::size_t attempts = 0;
   while (accepted.size() < count) {
     if (++attempts > max_attempts)
-      throw std::runtime_error(
+      throw ResourceLimitError(
           "make_random: could not fit the requested TSV count into the area "
           "under the min-pitch constraint");
     const geo::Point cand{ux(rng), uy(rng)};

@@ -1,8 +1,11 @@
 #include "tsv/placement_io.h"
 
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
-#include <stdexcept>
+
+#include "core/error.h"
 
 namespace tsv::tsvlib {
 namespace {
@@ -10,7 +13,29 @@ namespace {
 [[noreturn]] void parse_error(std::size_t line_no, const std::string& what) {
   std::ostringstream os;
   os << "placement parse error at line " << line_no << ": " << what;
-  throw std::runtime_error(os.str());
+  throw InvalidInputError(os.str());
+}
+
+/// strtod-based double parsing: unlike istream extraction it accepts the
+/// full C grammar ("nan", "inf", overflow to infinity), so garbage
+/// coordinates parse *successfully* here and are then rejected by the
+/// explicit finiteness validation below with a clear, line-numbered error
+/// instead of leaking NaN/Inf into the engines.
+bool parse_double(std::istream& in, double& out) {
+  std::string token;
+  if (!(in >> token)) return false;
+  const char* begin = token.c_str();
+  char* end = nullptr;
+  out = std::strtod(begin, &end);
+  return end == begin + token.size() && end != begin;
+}
+
+void require_finite(std::size_t line_no, const char* what, double v) {
+  if (!std::isfinite(v)) {
+    std::ostringstream os;
+    os << what << " is not a finite number (" << v << ")";
+    parse_error(line_no, os.str());
+  }
 }
 
 }  // namespace
@@ -32,8 +57,13 @@ Placement read_placement(std::istream& in) {
       double r = 0.0;
       double t = 0.0;
       std::string liner;
-      if (!(ls >> r >> t >> liner))
+      if (!parse_double(ls, r) || !parse_double(ls, t) || !(ls >> liner))
         parse_error(line_no, "expected: structure <R> <t> <BCB|SiO2>");
+      require_finite(line_no, "body radius", r);
+      require_finite(line_no, "liner thickness", t);
+      if (r <= 0.0) parse_error(line_no, "body radius must be positive");
+      if (t < 0.0)
+        parse_error(line_no, "liner thickness must be non-negative");
       structure.body_radius = r;
       structure.liner_thickness = t;
       if (liner == "BCB") {
@@ -46,20 +76,23 @@ Placement read_placement(std::istream& in) {
       have_structure = true;
     } else if (keyword == "tsv") {
       geo::Point p;
-      if (!(ls >> p.x >> p.y)) parse_error(line_no, "expected: tsv <x> <y>");
+      if (!parse_double(ls, p.x) || !parse_double(ls, p.y))
+        parse_error(line_no, "expected: tsv <x> <y>");
+      require_finite(line_no, "tsv x coordinate", p.x);
+      require_finite(line_no, "tsv y coordinate", p.y);
       centers.push_back(p);
     } else {
       parse_error(line_no, "unknown keyword '" + keyword + "'");
     }
   }
   if (!have_structure)
-    throw std::runtime_error("placement file has no 'structure' line");
+    throw InvalidInputError("placement file has no 'structure' line");
   return Placement(structure, std::move(centers));
 }
 
 Placement read_placement_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open placement file: " + path);
+  if (!in) throw InvalidInputError("cannot open placement file: " + path);
   return read_placement(in);
 }
 
@@ -73,7 +106,7 @@ void write_placement(std::ostream& out, const Placement& p) {
 
 void write_placement_file(const std::string& path, const Placement& p) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  if (!out) throw InvalidInputError("cannot open for write: " + path);
   write_placement(out, p);
 }
 

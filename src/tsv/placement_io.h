@@ -16,8 +16,11 @@
 
 namespace tsv::tsvlib {
 
-/// Parses the placement format; throws std::runtime_error with a line number
-/// on malformed input.
+/// Parses the placement format; throws tsv::InvalidInputError (a
+/// std::runtime_error) with a line number on malformed input. Validation is
+/// strict: NaN/Inf coordinates, a non-positive body radius, and a negative
+/// liner thickness are rejected at parse time so they can never reach the
+/// engines.
 Placement read_placement(std::istream& in);
 Placement read_placement_file(const std::string& path);
 

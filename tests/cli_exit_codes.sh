@@ -1,0 +1,77 @@
+#!/usr/bin/env sh
+# Smoke test for the CLI's error-category -> exit-code contract
+# (src/core/error.h): 0 success, 2 invalid input, 3 numeric failure,
+# 4 io corruption, 5 resource limit, 1 uncategorized.
+#
+# Usage: cli_exit_codes.sh <path-to-tsvstress_cli>
+set -u
+
+CLI="$1"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+fails=0
+
+expect_code() {
+  want="$1"
+  label="$2"
+  shift 2
+  "$CLI" "$@" >"$WORK/out.log" 2>"$WORK/err.log"
+  got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL [$label]: expected exit $want, got $got" >&2
+    sed 's/^/  stderr: /' "$WORK/err.log" >&2
+    fails=$((fails + 1))
+  else
+    echo "ok [$label]: exit $got"
+  fi
+}
+
+# --- exit 0: a clean evaluate run ----------------------------------------
+cat >"$WORK/ok.tsv" <<EOF
+structure 2.5 0.5 BCB
+tsv 0 0
+tsv 12 0
+EOF
+expect_code 0 "clean evaluate" \
+  evaluate "$WORK/ok.tsv" --spacing=2 --out="$WORK/field.csv"
+
+# --- exit 0: checkpointed evaluate, file removed on success --------------
+expect_code 0 "checkpointed evaluate" \
+  evaluate "$WORK/ok.tsv" --spacing=2 --out="$WORK/field_cp.csv" \
+  --checkpoint="$WORK/run.ckpt" --checkpoint-every=1
+if [ -e "$WORK/run.ckpt" ]; then
+  echo "FAIL [checkpoint cleanup]: checkpoint survived a finished run" >&2
+  fails=$((fails + 1))
+else
+  echo "ok [checkpoint cleanup]"
+fi
+if ! cmp -s "$WORK/field.csv" "$WORK/field_cp.csv"; then
+  echo "FAIL [checkpointed field]: differs from the plain evaluate" >&2
+  fails=$((fails + 1))
+else
+  echo "ok [checkpointed field matches plain evaluate]"
+fi
+
+# --- exit 2: invalid input ------------------------------------------------
+cat >"$WORK/nan.tsv" <<EOF
+structure 2.5 0.5 BCB
+tsv nan 0
+EOF
+expect_code 2 "NaN coordinate" evaluate "$WORK/nan.tsv"
+expect_code 2 "missing placement file" evaluate "$WORK/does_not_exist.tsv"
+expect_code 2 "unknown flag" evaluate "$WORK/ok.tsv" --no-such-flag
+expect_code 2 "missing snapshot" eco --snapshot="$WORK/missing.snap"
+
+# --- exit 4: io corruption ------------------------------------------------
+printf 'TSVSNAP\0garbage-after-a-valid-magic-but-nothing-else' \
+  >"$WORK/broken.snap"
+expect_code 4 "corrupt snapshot" snapshot info "$WORK/broken.snap"
+
+# --- usage errors are invalid input too ----------------------------------
+expect_code 2 "no arguments"
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails check(s) failed" >&2
+  exit 1
+fi
+echo "all exit-code checks passed"

@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <random>
 
+#include "numeric/fault_injection.h"
 #include "numeric/ichol.h"
 
 namespace tsv::num {
@@ -121,6 +124,82 @@ TEST(Cg, ReportsNonConvergenceInsteadOfThrowing) {
   const CgResult res = conjugate_gradient(a, b, x, opt);
   EXPECT_FALSE(res.converged);
   EXPECT_GT(res.relative_residual, 0.0);
+  EXPECT_EQ(res.failure, CgFailure::kMaxIterations);
+}
+
+TEST(Cg, ClassifiesNonSpdAsBreakdown) {
+  // Indefinite diagonal: the very first p' A p is negative.
+  std::vector<Triplet> t{{0, 0, 1.0}, {1, 1, -1.0}, {2, 2, 1.0}};
+  const SparseMatrix a = SparseMatrix::from_triplets(3, t);
+  const Vector b{0.0, 1.0, 0.0};
+  Vector x;
+  CgOptions opt;
+  opt.preconditioner = Preconditioner::kNone;
+  const CgResult res = conjugate_gradient(a, b, x, opt);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.failure, CgFailure::kBreakdown);
+}
+
+TEST(Cg, ClassifiesNanRhs) {
+  const SparseMatrix a = poisson1d(8);
+  Vector b(a.size(), 1.0);
+  b[3] = std::numeric_limits<double>::quiet_NaN();
+  Vector x;
+  const CgResult res = conjugate_gradient(a, b, x);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.failure, CgFailure::kNanDetected);
+  EXPECT_TRUE(std::isnan(res.relative_residual));
+}
+
+TEST(Cg, InjectedNanIterateIsDetectedNotLooped) {
+  const SparseMatrix a = poisson2d(30);
+  const Vector b(a.size(), 1.0);
+  Vector x;
+  CgOptions opt;
+  opt.preconditioner = Preconditioner::kNone;
+  fault::arm(fault::Site::kCgPoisonNan, 2);
+  const CgResult res = conjugate_gradient(a, b, x, opt);
+  fault::disarm_all();
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.failure, CgFailure::kNanDetected);
+  // Detection happens on the iteration right after the poison, not after
+  // grinding through the whole max_iterations budget on NaNs.
+  EXPECT_LE(res.iterations, 4u);
+}
+
+TEST(Cg, ClassifiesStagnation) {
+  // Path-graph Laplacian: singular, nullspace = constant vector. With a
+  // rhs whose mean is nonzero the system is inconsistent, so the residual
+  // can never drop below its nullspace component — the best residual stops
+  // improving and the stagnation window trips long before max_iterations.
+  const std::size_t n = 50;
+  std::vector<Triplet> t;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    t.push_back({i, i, (i == 0 || i + 1 == n) ? 1.0 : 2.0});
+    if (i + 1 < n) {
+      t.push_back({i, i + 1, -1.0});
+      t.push_back({i + 1, i, -1.0});
+    }
+  }
+  const SparseMatrix a = SparseMatrix::from_triplets(n, t);
+  Vector b(n, 0.0);
+  b[0] = 1.0;
+  Vector x;
+  CgOptions opt;
+  opt.preconditioner = Preconditioner::kNone;
+  opt.stagnation_window = 30;
+  opt.max_iterations = 10000;
+  const CgResult res = conjugate_gradient(a, b, x, opt);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.failure, CgFailure::kStagnation);
+  EXPECT_LT(res.iterations, opt.max_iterations);
+}
+
+TEST(Cg, FailureToStringIsStable) {
+  EXPECT_STREQ(to_string(CgFailure::kNone).c_str(), "none");
+  EXPECT_STREQ(to_string(CgFailure::kBreakdown).c_str(),
+               "breakdown (matrix not SPD)");
+  EXPECT_STREQ(to_string(CgFailure::kNanDetected).c_str(), "nan-detected");
 }
 
 TEST(IncompleteCholesky, ExactForTridiagonal) {

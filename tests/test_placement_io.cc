@@ -4,8 +4,26 @@
 
 #include <sstream>
 
+#include "core/error.h"
+
 namespace tsv::tsvlib {
 namespace {
+
+/// Expects parsing `text` to throw tsv::InvalidInputError mentioning both
+/// `line N` and `what`.
+void expect_parse_error(const std::string& text, std::size_t line,
+                        const std::string& what) {
+  std::istringstream in(text);
+  try {
+    read_placement(in);
+    FAIL() << "expected rejection mentioning '" << what << "'";
+  } catch (const InvalidInputError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("line " + std::to_string(line)), std::string::npos)
+        << "actual message: " << msg;
+    EXPECT_NE(msg.find(what), std::string::npos) << "actual message: " << msg;
+  }
+}
 
 TEST(PlacementIo, RoundTrip) {
   Placement p(TsvStructure::baseline_sio2(),
@@ -63,6 +81,41 @@ TEST(PlacementIo, MalformedTsvRejected) {
 TEST(PlacementIo, MissingFileThrows) {
   EXPECT_THROW(read_placement_file("/nonexistent/path/p.tsv"),
                std::runtime_error);
+  // The taxonomy classifies a bad path as the caller's input.
+  EXPECT_THROW(read_placement_file("/nonexistent/path/p.tsv"),
+               InvalidInputError);
+}
+
+TEST(PlacementIo, NanAndInfCoordinatesRejectedWithLineNumbers) {
+  // strtod-style parsing accepts "nan"/"inf" tokens, so these must be
+  // caught by explicit validation, not by parse failure.
+  expect_parse_error("structure 2.5 0.5 BCB\ntsv nan 2.0\n", 2,
+                     "tsv x coordinate");
+  expect_parse_error("structure 2.5 0.5 BCB\ntsv 1.0 inf\n", 2,
+                     "tsv y coordinate");
+  expect_parse_error("structure 2.5 0.5 BCB\ntsv 0 0\ntsv 3 -inf\n", 3,
+                     "tsv y coordinate");
+  // Overflowing literals round to infinity under strtod; same rejection.
+  expect_parse_error("structure 2.5 0.5 BCB\ntsv 1e999 0\n", 2,
+                     "tsv x coordinate");
+}
+
+TEST(PlacementIo, NonPositiveRadiusAndBadLinerThicknessRejected) {
+  expect_parse_error("structure 0 0.5 BCB\n", 1,
+                     "body radius must be positive");
+  expect_parse_error("structure -2.5 0.5 BCB\n", 1,
+                     "body radius must be positive");
+  expect_parse_error("structure nan 0.5 BCB\n", 1, "body radius");
+  expect_parse_error("structure 2.5 -0.1 BCB\n", 1,
+                     "liner thickness must be non-negative");
+  expect_parse_error("structure 2.5 inf BCB\n", 1, "liner thickness");
+}
+
+TEST(PlacementIo, GarbageNumericTokensRejected) {
+  expect_parse_error("structure 2.5 0.5 BCB\ntsv 1.0x 2.0\n", 2,
+                     "expected: tsv <x> <y>");
+  expect_parse_error("structure abc 0.5 BCB\n", 1,
+                     "expected: structure <R> <t> <BCB|SiO2>");
 }
 
 }  // namespace

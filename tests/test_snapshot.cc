@@ -12,7 +12,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/error.h"
 #include "core/incremental_engine.h"
+#include "numeric/fault_injection.h"
 #include "tsv/generators.h"
 
 namespace tsv::io {
@@ -226,6 +228,88 @@ TEST(Snapshot, MissingFileRejected) {
   expect_rejection(
       [&] { read_snapshot_info(temp_path("does_not_exist.snap")); },
       "cannot open");
+}
+
+TEST(Snapshot, ErrorsCarryTaxonomyCategories) {
+  // Missing file: the caller's path problem, not disk corruption.
+  EXPECT_THROW(read_snapshot_info(temp_path("no_such.snap")),
+               InvalidInputError);
+  // Damaged payload: corruption.
+  const std::string path = temp_path("category.snap");
+  save_placement(path, tsvlib::Placement(kS, {{0.0, 0.0}}));
+  std::string bytes = read_bytes(path);
+  bytes[30] = static_cast<char>(bytes[30] ^ 0x5a);
+  write_bytes(path, bytes);
+  try {
+    load_placement(path);
+    FAIL() << "expected IoCorruptionError";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kIoCorruption);
+  }
+}
+
+TEST(Snapshot, InterruptedSaveLeavesPreviousFileIntact) {
+  const std::string path = temp_path("atomic.snap");
+  const tsvlib::Placement original(kS, {{0.0, 0.0}, {10.0, 0.0}});
+  save_placement(path, original);
+  const std::string before = read_bytes(path);
+
+  // Inject a write failure mid-save: fwrite stops halfway and the save
+  // throws. The *previous* snapshot must survive untouched, because the
+  // partial write only ever touched the temp file.
+  fault::arm(fault::Site::kSnapshotWriteFail);
+  EXPECT_THROW(
+      save_placement(path, tsvlib::Placement(kS, {{99.0, 99.0}})),
+      IoCorruptionError);
+  fault::disarm_all();
+
+  EXPECT_EQ(read_bytes(path), before);
+  const tsvlib::Placement reloaded = load_placement(path);
+  ASSERT_EQ(reloaded.size(), 2u);
+  EXPECT_DOUBLE_EQ(reloaded.centers()[1].x, 10.0);
+  // The aborted temp file was cleaned up.
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good());
+}
+
+TEST(Snapshot, TiledCheckpointRoundTripsBitwise) {
+  core::TiledCheckpoint cp;
+  cp.fingerprint = 0x1234abcd5678ef00ull;
+  cp.tiles_done = 3;
+  cp.stress = {{1.0, -2.0, 0.5}, {3.25, 4.0, -1.125}};
+  cp.interactive = {{0.125, 0.0, -7.5}};
+  const std::string path = temp_path("tiledcp.snap");
+  save_tiled_checkpoint(path, cp);
+
+  const core::TiledCheckpoint loaded = load_tiled_checkpoint(path);
+  EXPECT_EQ(loaded.fingerprint, cp.fingerprint);
+  EXPECT_EQ(loaded.tiles_done, cp.tiles_done);
+  ASSERT_EQ(loaded.stress.size(), cp.stress.size());
+  EXPECT_EQ(std::memcmp(loaded.stress.data(), cp.stress.data(),
+                        cp.stress.size() * sizeof(num::SymTensor2)), 0);
+  ASSERT_EQ(loaded.interactive.size(), cp.interactive.size());
+  EXPECT_EQ(std::memcmp(loaded.interactive.data(), cp.interactive.data(),
+                        cp.interactive.size() * sizeof(num::SymTensor2)), 0);
+}
+
+TEST(Snapshot, TryLoadTiledCheckpointSwallowsAllDamage) {
+  // Missing file.
+  EXPECT_FALSE(try_load_tiled_checkpoint(temp_path("nope.snap")).has_value());
+  // Wrong kind.
+  const std::string wrong = temp_path("wrongkind.snap");
+  save_placement(wrong, tsvlib::Placement(kS, {{0.0, 0.0}}));
+  EXPECT_FALSE(try_load_tiled_checkpoint(wrong).has_value());
+  // Truncated checkpoint (the fault harness chops the file in half after a
+  // successful save).
+  const std::string path = temp_path("trunc_cp.snap");
+  core::TiledCheckpoint cp;
+  cp.tiles_done = 1;
+  cp.stress = {{1.0, 2.0, 3.0}};
+  fault::arm(fault::Site::kCheckpointTruncate);
+  save_tiled_checkpoint(path, cp);
+  fault::disarm_all();
+  EXPECT_THROW(load_tiled_checkpoint(path), IoCorruptionError);
+  EXPECT_FALSE(try_load_tiled_checkpoint(path).has_value());
 }
 
 }  // namespace

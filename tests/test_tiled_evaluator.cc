@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
+#include "core/error.h"
 #include "tsv/generators.h"
 
 namespace tsv::core {
@@ -188,6 +190,182 @@ TEST(TiledEvaluator, ParallelTilesMatchSerialWithinTolerance) {
                 1e-12 * std::max(1.0, std::abs(want[i].s12)))
         << i;
   }
+}
+
+// --- checkpoint / resume -------------------------------------------------
+
+/// Runs a tiled evaluation collecting the full field; with `stop_after` >= 0
+/// the consumer throws after that many tiles (simulating an interruption).
+struct InterruptedRun : std::runtime_error {
+  InterruptedRun() : std::runtime_error("interrupted") {}
+};
+
+std::vector<num::SymTensor2> collect(const geo::SampleGrid& grid,
+                                     const TiledEvaluator& tiled,
+                                     const CheckpointConfig& config,
+                                     TiledStats* stats_out = nullptr,
+                                     std::ptrdiff_t stop_after = -1) {
+  std::vector<num::SymTensor2> out(grid.size());
+  std::ptrdiff_t seen = 0;
+  const TiledStats stats = tiled.evaluate(grid, [&](const Tile& tile) {
+    if (stop_after >= 0 && seen++ == stop_after) throw InterruptedRun{};
+    for (std::size_t ty = 0; ty < tile.ny; ++ty)
+      for (std::size_t tx = 0; tx < tile.nx; ++tx)
+        out[(tile.iy0 + ty) * grid.nx() + (tile.ix0 + tx)] =
+            tile.stress[ty * tile.nx + tx];
+  }, config);
+  if (stats_out != nullptr) *stats_out = stats;
+  return out;
+}
+
+TEST(TiledEvaluator, CheckpointWriterSeesMonotonicState) {
+  const tsvlib::Placement p = cluster_placement();
+  const StressFramework fw(p);
+  const geo::SampleGrid grid = test_grid(p);
+  TiledOptions topt;
+  topt.max_tile_points = 200;
+  const TiledEvaluator tiled(fw, topt);
+
+  std::vector<TiledCheckpoint> saved;
+  CheckpointConfig config;
+  config.every_tiles = 2;
+  config.writer = [&](const TiledCheckpoint& cp) { saved.push_back(cp); };
+  TiledStats stats;
+  collect(grid, tiled, config, &stats);
+
+  ASSERT_GT(stats.tiles, 4u);
+  EXPECT_EQ(stats.checkpoints_written, saved.size());
+  // Every other tile triggers a write, but never the final one.
+  EXPECT_EQ(saved.size(), (stats.tiles - 1) / 2);
+  std::size_t prev_tiles = 0;
+  for (const TiledCheckpoint& cp : saved) {
+    EXPECT_EQ(cp.fingerprint, tiled.fingerprint(grid));
+    EXPECT_GT(cp.tiles_done, prev_tiles);
+    EXPECT_LT(cp.tiles_done, stats.tiles);
+    prev_tiles = cp.tiles_done;
+  }
+  EXPECT_EQ(stats.resumed_tiles, 0u);
+}
+
+TEST(TiledEvaluator, ResumeReplaysInterruptedRunBitwise) {
+  const tsvlib::Placement p = cluster_placement();
+  const StressFramework fw(p);
+  const geo::SampleGrid grid = test_grid(p);
+  TiledOptions topt;
+  topt.max_tile_points = 200;
+  const TiledEvaluator tiled(fw, topt);
+
+  // Clean reference run, no checkpointing.
+  const std::vector<num::SymTensor2> want =
+      collect(grid, tiled, CheckpointConfig{0, nullptr, nullptr});
+
+  // Interrupted run: keep the latest checkpoint, die after 5 tiles.
+  TiledCheckpoint last;
+  CheckpointConfig config;
+  config.every_tiles = 2;
+  config.writer = [&](const TiledCheckpoint& cp) { last = cp; };
+  EXPECT_THROW(collect(grid, tiled, config, nullptr, 5), InterruptedRun);
+  ASSERT_EQ(last.tiles_done, 4u);  // tiles 0..3 checkpointed before death
+
+  // Resumed run: replays the 4 finished tiles, computes the rest.
+  CheckpointConfig resume_config;
+  resume_config.resume = &last;
+  TiledStats stats;
+  const std::vector<num::SymTensor2> got =
+      collect(grid, tiled, resume_config, &stats);
+  EXPECT_EQ(stats.resumed_tiles, 4u);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].s11, want[i].s11) << i;
+    EXPECT_EQ(got[i].s22, want[i].s22) << i;
+    EXPECT_EQ(got[i].s12, want[i].s12) << i;
+  }
+}
+
+TEST(TiledEvaluator, ResumeKeepsInteractiveFields) {
+  const tsvlib::Placement p = cluster_placement();
+  const StressFramework fw(p);
+  const geo::SampleGrid grid = test_grid(p);
+  TiledOptions topt;
+  topt.max_tile_points = 200;
+  topt.keep_interactive = true;
+  const TiledEvaluator tiled(fw, topt);
+
+  std::vector<num::SymTensor2> want(grid.size());
+  tiled.evaluate(grid, [&](const Tile& tile) {
+    for (std::size_t ty = 0; ty < tile.ny; ++ty)
+      for (std::size_t tx = 0; tx < tile.nx; ++tx)
+        want[(tile.iy0 + ty) * grid.nx() + (tile.ix0 + tx)] =
+            tile.interactive[ty * tile.nx + tx];
+  });
+
+  TiledCheckpoint last;
+  CheckpointConfig config;
+  config.every_tiles = 1;
+  config.writer = [&](const TiledCheckpoint& cp) { last = cp; };
+  std::ptrdiff_t seen = 0;
+  EXPECT_THROW(tiled.evaluate(grid,
+                              [&](const Tile&) {
+                                if (seen++ == 3) throw InterruptedRun{};
+                              },
+                              config),
+               InterruptedRun);
+  ASSERT_GT(last.tiles_done, 0u);
+  ASSERT_EQ(last.interactive.size(), last.stress.size());
+
+  CheckpointConfig resume_config;
+  resume_config.resume = &last;
+  std::vector<num::SymTensor2> got(grid.size());
+  tiled.evaluate(grid, [&](const Tile& tile) {
+    for (std::size_t ty = 0; ty < tile.ny; ++ty)
+      for (std::size_t tx = 0; tx < tile.nx; ++tx)
+        got[(tile.iy0 + ty) * grid.nx() + (tile.ix0 + tx)] =
+            tile.interactive[ty * tile.nx + tx];
+  }, resume_config);
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].s11, want[i].s11) << i;
+    EXPECT_EQ(got[i].s12, want[i].s12) << i;
+  }
+}
+
+TEST(TiledEvaluator, MismatchedCheckpointRejected) {
+  const tsvlib::Placement p = cluster_placement();
+  const StressFramework fw(p);
+  const geo::SampleGrid grid = test_grid(p);
+  const TiledEvaluator tiled(fw, TiledOptions{200, false});
+
+  TiledCheckpoint stale;
+  stale.fingerprint = tiled.fingerprint(grid) ^ 1;  // wrong configuration
+  stale.tiles_done = 1;
+  CheckpointConfig config;
+  config.resume = &stale;
+  EXPECT_THROW(tiled.evaluate(grid, [](const Tile&) {}, config),
+               tsv::InvalidInputError);
+
+  // Right fingerprint but lying tile count: also rejected, not crashed.
+  TiledCheckpoint lying;
+  lying.fingerprint = tiled.fingerprint(grid);
+  lying.tiles_done = 2;  // claims 2 tiles but holds no field data
+  config.resume = &lying;
+  EXPECT_THROW(tiled.evaluate(grid, [](const Tile&) {}, config),
+               tsv::InvalidInputError);
+}
+
+TEST(TiledEvaluator, FingerprintSeparatesConfigurations) {
+  const tsvlib::Placement p = cluster_placement();
+  const geo::SampleGrid grid = test_grid(p);
+  const StressFramework fw(p);
+  const TiledEvaluator a(fw, TiledOptions{200, false});
+  const TiledEvaluator b(fw, TiledOptions{300, false});  // different tiling
+  EXPECT_NE(a.fingerprint(grid), b.fingerprint(grid));
+  EXPECT_EQ(a.fingerprint(grid), a.fingerprint(grid));
+
+  // Different placement: different fingerprint.
+  const tsvlib::Placement q =
+      tsvlib::make_random(kS, 40, geo::Box{{0, 0}, {150, 150}}, 10.0, 100);
+  const StressFramework fwq(q);
+  const TiledEvaluator c(fwq, TiledOptions{200, false});
+  EXPECT_NE(a.fingerprint(grid), c.fingerprint(grid));
 }
 
 }  // namespace

@@ -18,6 +18,16 @@
 //   --measure=M       sigma_xx | sigma_yy | sigma_xy | von_mises | max_tensile
 //                     (default von_mises)
 //   --out=FILE        output CSV (default stress.csv)
+//   --checkpoint=FILE tiled evaluation with crash resilience: periodically
+//                     save completed-tile state to FILE, resume from it if
+//                     present (stale/corrupt checkpoints restart clean),
+//                     delete it on success
+//   --checkpoint-every=N   checkpoint after every N computed tiles (default
+//                     16, with --checkpoint)
+//
+// Exit codes (see src/core/error.h): 0 success, 2 invalid input, 3 numeric
+// failure (all solver backends failed), 4 on-disk corruption, 5 resource
+// limit, 1 anything uncategorized.
 //
 // eco options (besides --spacing/--margin/--measure/--out/--lookup):
 //   --snapshot=FILE       warm-start from an engine snapshot instead of
@@ -56,9 +66,11 @@
 #include <string>
 #include <vector>
 
+#include "core/error.h"
 #include "core/framework.h"
 #include "core/incremental_engine.h"
 #include "core/metrics.h"
+#include "core/tiled_evaluator.h"
 #include "io/csv.h"
 #include "io/snapshot.h"
 #include "tsv/placement_io.h"
@@ -87,6 +99,8 @@ struct CommonOptions {
   double quant_step = 0.25;
   std::size_t threads = 1;
   core::StressMeasure measure = core::StressMeasure::kVonMises;
+  std::string checkpoint_path;        ///< --checkpoint= (empty: disabled)
+  std::size_t checkpoint_every = 16;  ///< --checkpoint-every=
 };
 
 /// eco-specific flags (also parsed by `snapshot save` where they apply).
@@ -120,6 +134,10 @@ bool parse_flag(const std::string& arg, CommonOptions& c, EcoOptions& e) {
     c.out_path = value("--out=");
   } else if (arg.rfind("--quant=", 0) == 0) {
     c.quant_step = std::stod(value("--quant="));
+  } else if (arg.rfind("--checkpoint=", 0) == 0) {
+    c.checkpoint_path = value("--checkpoint=");
+  } else if (arg.rfind("--checkpoint-every=", 0) == 0) {
+    c.checkpoint_every = std::stoul(value("--checkpoint-every="));
   } else if (arg.rfind("--threads=", 0) == 0) {
     c.threads = std::stoul(value("--threads="));
   } else if (arg.rfind("--snapshot=", 0) == 0) {
@@ -173,7 +191,8 @@ void write_field_csv(const std::string& out_path,
 int run_evaluate(const std::vector<std::string>& args) {
   constexpr const char* kUsage =
       "usage: tsvstress_cli evaluate <placement.tsv> [--spacing=X] "
-      "[--margin=X] [--ls-only] [--lookup] [--measure=M] [--out=FILE]";
+      "[--margin=X] [--ls-only] [--lookup] [--measure=M] [--out=FILE] "
+      "[--checkpoint=FILE] [--checkpoint-every=N]";
   CommonOptions c;
   EcoOptions e;
   parse_args(args, c, e, kUsage);
@@ -199,6 +218,28 @@ int run_evaluate(const std::vector<std::string>& args) {
   std::printf("grid: %zu x %zu points, spacing %.3g um\n", grid.nx(),
               grid.ny(), c.spacing);
 
+  if (!c.checkpoint_path.empty()) {
+    // Tiled evaluation with periodic checkpoints: an interrupted run
+    // re-invoked with the same flags resumes at the first unfinished tile.
+    const core::TiledEvaluator tiled(framework);
+    std::vector<num::SymTensor2> field(grid.size());
+    const auto consume = [&](const core::Tile& t) {
+      std::size_t k = 0;
+      for (std::size_t iy = t.iy0; iy < t.iy0 + t.ny; ++iy)
+        for (std::size_t ix = t.ix0; ix < t.ix0 + t.nx; ++ix, ++k)
+          field[iy * grid.nx() + ix] = t.stress[k];
+    };
+    const core::TiledStats stats = io::evaluate_with_checkpoint(
+        tiled, grid, consume, c.checkpoint_path, c.checkpoint_every);
+    std::printf("tiles: %zu evaluated + %zu resumed, %zu checkpoints "
+                "(%.3fs); stage I %.2fs, stage II %.2fs\n",
+                stats.tiles - stats.resumed_tiles, stats.resumed_tiles,
+                stats.checkpoints_written, stats.checkpoint_seconds,
+                stats.stage1_seconds, stats.stage2_seconds);
+    write_field_csv(c.out_path, grid.points(), field, c.measure);
+    return 0;
+  }
+
   const core::StressResult result = framework.evaluate(grid);
   std::printf("stage I %.2fs, stage II %.2fs\n", result.stage1_seconds,
               result.stage2_seconds);
@@ -212,7 +253,7 @@ int run_evaluate(const std::vector<std::string>& args) {
 /// skipped. The whole file is one atomic Delta.
 core::Delta read_edit_script(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("cannot open edit script: " + path);
+  if (!in) throw InvalidInputError("cannot open edit script: " + path);
   core::Delta delta;
   std::string line;
   std::size_t lineno = 0;
@@ -222,8 +263,8 @@ core::Delta read_edit_script(const std::string& path) {
     std::string op;
     if (!(ss >> op) || op[0] == '#') continue;
     const auto fail = [&](const std::string& what) {
-      throw std::runtime_error(path + ":" + std::to_string(lineno) + ": " +
-                               what);
+      throw InvalidInputError(path + ":" + std::to_string(lineno) + ": " +
+                              what);
     };
     if (op == "add") {
       geo::Point p;
@@ -310,7 +351,7 @@ int run_eco(const std::vector<std::string>& args) {
     std::mt19937_64 rng(e.seed);
     std::uniform_real_distribution<double> jump(-8.0, 8.0);
     const std::vector<std::uint32_t> ids = engine.active_ids();
-    if (ids.empty()) throw std::runtime_error("--moves on an empty engine");
+    if (ids.empty()) throw InvalidInputError("--moves on an empty engine");
     std::uniform_int_distribution<std::size_t> pick(0, ids.size() - 1);
     double total_s = 0.0;
     std::size_t applied = 0;
@@ -404,6 +445,14 @@ int main(int argc, char** argv) {
     if (cmd == "snapshot") return run_snapshot(rest);
     // Flat invocation: first argument is the placement file.
     return run_evaluate(args);
+  } catch (const tsv::Error& e) {
+    std::fprintf(stderr, "error [%s]: %s\n", tsv::to_string(e.category()),
+                 e.what());
+    return tsv::exit_code(e.category());
+  } catch (const std::invalid_argument& e) {
+    // Bad flags / call-contract violations are the user's input too.
+    std::fprintf(stderr, "error [invalid-input]: %s\n", e.what());
+    return tsv::exit_code(tsv::ErrorCategory::kInvalidInput);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
