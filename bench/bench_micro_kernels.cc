@@ -1,12 +1,22 @@
 // Micro-benchmarks (google-benchmark) for the framework's hot kernels:
 // Laurent/potential evaluation, radial table look-ups, spatial-index
 // queries, per-point Stage I/II evaluation, and sparse kernels.
+//
+// Besides the google-benchmark rows, the binary always appends scalar-vs-
+// batch timings for the Stage I/II point kernels to <out-dir>/kernels.jsonl
+// (--out-dir=PATH, default "."). tools/check_kernel_perf.py guards those
+// rows against tools/kernel_baseline.json in CI.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <filesystem>
 #include <random>
+#include <string>
+#include <vector>
 
 #include "analytic/interaction.h"
+#include "common.h"
 #include "core/framework.h"
 #include "core/stress_table.h"
 #include "geometry/grid_index.h"
@@ -117,6 +127,88 @@ void BM_Stage2Point(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Stage2Point);
+
+// --- Scalar-vs-batch point kernels ---------------------------------------
+//
+// The same workloads the kernels.jsonl rows time below, exposed as
+// google-benchmark rows for interactive runs. "Scalar" is the retained
+// trig reference path (stress_at per point), "batch" the flat trig-free
+// kernel (accumulate over the whole point set).
+
+std::vector<geo::Point> kernel_points(std::size_t n, double radius,
+                                      unsigned seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> coord(-radius, radius);
+  std::vector<geo::Point> pts(n);
+  for (geo::Point& p : pts) p = {coord(rng), coord(rng)};
+  return pts;
+}
+
+const core::RadialStressTable& stage1_kernel_table() {
+  static const core::RadialStressTable table =
+      core::RadialStressTable::from_analytic(single_model(), 30.0, 4096);
+  return table;
+}
+
+void BM_Stage1KernelScalar(benchmark::State& state) {
+  const core::RadialStressTable& table = stage1_kernel_table();
+  const std::vector<geo::Point> pts = kernel_points(4096, 20.0, 17);
+  const geo::Point c{0, 0};
+  std::vector<num::SymTensor2> out(pts.size());
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < pts.size(); ++i)
+      out[i] += table.stress_at(c, pts[i]);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pts.size()));
+}
+BENCHMARK(BM_Stage1KernelScalar);
+
+void BM_Stage1KernelBatch(benchmark::State& state) {
+  const core::RadialStressTable& table = stage1_kernel_table();
+  const std::vector<geo::Point> pts = kernel_points(4096, 20.0, 17);
+  const geo::Point c{0, 0};
+  std::vector<num::SymTensor2> out(pts.size());
+  for (auto _ : state) {
+    table.accumulate(c, pts.data(), pts.size(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pts.size()));
+}
+BENCHMARK(BM_Stage1KernelBatch);
+
+void BM_Stage2KernelScalar(benchmark::State& state) {
+  const ana::PairStressTable& table =
+      interactive_model()->table_for_pitch(10.0, 25.0);
+  const std::vector<geo::Point> pts = kernel_points(4096, 20.0, 19);
+  const geo::Point v{0, 0}, a{10, 0};
+  std::vector<num::SymTensor2> out(pts.size());
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < pts.size(); ++i)
+      out[i] += table.stress_at(v, a, pts[i]);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pts.size()));
+}
+BENCHMARK(BM_Stage2KernelScalar);
+
+void BM_Stage2KernelBatch(benchmark::State& state) {
+  const ana::PairStressTable& table =
+      interactive_model()->table_for_pitch(10.0, 25.0);
+  const std::vector<geo::Point> pts = kernel_points(4096, 20.0, 19);
+  const geo::Point v{0, 0}, a{10, 0};
+  std::vector<num::SymTensor2> out(pts.size());
+  for (auto _ : state) {
+    table.accumulate(v, a, pts.data(), pts.size(), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pts.size()));
+}
+BENCHMARK(BM_Stage2KernelBatch);
 
 void BM_SparseMatVec(benchmark::State& state) {
   const std::size_t nx = static_cast<std::size_t>(state.range(0));
@@ -255,6 +347,111 @@ void BM_SparseCholeskyFactorize(benchmark::State& state) {
 }
 BENCHMARK(BM_SparseCholeskyFactorize)->Arg(32)->Arg(64);
 
+// --- kernels.jsonl emission ----------------------------------------------
+
+/// Best-of-7 wall time per eval (one warmup rep first): robust against
+/// scheduler noise without google-benchmark's per-row startup cost.
+template <typename F>
+double best_ns_per_eval(std::size_t evals, F&& run) {
+  using Clock = std::chrono::steady_clock;
+  run();
+  double best = 1e300;
+  for (int rep = 0; rep < 7; ++rep) {
+    const auto t0 = Clock::now();
+    run();
+    const double ns =
+        std::chrono::duration<double, std::nano>(Clock::now() - t0).count();
+    best = std::min(best, ns / static_cast<double>(evals));
+  }
+  return best;
+}
+
+void append_kernel_row(const std::string& path, const char* kernel,
+                       const char* mode, std::size_t evals, double ns_per_eval,
+                       double speedup) {
+  bench::JsonRow row("kernels");
+  row.str("kernel", kernel)
+      .str("mode", mode)
+      .uint("evals", evals)
+      .num("ns_per_eval", ns_per_eval, "%.3f")
+      .num("evals_per_sec", 1e9 / ns_per_eval, "%.6g");
+  if (speedup > 0.0) row.num("speedup", speedup, "%.3f");
+  bench::append_jsonl(path, row);
+}
+
+/// Times the retained scalar paths against the trig-free batch kernels on
+/// identical workloads and appends one row per (kernel, mode).
+void emit_kernel_rows(const std::string& out_dir) {
+  std::filesystem::create_directories(out_dir);
+  const std::string path = out_dir + "/kernels.jsonl";
+  constexpr std::size_t kReps = 16;
+
+  {
+    const core::RadialStressTable& table = stage1_kernel_table();
+    const std::vector<geo::Point> pts = kernel_points(4096, 20.0, 17);
+    const geo::Point c{0, 0};
+    std::vector<num::SymTensor2> out(pts.size());
+    const std::size_t evals = kReps * pts.size();
+    const double scalar_ns = best_ns_per_eval(evals, [&] {
+      for (std::size_t rep = 0; rep < kReps; ++rep)
+        for (std::size_t i = 0; i < pts.size(); ++i)
+          out[i] += table.stress_at(c, pts[i]);
+      benchmark::DoNotOptimize(out.data());
+    });
+    const double batch_ns = best_ns_per_eval(evals, [&] {
+      for (std::size_t rep = 0; rep < kReps; ++rep)
+        table.accumulate(c, pts.data(), pts.size(), out.data());
+      benchmark::DoNotOptimize(out.data());
+    });
+    append_kernel_row(path, "stage1_point", "scalar", evals, scalar_ns, 0.0);
+    append_kernel_row(path, "stage1_point", "batch", evals, batch_ns,
+                      scalar_ns / batch_ns);
+  }
+
+  {
+    const ana::PairStressTable& table =
+        interactive_model()->table_for_pitch(10.0, 25.0);
+    const std::vector<geo::Point> pts = kernel_points(4096, 20.0, 19);
+    const geo::Point v{0, 0}, a{10, 0};
+    std::vector<num::SymTensor2> out(pts.size());
+    const std::size_t evals = kReps * pts.size();
+    const double scalar_ns = best_ns_per_eval(evals, [&] {
+      for (std::size_t rep = 0; rep < kReps; ++rep)
+        for (std::size_t i = 0; i < pts.size(); ++i)
+          out[i] += table.stress_at(v, a, pts[i]);
+      benchmark::DoNotOptimize(out.data());
+    });
+    const double batch_ns = best_ns_per_eval(evals, [&] {
+      for (std::size_t rep = 0; rep < kReps; ++rep)
+        table.accumulate(v, a, pts.data(), pts.size(), out.data());
+      benchmark::DoNotOptimize(out.data());
+    });
+    append_kernel_row(path, "stage2_point", "scalar", evals, scalar_ns, 0.0);
+    append_kernel_row(path, "stage2_point", "batch", evals, batch_ns,
+                      scalar_ns / batch_ns);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus --out-dir= handling (stripped before google-benchmark
+// sees the flags) and the kernels.jsonl rows after the registered rows run.
+int main(int argc, char** argv) {
+  std::string out_dir = ".";
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--out-dir=", 0) == 0)
+      out_dir = arg.substr(10);
+    else
+      args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(args.size());
+  ::benchmark::Initialize(&bench_argc, args.data());
+  if (::benchmark::ReportUnrecognizedArguments(bench_argc, args.data()))
+    return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  emit_kernel_rows(out_dir);
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <numbers>
 
 #include "analytic/interaction.h"
+#include "numeric/kernels.h"
 
 namespace tsv::ana {
 
@@ -27,13 +28,13 @@ PairStressTable::PairStressTable(const InteractiveStressModel& model,
     seg.nr = std::max<std::size_t>(
         2, 1 + static_cast<std::size_t>(std::ceil((r1 - r0) / dr)));
     seg.values.reserve(seg.nr * n_theta_);
-    // Stay a whisker inside the segment so the region dispatch in
-    // stress_with_combined never lands on the wrong side of an interface.
+    // The uniform radial samples land inside [r0, r1] by construction; only
+    // the endpoints are nudged a whisker off the material interfaces so the
+    // region dispatch in stress_with_combined never lands on the wrong side.
     const double eps = 1e-9 * (r1 - r0 + 1.0);
     for (std::size_t ir = 0; ir < seg.nr; ++ir) {
       double r = r0 + (r1 - r0) * static_cast<double>(ir) /
                           static_cast<double>(seg.nr - 1);
-      r = std::min(std::max(r, r0 + (ir == 0 ? 0.0 : 0.0)), r1);
       if (ir == 0 && r0 > 0.0) r = r0 + eps;
       if (ir == seg.nr - 1) r = r1 - eps;
       for (std::size_t it = 0; it < n_theta_; ++it) {
@@ -47,6 +48,7 @@ PairStressTable::PairStressTable(const InteractiveStressModel& model,
   build(segments_[0], 0.0, r_body, options.dr_core);
   build(segments_[1], r_body, r_outer, options.dr_liner);
   build(segments_[2], r_outer, r_max, options.dr_substrate);
+  build_soa();
 }
 
 PairStressTable::PairStressTable(Data data)
@@ -65,6 +67,21 @@ PairStressTable::PairStressTable(Data data)
     segments_[s].r1 = in.r1;
     segments_[s].nr = in.nr;
     segments_[s].values = std::move(in.values);
+  }
+  build_soa();
+}
+
+void PairStressTable::build_soa() {
+  for (Segment& seg : segments_) {
+    const std::size_t n = seg.values.size();
+    seg.s11.resize(n);
+    seg.s22.resize(n);
+    seg.s12.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      seg.s11[i] = seg.values[i].s11;
+      seg.s22[i] = seg.values[i].s22;
+      seg.s12[i] = seg.values[i].s12;
+    }
   }
 }
 
@@ -133,6 +150,69 @@ num::SymTensor2 PairStressTable::stress_at(const geo::Point& victim,
   const double theta = (r > 0.0) ? geo::angle_of(victim, p) - beta : 0.0;
   const num::SymTensor2 local = stress_local(r, theta);
   return num::cylindrical_to_cartesian(local, beta);
+}
+
+void PairStressTable::accumulate(const geo::Point& victim,
+                                 const geo::Point& aggressor,
+                                 const geo::Point* points, std::size_t n,
+                                 num::SymTensor2* out) const {
+  const double ax = aggressor.x - victim.x;
+  const double ay = aggressor.y - victim.y;
+  const double d2 = ax * ax + ay * ay;
+  TSV_REQUIRE(d2 > 0.0, "coincident pair");
+  // Pair-frame rotation coefficients, hoisted once per pair: the scalar path
+  // recomputes beta = atan2 plus the cos/sin of 2*beta for every point, the
+  // batch kernel never evaluates trig of beta at all.
+  const double inv_d = 1.0 / std::sqrt(d2);
+  const double cb = ax * inv_d;
+  const double sb = ay * inv_d;
+  const double inv_d2 = 1.0 / d2;
+  const double c2b = (ax * ax - ay * ay) * inv_d2;
+  const double s2b = 2.0 * ax * ay * inv_d2;
+  const double vx = victim.x;
+  const double vy = victim.y;
+  const std::size_t nt = n_theta_;
+  const double inv_dtheta = 1.0 / dtheta_;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double px = points[i].x - vx;
+    const double py = points[i].y - vy;
+    const double r = std::sqrt(px * px + py * py);
+    if (r >= r_max_) continue;
+    // Rotate the displacement into the pair frame; the mirror fold onto
+    // theta in [0, pi] becomes |uy| with an s12 sign flip. One atan2 — the
+    // table-lookup angle — is all that remains per point.
+    const double ux = cb * px + sb * py;
+    const double uy = cb * py - sb * px;
+    const bool mirrored = uy < 0.0;
+    const double th = std::atan2(mirrored ? -uy : uy, ux);
+    const Segment& seg =
+        r < segments_[0].r1
+            ? segments_[0]
+            : (r < segments_[1].r1 ? segments_[1] : segments_[2]);
+    const double fr =
+        (r - seg.r0) / (seg.r1 - seg.r0) * static_cast<double>(seg.nr - 1);
+    const double ft = th * inv_dtheta;
+    const std::size_t ir =
+        std::min(static_cast<std::size_t>(std::max(fr, 0.0)), seg.nr - 2);
+    const std::size_t it =
+        std::min(static_cast<std::size_t>(std::max(ft, 0.0)), nt - 2);
+    const double tr = std::clamp(fr - static_cast<double>(ir), 0.0, 1.0);
+    const double tt = std::clamp(ft - static_cast<double>(it), 0.0, 1.0);
+    const double w00 = (1.0 - tr) * (1.0 - tt);
+    const double w10 = tr * (1.0 - tt);
+    const double w01 = (1.0 - tr) * tt;
+    const double w11 = tr * tt;
+    const std::size_t k00 = ir * nt + it;
+    const std::size_t k10 = k00 + nt;
+    const double v11 = w00 * seg.s11[k00] + w10 * seg.s11[k10] +
+                       w01 * seg.s11[k00 + 1] + w11 * seg.s11[k10 + 1];
+    const double v22 = w00 * seg.s22[k00] + w10 * seg.s22[k10] +
+                       w01 * seg.s22[k00 + 1] + w11 * seg.s22[k10 + 1];
+    double v12 = w00 * seg.s12[k00] + w10 * seg.s12[k10] +
+                 w01 * seg.s12[k00 + 1] + w11 * seg.s12[k10 + 1];
+    if (mirrored) v12 = -v12;
+    out[i] += num::rotate_double_angle({v11, v22, v12}, c2b, s2b);
+  }
 }
 
 }  // namespace tsv::ana

@@ -73,10 +73,21 @@ class PairStressTable {
   num::SymTensor2 stress_local(double r, double theta) const;
 
   /// Interactive stress in the global frame for an ordered pair whose pitch
-  /// matches this table.
+  /// matches this table. This is the scalar reference path (angle_of + trig
+  /// rotation); `accumulate` is the batch hot path and agrees with it to
+  /// <= 1e-12 relative (test_kernels).
   num::SymTensor2 stress_at(const geo::Point& victim,
                             const geo::Point& aggressor,
                             const geo::Point& p) const;
+
+  /// Batch kernel: adds the pair's interactive stress at each of
+  /// points[0..n) into out[i]. The pair-frame rotation (the beta
+  /// coefficients cos 2beta = (ax^2-ay^2)/d^2, sin 2beta = 2 ax ay / d^2)
+  /// is hoisted out of the point loop, leaving one sqrt and one atan2 (the
+  /// table-lookup angle) per point over SoA segment storage.
+  void accumulate(const geo::Point& victim, const geo::Point& aggressor,
+                  const geo::Point* points, std::size_t n,
+                  num::SymTensor2* out) const;
 
  private:
   struct Segment {
@@ -85,10 +96,16 @@ class PairStressTable {
     std::size_t nr = 0;  ///< radial samples (>= 2)
     /// Row-major: radial index outer, theta inner.
     std::vector<num::SymTensor2> values;
+    /// SoA mirrors of `values` for the batch kernel (built once per ctor;
+    /// `values` stays authoritative for snapshots and the scalar path).
+    std::vector<double> s11, s22, s12;
   };
 
   num::SymTensor2 sample_segment(const Segment& s, double r,
                                  double theta) const;
+
+  /// Fills the per-segment SoA mirrors from `values`.
+  void build_soa();
 
   double pitch_ = 0.0;
   double r_max_ = 0.0;

@@ -151,14 +151,29 @@ void IncrementalEngine::touch(std::size_t point_index, ApplyStats& stats) {
   }
 }
 
+void IncrementalEngine::gather_disc(const geo::Point& c, double radius) {
+  disc_idx_.clear();
+  disc_pts_.clear();
+  for_disc_points(c, radius, [&](std::size_t i, const geo::Point& p) {
+    disc_idx_.push_back(i);
+    disc_pts_.push_back(p);
+  });
+  disc_contrib_.assign(disc_pts_.size(), num::SymTensor2{});
+}
+
 void IncrementalEngine::apply_stage1(const geo::Point& c, double sign,
                                      ApplyStats& stats) {
-  for_disc_points(c, options_.stage1.influence_radius,
-                  [&](std::size_t i, const geo::Point& p) {
-                    stage1_[i] += sign * table_->stress_at(c, p);
-                    touch(i, stats);
-                    ++stats.stage1_point_updates;
-                  });
+  // Batch path: gather the disc once, run the flat accumulate kernel, then
+  // scatter with the edit's sign. apply() is serial, so the engine-owned
+  // scratch buffers are safe to reuse across discs.
+  gather_disc(c, options_.stage1.influence_radius);
+  table_->accumulate(c, disc_pts_.data(), disc_pts_.size(),
+                     disc_contrib_.data());
+  for (std::size_t j = 0; j < disc_idx_.size(); ++j) {
+    stage1_[disc_idx_[j]] += sign * disc_contrib_[j];
+    touch(disc_idx_[j], stats);
+  }
+  stats.stage1_point_updates += disc_idx_.size();
 }
 
 void IncrementalEngine::apply_pair(const geo::Point& victim,
@@ -172,13 +187,14 @@ void IncrementalEngine::apply_pair(const geo::Point& victim,
   if (opt.use_lookup_table) {
     const ana::PairStressTable& table = model_->table_for_pitch(
         pitch, opt.influence_radius, opt.pitch_quant_step);
-    for_disc_points(victim, opt.influence_radius,
-                    [&](std::size_t i, const geo::Point& p) {
-                      stage2_[i] += sign * table.stress_at(victim, aggressor,
-                                                           p);
-                      touch(i, stats);
-                      ++stats.stage2_point_updates;
-                    });
+    gather_disc(victim, opt.influence_radius);
+    table.accumulate(victim, aggressor, disc_pts_.data(), disc_pts_.size(),
+                     disc_contrib_.data());
+    for (std::size_t j = 0; j < disc_idx_.size(); ++j) {
+      stage2_[disc_idx_[j]] += sign * disc_contrib_[j];
+      touch(disc_idx_[j], stats);
+    }
+    stats.stage2_point_updates += disc_idx_.size();
   } else {
     const ana::RegionField& combined = model_->combined_for_pitch(pitch);
     for_disc_points(victim, opt.influence_radius,

@@ -171,6 +171,10 @@ class IncrementalEngine {
   template <typename F>
   void for_disc_points(const geo::Point& c, double radius, F&& f) const;
 
+  /// Collects the disc around `c` into the disc_* scratch buffers
+  /// (disc_contrib_ zeroed to the same length) for the batch kernels.
+  void gather_disc(const geo::Point& c, double radius);
+
   /// Adds (sign = +1) or subtracts (sign = -1) the Stage-I field of a TSV
   /// at `c` over its influence disc.
   void apply_stage1(const geo::Point& c, double sign, ApplyStats& stats);
@@ -203,6 +207,12 @@ class IncrementalEngine {
   /// already counted during the current apply().
   std::vector<std::uint32_t> stamp_;
   std::uint32_t epoch_ = 0;
+
+  /// Gather/scatter scratch for the batch kernels (apply() is serial, so
+  /// plain members suffice; capacities reach steady state after a few ops).
+  std::vector<std::size_t> disc_idx_;
+  std::vector<geo::Point> disc_pts_;
+  std::vector<num::SymTensor2> disc_contrib_;
 };
 
 }  // namespace tsv::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "numeric/kernels.h"
 #include "numeric/parallel.h"
 
 namespace tsv::core {
@@ -61,10 +62,11 @@ InteractiveStage::InteractiveStage(
 
 num::SymTensor2 InteractiveStage::stress_at(const geo::Point& p) const {
   const auto& centers = placement_.centers();
-  std::vector<std::uint32_t> victims;
+  num::KernelScratch& scratch = num::tls_kernel_scratch();
+  std::vector<std::uint32_t>& victims = scratch.idx;
+  std::vector<std::uint32_t>& aggressors = scratch.idx2;
   tsv_index_.query_radius(p, options_.influence_radius, victims);
   num::SymTensor2 sum;
-  std::vector<std::uint32_t> aggressors;
   for (const std::uint32_t v : victims) {
     tsv_index_.query_radius(centers[v], options_.pair_pitch_cutoff,
                             aggressors);
@@ -147,9 +149,17 @@ std::vector<num::SymTensor2> InteractiveStage::evaluate(
     const std::vector<geo::Point>& points, const geo::Box& bounds) const {
   if (placement_.size() < 2 || points.empty())
     return std::vector<num::SymTensor2>(points.size());
+  return evaluate_with_pairs(points, ordered_pairs_near(bounds));
+}
+
+std::vector<num::SymTensor2> InteractiveStage::evaluate_with_pairs(
+    const std::vector<geo::Point>& points,
+    const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs) const {
+  if (placement_.size() < 2 || points.empty())
+    return std::vector<num::SymTensor2>(points.size());
   const geo::GridIndex index(points, geo::Box::bounding(points),
                              std::max(options_.influence_radius / 2.0, 1.0));
-  return evaluate_pairs(points, ordered_pairs_near(bounds), index);
+  return evaluate_pairs(points, pairs, index);
 }
 
 std::vector<num::SymTensor2> InteractiveStage::evaluate_pairs(
@@ -167,6 +177,8 @@ std::vector<num::SymTensor2> InteractiveStage::evaluate_pairs(
       [&](std::vector<num::SymTensor2>& out, std::size_t begin,
           std::size_t end) {
         std::vector<std::uint32_t> affected;
+        std::vector<geo::Point> gathered;
+        std::vector<num::SymTensor2> contrib;
         for (std::size_t k = begin; k < end; ++k) {
           const auto [v, a] = pairs[k];
           const geo::Point& victim = centers[v];
@@ -177,8 +189,19 @@ std::vector<num::SymTensor2> InteractiveStage::evaluate_pairs(
           if (options_.use_lookup_table) {
             const ana::PairStressTable& table = model_->table_for_pitch(
                 pitch, options_.influence_radius, options_.pitch_quant_step);
-            for (const std::uint32_t n : affected)
-              out[n] += table.stress_at(victim, aggressor, points[n]);
+            // Batch path: gather the affected points, run the flat kernel
+            // (beta hoisted once for this pair), then scatter-add. The
+            // chunk-local buffers keep their steady-state capacity across
+            // pairs.
+            const std::size_t m = affected.size();
+            gathered.resize(m);
+            for (std::size_t j = 0; j < m; ++j)
+              gathered[j] = points[affected[j]];
+            contrib.assign(m, num::SymTensor2{});
+            table.accumulate(victim, aggressor, gathered.data(), m,
+                             contrib.data());
+            for (std::size_t j = 0; j < m; ++j)
+              out[affected[j]] += contrib[j];
           } else {
             const ana::RegionField& combined =
                 model_->combined_for_pitch(pitch);

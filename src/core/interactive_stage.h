@@ -72,6 +72,16 @@ class InteractiveStage {
   std::vector<num::SymTensor2> evaluate(const std::vector<geo::Point>& points,
                                         const geo::Box& bounds) const;
 
+  /// Like the tile variant, but over a caller-supplied pair list (e.g. the
+  /// one the tiled evaluator already enumerated for its statistics) so the
+  /// pairs are not re-derived. Builds the same throwaway point index as the
+  /// tile variant; results are identical to evaluate(points, bounds) when
+  /// `pairs` == ordered_pairs_near(bounds).
+  std::vector<num::SymTensor2> evaluate_with_pairs(
+      const std::vector<geo::Point>& points,
+      const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs)
+      const;
+
   /// Ordered victim/aggressor pairs within the pitch cutoff.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> ordered_pairs() const;
 

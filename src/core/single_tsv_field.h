@@ -7,6 +7,9 @@
 //     the original linear-superposition method [Jung DAC'11], which stores
 //     per-component stress maps of a single TSV.
 
+#include <cstddef>
+#include <cstdint>
+
 #include "geometry/point.h"
 #include "numeric/tensor.h"
 
@@ -20,6 +23,29 @@ class SingleTsvField {
   /// Must return zero beyond coverage_radius().
   virtual num::SymTensor2 stress_at(const geo::Point& center,
                                     const geo::Point& p) const = 0;
+
+  /// Batch "one center, many points" shape (ECO delta application, tile
+  /// sweeps): adds this TSV's field at each of points[0..n) into out[i].
+  /// The base implementation is the scalar stress_at loop;
+  /// RadialStressTable overrides it with the trig-free flat kernel.
+  virtual void accumulate(const geo::Point& center, const geo::Point* points,
+                          std::size_t n, num::SymTensor2* out) const {
+    for (std::size_t i = 0; i < n; ++i) out[i] += stress_at(center, points[i]);
+  }
+
+  /// Batch "one point, many centers" shape (Stage I superposition): the sum
+  /// of this field at p over the TSVs centers[idx[k]], k in [0, n), added in
+  /// k order. The base implementation is the scalar loop, bitwise identical
+  /// to summing stress_at by hand; RadialStressTable overrides it with the
+  /// trig-free flat kernel.
+  virtual num::SymTensor2 sum_at(const geo::Point& p,
+                                 const geo::Point* centers,
+                                 const std::uint32_t* idx,
+                                 std::size_t n) const {
+    num::SymTensor2 sum;
+    for (std::size_t k = 0; k < n; ++k) sum += stress_at(centers[idx[k]], p);
+    return sum;
+  }
 
   /// Radius around the TSV center the characterization covers, um.
   virtual double coverage_radius() const = 0;

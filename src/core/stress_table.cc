@@ -1,9 +1,46 @@
 #include "core/stress_table.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
+#include "numeric/kernels.h"
+
 namespace tsv::core {
+namespace {
+
+/// Everything the flat radial kernel needs, hoisted out of the point loops.
+struct RadialKernel {
+  const double* srr;
+  const double* stt;
+  std::size_t last;  ///< srr/stt sample count - 1
+  double inv_dr;
+  double max_radius;
+
+  /// Cartesian tensor for one displacement (dx, dy): one sqrt, a linear
+  /// table interpolation and the trig-free double-angle rotation
+  /// (cos 2theta = (dx^2-dy^2)/r^2, sin 2theta = 2 dx dy / r^2) — no
+  /// atan2/sin/cos. Matches the scalar stress_at to floating-point
+  /// regrouping; at r == 0 the rotation degenerates to the identity, and
+  /// beyond max_radius the contribution is zero, both as in the scalar path.
+  num::SymTensor2 at(double dx, double dy) const {
+    const double r2 = dx * dx + dy * dy;
+    const double r = std::sqrt(r2);
+    if (r >= max_radius) return {};
+    const double f = r * inv_dr;
+    const std::size_t i0 = static_cast<std::size_t>(f);
+    const double t = f - static_cast<double>(i0);
+    const std::size_t i1 = std::min(i0 + 1, last);
+    const double vrr = srr[i0] * (1.0 - t) + srr[i1] * t;
+    const double vtt = stt[i0] * (1.0 - t) + stt[i1] * t;
+    const double inv_r2 = r2 > 0.0 ? 1.0 / r2 : 0.0;
+    const double cos2t = r2 > 0.0 ? (dx * dx - dy * dy) * inv_r2 : 1.0;
+    const double sin2t = 2.0 * dx * dy * inv_r2;
+    return num::rotate_axisymmetric(vrr, vtt, cos2t, sin2t);
+  }
+};
+
+}  // namespace
 
 RadialStressTable::RadialStressTable(std::vector<double> srr,
                                      std::vector<double> stt,
@@ -77,6 +114,46 @@ num::SymTensor2 RadialStressTable::stress_at(const geo::Point& center,
   const num::SymTensor2 cyl = cylindrical(r);
   if (r == 0.0) return cyl;
   return num::cylindrical_to_cartesian(cyl, geo::angle_of(center, p));
+}
+
+void RadialStressTable::accumulate(const geo::Point& center,
+                                   const geo::Point* points, std::size_t n,
+                                   num::SymTensor2* out) const {
+  const RadialKernel kernel{srr_.data(), stt_.data(), srr_.size() - 1,
+                            inv_dr_, max_radius_};
+  const double cx = center.x;
+  const double cy = center.y;
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] += kernel.at(points[i].x - cx, points[i].y - cy);
+}
+
+num::SymTensor2 RadialStressTable::sum_at(const geo::Point& p,
+                                          const geo::Point* centers,
+                                          const std::uint32_t* idx,
+                                          std::size_t n) const {
+  num::KernelScratch& scratch = num::tls_kernel_scratch();
+  scratch.ax.resize(n);
+  scratch.ay.resize(n);
+  double* const dx = scratch.ax.data();
+  double* const dy = scratch.ay.data();
+  for (std::size_t k = 0; k < n; ++k) {
+    const geo::Point& c = centers[idx[k]];
+    dx[k] = p.x - c.x;
+    dy[k] = p.y - c.y;
+  }
+  const RadialKernel kernel{srr_.data(), stt_.data(), srr_.size() - 1,
+                            inv_dr_, max_radius_};
+  // Three scalar accumulators added in k order: the same grouping as the
+  // scalar default's SymTensor2 += loop, so the sum stays deterministic and
+  // thread-count independent.
+  double s11 = 0.0, s22 = 0.0, s12 = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    const num::SymTensor2 s = kernel.at(dx[k], dy[k]);
+    s11 += s.s11;
+    s22 += s.s22;
+    s12 += s.s12;
+  }
+  return {s11, s22, s12};
 }
 
 double RadialStressTable::max_srr() const {

@@ -46,9 +46,25 @@ class RadialStressTable : public SingleTsvField {
   /// {srr, stt, 0} at distance r from the TSV center; zero beyond the table.
   num::SymTensor2 cylindrical(double r) const;
 
-  /// Cartesian stress at p for a TSV centered at `center`.
+  /// Cartesian stress at p for a TSV centered at `center`. This is the
+  /// scalar reference path (atan2 + trig rotation); the batch overrides
+  /// below are the hot path and agree with it to <= 1e-12 relative
+  /// (test_kernels).
   num::SymTensor2 stress_at(const geo::Point& center,
                             const geo::Point& p) const override;
+
+  /// Trig-free batch kernel, "one center, many points": gathers the
+  /// displacements into SoA scratch and runs a flat loop — one sqrt, two
+  /// table loads and the double-angle rotation per point, no atan2/sin/cos.
+  void accumulate(const geo::Point& center, const geo::Point* points,
+                  std::size_t n, num::SymTensor2* out) const override;
+
+  /// Trig-free batch kernel, "one point, many centers" (the Stage I
+  /// superposition shape). Sums in k order like the scalar default.
+  num::SymTensor2 sum_at(const geo::Point& p, const geo::Point* centers,
+                         const std::uint32_t* idx,
+                         std::size_t n) const override;
+
   double coverage_radius() const override { return max_radius_; }
 
   /// Largest |srr| entry (sanity/diagnostics).

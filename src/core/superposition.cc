@@ -1,5 +1,6 @@
 #include "core/superposition.h"
 
+#include "numeric/kernels.h"
 #include "numeric/parallel.h"
 
 namespace tsv::core {
@@ -34,16 +35,15 @@ LinearSuperposition::LinearSuperposition(const tsvlib::Placement& placement,
           options) {}
 
 num::SymTensor2 LinearSuperposition::stress_at(const geo::Point& p) const {
-  std::vector<std::uint32_t> nearby;
+  const auto& centers = placement_.centers();
+  std::vector<std::uint32_t>& nearby = num::tls_kernel_scratch().idx;
   index_.query_radius(p, options_.influence_radius, nearby);
-  num::SymTensor2 sum;
-  for (const std::uint32_t i : nearby)
-    sum += table_->stress_at(placement_.centers()[i], p);
-  return sum;
+  return table_->sum_at(p, centers.data(), nearby.data(), nearby.size());
 }
 
 std::vector<num::SymTensor2> LinearSuperposition::evaluate(
     const std::vector<geo::Point>& points) const {
+  const auto& centers = placement_.centers();
   std::vector<num::SymTensor2> out(points.size());
   num::parallel_for_chunks(
       points.size(), options_.num_threads,
@@ -51,10 +51,8 @@ std::vector<num::SymTensor2> LinearSuperposition::evaluate(
         std::vector<std::uint32_t> nearby;
         for (std::size_t n = begin; n < end; ++n) {
           index_.query_radius(points[n], options_.influence_radius, nearby);
-          num::SymTensor2 sum;
-          for (const std::uint32_t i : nearby)
-            sum += table_->stress_at(placement_.centers()[i], points[n]);
-          out[n] = sum;
+          out[n] = table_->sum_at(points[n], centers.data(), nearby.data(),
+                                  nearby.size());
         }
       });
   return out;

@@ -159,8 +159,11 @@ TiledStats TiledEvaluator::evaluate(const geo::SampleGrid& grid,
 
         if (stage2 != nullptr) {
           const auto t1 = Clock::now();
-          stats.culled_pairs += stage2->ordered_pairs_near(bounds).size();
-          interactive = stage2->evaluate(points, bounds);
+          // One pair enumeration per tile, shared between the statistics and
+          // the evaluation (evaluate(points, bounds) would re-derive it).
+          const auto pairs = stage2->ordered_pairs_near(bounds);
+          stats.culled_pairs += pairs.size();
+          interactive = stage2->evaluate_with_pairs(points, pairs);
           num::parallel_for(points.size(),
                             framework_->options().stage2.num_threads,
                             [&](std::size_t i) {

@@ -1,0 +1,10 @@
+#include "numeric/kernels.h"
+
+namespace tsv::num {
+
+KernelScratch& tls_kernel_scratch() {
+  static thread_local KernelScratch scratch;
+  return scratch;
+}
+
+}  // namespace tsv::num

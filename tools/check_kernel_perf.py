@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""CI guard for the Stage I/II point-kernel timings.
+
+bench_micro_kernels appends one row per (kernel, mode) to
+results/kernels.jsonl; this script compares the latest rows against the
+committed baseline (tools/kernel_baseline.json) and fails when
+
+  * any ns_per_eval regresses more than `max_regression` (default 25%)
+    over its baseline value, or
+  * a kernel's batch-vs-scalar speedup — measured within the same run, so
+    it is host-speed independent — drops below the baseline's
+    `min_speedup` floor.
+
+Usage:
+  tools/check_kernel_perf.py <kernels.jsonl> <baseline.json>
+  tools/check_kernel_perf.py <kernels.jsonl> <baseline.json> --write-baseline
+
+--write-baseline refreshes the committed timings from the given run
+(keeping the existing speedup floors) instead of checking.
+"""
+
+import argparse
+import json
+import sys
+
+MODES = ("scalar", "batch")
+# Floors used for kernels absent from the baseline when writing a fresh one.
+DEFAULT_MIN_SPEEDUP = {"stage1_point": 2.0, "stage2_point": 1.2}
+
+
+def latest_rows(path):
+    """Last row per (kernel, mode) in file order."""
+    rows = {}
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            if row.get("bench") != "kernels":
+                continue
+            rows[(row["kernel"], row["mode"])] = row
+    return rows
+
+
+def write_baseline(rows, baseline_path, old, max_regression):
+    kernels = {}
+    for (kernel, mode), row in sorted(rows.items()):
+        spec = kernels.setdefault(kernel, {})
+        spec[f"{mode}_ns_per_eval"] = row["ns_per_eval"]
+    for kernel, spec in kernels.items():
+        old_spec = old.get("kernels", {}).get(kernel, {})
+        spec["min_speedup"] = old_spec.get(
+            "min_speedup", DEFAULT_MIN_SPEEDUP.get(kernel, 1.0))
+    data = {"max_regression": max_regression, "kernels": kernels}
+    with open(baseline_path, "w", encoding="utf-8") as f:
+        json.dump(data, f, indent=2)
+        f.write("\n")
+    print(f"wrote {baseline_path}")
+
+
+def check(rows, baseline):
+    failures = []
+    max_regression = baseline.get("max_regression", 0.25)
+    for kernel, spec in baseline["kernels"].items():
+        for mode in MODES:
+            key = f"{mode}_ns_per_eval"
+            if key not in spec:
+                continue
+            row = rows.get((kernel, mode))
+            if row is None:
+                failures.append(f"{kernel}/{mode}: no row in kernels.jsonl")
+                continue
+            measured = row["ns_per_eval"]
+            allowed = spec[key] * (1.0 + max_regression)
+            verdict = "ok" if measured <= allowed else "REGRESSED"
+            print(f"{kernel}/{mode}: {measured:.3f} ns/eval "
+                  f"(baseline {spec[key]:.3f}, allowed <= {allowed:.3f}) "
+                  f"{verdict}")
+            if measured > allowed:
+                failures.append(
+                    f"{kernel}/{mode}: {measured:.3f} ns/eval exceeds "
+                    f"baseline {spec[key]:.3f} by more than "
+                    f"{100 * max_regression:.0f}%")
+        floor = spec.get("min_speedup")
+        batch = rows.get((kernel, "batch"))
+        if floor is not None and batch is not None:
+            speedup = batch.get("speedup", 0.0)
+            verdict = "ok" if speedup >= floor else "BELOW FLOOR"
+            print(f"{kernel}: batch speedup {speedup:.3f}x "
+                  f"(floor {floor:.3f}x) {verdict}")
+            if speedup < floor:
+                failures.append(
+                    f"{kernel}: batch speedup {speedup:.3f}x is below the "
+                    f"floor {floor:.3f}x")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("jsonl", help="kernels.jsonl from bench_micro_kernels")
+    parser.add_argument("baseline", help="committed baseline json")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="refresh the baseline from this run's rows")
+    parser.add_argument("--max-regression", type=float, default=None,
+                        help="override the baseline's allowed fraction")
+    args = parser.parse_args()
+
+    rows = latest_rows(args.jsonl)
+    if not rows:
+        print(f"error: no kernel rows found in {args.jsonl}", file=sys.stderr)
+        return 1
+
+    try:
+        with open(args.baseline, encoding="utf-8") as f:
+            baseline = json.load(f)
+    except FileNotFoundError:
+        if not args.write_baseline:
+            print(f"error: baseline {args.baseline} not found "
+                  f"(create it with --write-baseline)", file=sys.stderr)
+            return 1
+        baseline = {}
+
+    if args.max_regression is not None:
+        baseline["max_regression"] = args.max_regression
+
+    if args.write_baseline:
+        write_baseline(rows, args.baseline, baseline,
+                       baseline.get("max_regression", 0.25))
+        return 0
+
+    failures = check(rows, baseline)
+    if failures:
+        print("\nkernel perf guard FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print("\nkernel perf guard passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
