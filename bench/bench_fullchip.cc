@@ -9,7 +9,11 @@
 //              builds its own table,
 //   quant    — the pitch-quantized table cache (--quant, default 0.25 um):
 //              all pairs in a quantization bucket share one table, so the
-//              whole design needs ~(pitch range / step) builds.
+//              whole design needs ~(pitch range / step) builds,
+//   surrogate— the certified Chebyshev surrogate (analytic/surrogate.h)
+//              fitted once up front; pairs whose pitch falls outside the
+//              fitted domain fall back to the quantized table cache, and
+//              the per-design fallback counters are reported.
 //
 // The quant configuration is then re-run with tiled checkpointing enabled
 // (io::evaluate_with_checkpoint, ~3 checkpoints per run) to measure the
@@ -38,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "analytic/surrogate.h"
 #include "common.h"
 #include "core/tiled_evaluator.h"
 #include "io/snapshot.h"
@@ -141,6 +146,25 @@ int main(int argc, char** argv) {
   const auto response =
       std::make_shared<const ana::InclusionResponse>(structure);
 
+  // One certified surrogate fit up front (design-independent: the fit is a
+  // property of the structure/load, not the placement); every surrogate row
+  // below shares it, so the fit cost is paid once per process like a
+  // characterization step.
+  const auto fit_start = std::chrono::steady_clock::now();
+  const auto surrogate = [&] {
+    const ana::InteractiveStressModel fit_model(response, single.k_hat());
+    return std::make_shared<const ana::PairSurrogate>(
+        ana::PairSurrogate::fit(fit_model));
+  }();
+  const double fit_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - fit_start)
+                            .count();
+  std::printf("surrogate: %zu coefficients fitted in %.0f ms, certified rel "
+              "bound %.3g over pitch [%.3g, %.3g] um\n",
+              surrogate->coefficient_count(), fit_ms,
+              surrogate->certificate().certified_rel_bound,
+              surrogate->pitch_min(), surrogate->pitch_max());
+
   for (const std::size_t count : opt.designs) {
     const tsvlib::FullChipSpec spec =
         tsvlib::spec_for_count(count, opt.density, 90000 + count);
@@ -166,9 +190,11 @@ int main(int argc, char** argv) {
     // checks without holding the O(chip) field.
     std::size_t ckpt_every = 8;
     const auto run = [&](bool lookup, double quant,
-                         const std::string& ckpt_path = std::string()) {
+                         const std::string& ckpt_path = std::string(),
+                         bool use_surrogate = false) {
       const auto model = std::make_shared<const ana::InteractiveStressModel>(
           response, single.k_hat());
+      if (use_surrogate) model->attach_surrogate(surrogate);
       core::FrameworkOptions fopt;
       fopt.num_threads = threads;
       fopt.stage2.use_lookup_table = lookup;
@@ -214,6 +240,14 @@ int main(int argc, char** argv) {
     if (ran_uncached) lookup = run(true, 0.0);
     const RunResult quant = run(true, opt.quant_step);
 
+    // Surrogate fast path on top of the quantized cache: in-domain pairs go
+    // through the certified kernel, out-of-domain pitches fall back to the
+    // quantized tables. The use counters are process-wide on the shared fit,
+    // so reset before the run to report per-design numbers.
+    surrogate->reset_use_stats();
+    const RunResult surro = run(true, opt.quant_step, std::string(), true);
+    const ana::SurrogateUseStats sur_use = surrogate->use_stats();
+
     // Checkpointed re-run of the quantized configuration: same field, plus
     // resumable checkpoints (io::evaluate_with_checkpoint). Each checkpoint
     // holds the whole finished prefix of the field, so the cadence sets the
@@ -240,6 +274,7 @@ int main(int argc, char** argv) {
     // relative to the field scale (the documented look-up budget is ~1%).
     double scale = 0.0;
     double worst = 0.0;
+    double sur_worst = 0.0;
     for (std::size_t i = 0; i < series.probe.size(); ++i) {
       scale = std::max({scale, std::abs(series.probe[i].s11),
                         std::abs(series.probe[i].s22)});
@@ -247,8 +282,14 @@ int main(int argc, char** argv) {
                         std::abs(quant.probe[i].s11 - series.probe[i].s11),
                         std::abs(quant.probe[i].s22 - series.probe[i].s22),
                         std::abs(quant.probe[i].s12 - series.probe[i].s12)});
+      sur_worst = std::max({sur_worst,
+                            std::abs(surro.probe[i].s11 - series.probe[i].s11),
+                            std::abs(surro.probe[i].s22 - series.probe[i].s22),
+                            std::abs(surro.probe[i].s12 -
+                                     series.probe[i].s12)});
     }
     const double field_err = scale > 0.0 ? worst / scale : 0.0;
+    const double sur_field_err = scale > 0.0 ? sur_worst / scale : 0.0;
 
     io::TablePrinter out({"stage II path", "stageI(s)", "stageII(s)",
                           "tables", "hits", "misses", "hit%"});
@@ -262,6 +303,7 @@ int main(int argc, char** argv) {
     add_row("series", series);
     if (ran_uncached) add_row("lookup (exact pitch)", lookup);
     add_row("lookup (quantized)", quant);
+    add_row("surrogate (+quant fb)", surro);
     out.print(std::cout);
 
     const double speedup_vs_lookup =
@@ -290,6 +332,20 @@ int main(int argc, char** argv) {
                 "%.0f MB\n",
                 series.probe.size(), 100.0 * field_err, series.max_vm,
                 peak_rss_mb());
+    const double sur_speedup =
+        surro.stats.stage2_seconds > 0.0
+            ? series.stats.stage2_seconds / surro.stats.stage2_seconds
+            : 0.0;
+    std::printf("surrogate: %.1fx vs series (%.1fx vs quantized); pairs "
+                "%llu surrogate / %llu fallback; field vs series max dev "
+                "%.4f%% of scale\n",
+                sur_speedup,
+                surro.stats.stage2_seconds > 0.0
+                    ? quant.stats.stage2_seconds / surro.stats.stage2_seconds
+                    : 0.0,
+                static_cast<unsigned long long>(sur_use.surrogate_pairs),
+                static_cast<unsigned long long>(sur_use.fallback_pairs),
+                100.0 * sur_field_err);
     std::printf("checkpointing (every %zu tiles): %zu checkpoints, %.3f s "
                 "writing; wall %.3f s vs %.3f s plain (min of 2 each) -> "
                 "overhead %+.2f%%\n",
@@ -314,6 +370,12 @@ int main(int argc, char** argv) {
         .num("stage2_lookup_s",
              ran_uncached ? lookup.stats.stage2_seconds : -1.0, "%.4f")
         .num("stage2_quant_s", quant.stats.stage2_seconds, "%.4f")
+        .num("stage2_surrogate_s", surro.stats.stage2_seconds, "%.4f")
+        .uint("surrogate_pairs", sur_use.surrogate_pairs)
+        .uint("surrogate_fallbacks", sur_use.fallback_pairs)
+        .num("surrogate_cert_bound",
+             surrogate->certificate().certified_rel_bound, "%.3g")
+        .num("surrogate_field_err_frac", sur_field_err, "%.6f")
         .num("quant_step_um", opt.quant_step, "%.3g")
         .uint("quant_tables", quant.tables)
         .uint("quant_hits", quant.cache.hits)

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "analytic/surrogate.h"
+
 namespace tsv::ana {
 
 InteractiveStressModel::InteractiveStressModel(
@@ -126,6 +128,31 @@ std::size_t InteractiveStressModel::import_table_cache(
     inserted += table_cache_.emplace(key, std::move(table)).second ? 1 : 0;
   }
   return inserted;
+}
+
+void InteractiveStressModel::attach_surrogate(
+    std::shared_ptr<const PairSurrogate> surrogate) const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  surrogate_ = std::move(surrogate);
+}
+
+std::shared_ptr<const PairSurrogate> InteractiveStressModel::surrogate()
+    const {
+  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  return surrogate_;
+}
+
+std::shared_ptr<const PairSurrogate> InteractiveStressModel::surrogate_for(
+    double tolerance, double r_needed) const {
+  std::shared_ptr<const PairSurrogate> s;
+  {
+    const std::lock_guard<std::mutex> lock(cache_mutex_);
+    s = surrogate_;
+  }
+  if (s == nullptr) return nullptr;
+  if (!s->certificate().certified_within(tolerance)) return nullptr;
+  if (s->r_max() < r_needed) return nullptr;
+  return s;
 }
 
 num::SymTensor2 InteractiveStressModel::stress_at(

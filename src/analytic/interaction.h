@@ -28,6 +28,8 @@
 
 namespace tsv::ana {
 
+class PairSurrogate;
+
 /// Hit/miss counters of the per-pitch PairStressTable cache. A miss is a
 /// table build; full-chip arrays repeat a handful of pitches, so the hit
 /// rate measures how well pitch quantization amortizes the builds.
@@ -125,6 +127,23 @@ class InteractiveStressModel {
   std::size_t import_table_cache(
       std::vector<PairStressTable::Data> tables) const;
 
+  /// Attaches (or, with nullptr, detaches) a certified Chebyshev surrogate
+  /// (analytic/surrogate.h) for the Stage II fast path. Thread-safe;
+  /// replaces any previous surrogate. Like the table cache this is an
+  /// evaluation accelerator, so it lives mutably on the const model shared
+  /// across stages.
+  void attach_surrogate(std::shared_ptr<const PairSurrogate> surrogate) const;
+
+  /// The currently attached surrogate (nullptr when none).
+  std::shared_ptr<const PairSurrogate> surrogate() const;
+
+  /// The attached surrogate iff its certificate attests a verified relative
+  /// bound <= `tolerance` AND its fitted radius covers `r_needed` (points
+  /// beyond the fitted r_max would silently evaluate to zero); nullptr
+  /// otherwise, in which case callers use the table/series paths.
+  std::shared_ptr<const PairSurrogate> surrogate_for(double tolerance,
+                                                     double r_needed) const;
+
  private:
   std::shared_ptr<const InclusionResponse> response_;
   double k_hat_ = 0.0;        ///< K / R'^2, MPa
@@ -134,6 +153,7 @@ class InteractiveStressModel {
   mutable std::map<long long, RegionField> cache_;
   mutable std::map<std::pair<long long, long long>, PairStressTable>
       table_cache_;
+  mutable std::shared_ptr<const PairSurrogate> surrogate_;
   mutable std::atomic<std::uint64_t> table_hits_{0};
   mutable std::atomic<std::uint64_t> table_misses_{0};
 };

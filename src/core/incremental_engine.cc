@@ -5,6 +5,7 @@
 #include <cmath>
 #include <utility>
 
+#include "analytic/surrogate.h"
 #include "geometry/grid_index.h"
 
 namespace tsv::core {
@@ -184,6 +185,25 @@ void IncrementalEngine::apply_pair(const geo::Point& victim,
   // evaluation would accumulate.
   const double pitch = geo::distance(victim, aggressor);
   const InteractiveOptions& opt = options_.stage2;
+  if (opt.allow_surrogate) {
+    // Same certificate/coverage gate as InteractiveStage::evaluate_pairs,
+    // so an engine edit adds/removes exactly the contribution a full
+    // surrogate-path evaluation would have accumulated.
+    const std::shared_ptr<const ana::PairSurrogate> surrogate =
+        model_->surrogate_for(opt.surrogate_tolerance, opt.influence_radius);
+    if (surrogate != nullptr) {
+      gather_disc(victim, opt.influence_radius);
+      if (surrogate->try_accumulate(victim, aggressor, disc_pts_.data(),
+                                    disc_pts_.size(), disc_contrib_.data())) {
+        for (std::size_t j = 0; j < disc_idx_.size(); ++j) {
+          stage2_[disc_idx_[j]] += sign * disc_contrib_[j];
+          touch(disc_idx_[j], stats);
+        }
+        stats.stage2_point_updates += disc_idx_.size();
+        return;
+      }
+    }
+  }
   if (opt.use_lookup_table) {
     const ana::PairStressTable& table = model_->table_for_pitch(
         pitch, opt.influence_radius, opt.pitch_quant_step);

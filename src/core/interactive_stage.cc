@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analytic/surrogate.h"
 #include "numeric/kernels.h"
 #include "numeric/parallel.h"
 
@@ -167,6 +168,15 @@ std::vector<num::SymTensor2> InteractiveStage::evaluate_pairs(
     const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs,
     const geo::GridIndex& point_index) const {
   const auto& centers = placement_.centers();
+  // Surrogate fast path, hoisted out of the pair loop: one certificate and
+  // coverage check per evaluate, then a per-pair pitch gate inside
+  // try_accumulate. nullptr when disabled, absent, over-tolerance, or
+  // fitted short of the influence radius.
+  const std::shared_ptr<const ana::PairSurrogate> surrogate =
+      options_.allow_surrogate
+          ? model_->surrogate_for(options_.surrogate_tolerance,
+                                  options_.influence_radius)
+          : nullptr;
   // Pair-parallel: every chunk of pairs accumulates into its own private
   // buffer (writing `out[n] +=` across chunks would race), and the partial
   // fields merge in chunk index order afterwards. With num_threads == 1
@@ -186,6 +196,19 @@ std::vector<num::SymTensor2> InteractiveStage::evaluate_pairs(
           const double pitch = geo::distance(victim, aggressor);
           point_index.query_radius(victim, options_.influence_radius,
                                    affected);
+          if (surrogate != nullptr) {
+            const std::size_t m = affected.size();
+            gathered.resize(m);
+            for (std::size_t j = 0; j < m; ++j)
+              gathered[j] = points[affected[j]];
+            contrib.assign(m, num::SymTensor2{});
+            if (surrogate->try_accumulate(victim, aggressor, gathered.data(),
+                                          m, contrib.data())) {
+              for (std::size_t j = 0; j < m; ++j)
+                out[affected[j]] += contrib[j];
+              continue;  // next pair; out-of-domain pitches fall through
+            }
+          }
           if (options_.use_lookup_table) {
             const ana::PairStressTable& table = model_->table_for_pitch(
                 pitch, options_.influence_radius, options_.pitch_quant_step);

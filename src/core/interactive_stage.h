@@ -33,6 +33,19 @@ struct InteractiveOptions {
   /// builds its own). Only meaningful with use_lookup_table; 0.25 um stays
   /// within the table's ~1% interpolation budget (see test_quantized_cache).
   double pitch_quant_step = 0.0;
+  /// Use a certified Chebyshev surrogate (analytic/surrogate.h) attached to
+  /// the model for the Stage II batch path when available. The surrogate is
+  /// only consulted if its certificate attests a verified relative field
+  /// error <= `surrogate_tolerance` and its fitted radius covers
+  /// `influence_radius`; pairs whose pitch falls outside the fitted domain
+  /// fall back to the table/series paths per pair (counter-tracked on the
+  /// surrogate). With no surrogate attached this flag is inert, so default
+  /// behavior is unchanged. Set false to force the exact paths even when a
+  /// certified surrogate is attached.
+  bool allow_surrogate = true;
+  /// Maximum certified relative field error accepted from an attached
+  /// surrogate (gates on SurrogateCertificate::certified_rel_bound).
+  double surrogate_tolerance = 1e-6;
   /// Threads for the batched evaluate: 0 = hardware concurrency, 1 = serial
   /// (the default baseline path). Pairs are chunked statically; each chunk
   /// accumulates into a private output buffer and the partials merge in
@@ -96,7 +109,14 @@ class InteractiveStage {
       const std::vector<std::pair<std::uint32_t, std::uint32_t>>& pairs,
       const geo::GridIndex& point_index) const;
 
-  /// Cached point index, keyed on a fingerprint of the point set.
+  /// Cached point index, keyed on a fingerprint of the point set. The
+  /// fingerprint is a content hash (FNV-1a over the raw coordinate bytes)
+  /// plus the point count — NOT the vector's identity — so mutating a point
+  /// buffer in place (even to an equal length) changes the key and rebuilds
+  /// the index; callers never observe a stale index for edited coordinates
+  /// (test_interactive_stage locks this down). The only theoretical
+  /// staleness is a 64-bit hash collision between two different point sets
+  /// of equal size.
   std::shared_ptr<const geo::GridIndex> point_index_for(
       const std::vector<geo::Point>& points) const;
 

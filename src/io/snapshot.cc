@@ -352,6 +352,8 @@ const char* to_string(SnapshotKind kind) {
       return "engine-state";
     case SnapshotKind::kTiledCheckpoint:
       return "tiled-checkpoint";
+    case SnapshotKind::kSurrogate:
+      return "surrogate";
   }
   return "unknown";
 }
@@ -390,6 +392,89 @@ std::size_t load_pair_table_cache(const std::string& path,
   std::vector<ana::PairStressTable::Data> tables = get_pair_tables(r);
   r.expect_end();
   return model.import_table_cache(std::move(tables));
+}
+
+void save_surrogate(const std::string& path,
+                    const ana::PairSurrogate& surrogate) {
+  const ana::PairSurrogate::Data d = surrogate.to_data();
+  Writer w;
+  w.f64(d.pitch_min);
+  w.f64(d.pitch_max);
+  w.f64(d.r_max);
+  w.size(d.pitch_order);
+  w.size(d.segments.size());
+  for (const auto& seg : d.segments) {
+    w.u8(seg.inverse_radial ? 1 : 0);
+    w.f64(seg.r0);
+    w.f64(seg.r1);
+    w.size(seg.nr);
+    w.size(seg.nx);
+    w.f64_vec(seg.coeffs);
+  }
+  const ana::SurrogateCertificate& c = d.certificate;
+  w.f64(c.pitch_min);
+  w.f64(c.pitch_max);
+  w.f64(c.r_max);
+  w.u64(c.coefficient_count);
+  w.u64(c.sample_count);
+  w.f64(c.field_scale);
+  w.f64(c.max_abs_error);
+  w.f64(c.certified_rel_bound);
+  w.commit(path, SnapshotKind::kSurrogate);
+  // Fault harness: the atomic commit rules out torn writes, so model
+  // *external* bit rot (disk/filesystem damage after a successful save) by
+  // flipping one payload byte. Loads must reject the file via the checksum
+  // and degrade to the exact series path, never evaluate damaged
+  // coefficients.
+  if (fault::should_fire(fault::Site::kSurrogateCorrupt)) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string bytes = std::move(buf).str();
+    bytes[bytes.size() / 2] ^= 0x40;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+}
+
+ana::PairSurrogate load_surrogate(const std::string& path) {
+  Reader r = open_kind(path, SnapshotKind::kSurrogate);
+  ana::PairSurrogate::Data d;
+  d.pitch_min = r.f64();
+  d.pitch_max = r.f64();
+  d.r_max = r.f64();
+  d.pitch_order = r.size();
+  d.segments.resize(r.size());
+  for (auto& seg : d.segments) {
+    seg.inverse_radial = r.u8() != 0;
+    seg.r0 = r.f64();
+    seg.r1 = r.f64();
+    seg.nr = r.size();
+    seg.nx = r.size();
+    seg.coeffs = r.f64_vec();
+  }
+  ana::SurrogateCertificate& c = d.certificate;
+  c.pitch_min = r.f64();
+  c.pitch_max = r.f64();
+  c.r_max = r.f64();
+  c.coefficient_count = r.u64();
+  c.sample_count = r.u64();
+  c.field_scale = r.f64();
+  c.max_abs_error = r.f64();
+  c.certified_rel_bound = r.f64();
+  r.expect_end();
+  return ana::PairSurrogate(std::move(d));
+}
+
+std::optional<ana::PairSurrogate> try_load_surrogate(const std::string& path) {
+  try {
+    return load_surrogate(path);
+  } catch (const std::exception&) {
+    // Missing, truncated, corrupt, wrong kind, or structurally invalid:
+    // the exact series path is always available, so a surrogate snapshot is
+    // pure opportunism — skip it rather than fail the run.
+    return std::nullopt;
+  }
 }
 
 void save_placement(const std::string& path, const tsvlib::Placement& p) {
@@ -431,6 +516,8 @@ void save_engine_state(const std::string& path,
   w.f64(opt.stage2.influence_radius);
   w.u8(opt.stage2.use_lookup_table ? 1 : 0);
   w.f64(opt.stage2.pitch_quant_step);
+  w.u8(opt.stage2.allow_surrogate ? 1 : 0);
+  w.f64(opt.stage2.surrogate_tolerance);
   w.size(opt.stage2.num_threads);
   w.u8(opt.enable_interactive ? 1 : 0);
   w.size(opt.num_threads);
@@ -476,6 +563,8 @@ core::IncrementalEngine load_engine_state(const std::string& path) {
   opt.stage2.influence_radius = r.f64();
   opt.stage2.use_lookup_table = r.u8() != 0;
   opt.stage2.pitch_quant_step = r.f64();
+  opt.stage2.allow_surrogate = r.u8() != 0;
+  opt.stage2.surrogate_tolerance = r.f64();
   opt.stage2.num_threads = r.size();
   opt.enable_interactive = r.u8() != 0;
   opt.num_threads = r.size();

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "analytic/interaction.h"
+#include "analytic/surrogate.h"
 #include "core/incremental_engine.h"
 #include "core/stress_table.h"
 #include "core/tiled_evaluator.h"
@@ -44,6 +45,7 @@ enum class SnapshotKind : std::uint32_t {
   kPlacement = 3,
   kEngineState = 4,
   kTiledCheckpoint = 5,
+  kSurrogate = 6,
 };
 
 const char* to_string(SnapshotKind kind);
@@ -77,6 +79,23 @@ std::size_t save_pair_table_cache(const std::string& path,
 /// tables inserted (existing entries win on collision).
 std::size_t load_pair_table_cache(const std::string& path,
                                   const ana::InteractiveStressModel& model);
+
+// --- Stage-II certified surrogate ----------------------------------------
+
+/// Saves a fitted surrogate — coefficients plus its SurrogateCertificate —
+/// so warm starts skip the fit *and* the certification (the certificate is
+/// the recorded verification, protected by the payload checksum).
+void save_surrogate(const std::string& path,
+                    const ana::PairSurrogate& surrogate);
+
+/// Loads a surrogate snapshot; bitwise the saved one (coefficients and
+/// certificate alike). Throws IoCorruptionError on damage.
+ana::PairSurrogate load_surrogate(const std::string& path);
+
+/// Best-effort load: nullopt when the file is missing, truncated, corrupt,
+/// or not a surrogate — all cases where the right recovery is to keep the
+/// exact series path (and optionally re-fit).
+std::optional<ana::PairSurrogate> try_load_surrogate(const std::string& path);
 
 // --- Placements ----------------------------------------------------------
 

@@ -31,6 +31,10 @@ enum class Site : int {
   /// io/snapshot.cc: truncate the checkpoint file right after a successful
   /// save, simulating a torn write discovered at resume time.
   kCheckpointTruncate,
+  /// io/snapshot.cc: flip one payload byte of a surrogate snapshot right
+  /// after a successful save, simulating bit rot the checksum must catch at
+  /// load time (graceful degradation to the series path, not a crash).
+  kSurrogateCorrupt,
   kSiteCount_,  ///< sentinel, keep last
 };
 
@@ -42,6 +46,8 @@ inline const char* to_string(Site s) {
       return "snapshot-write-fail";
     case Site::kCheckpointTruncate:
       return "checkpoint-truncate";
+    case Site::kSurrogateCorrupt:
+      return "surrogate-corrupt";
     case Site::kSiteCount_:
       break;
   }

@@ -7,7 +7,10 @@
 //     run nor corrupts the previous checkpoint;
 //   - a truncated checkpoint is discarded and the run restarts clean;
 //   - a run killed mid-flight (real SIGKILL-style death via fork + _exit)
-//     resumes from its checkpoint and streams a bitwise-identical field.
+//     resumes from its checkpoint and streams a bitwise-identical field;
+//   - a bit-flipped surrogate snapshot is rejected by the payload checksum
+//     (IoCorruptionError), and the warm-start flow degrades to the exact
+//     series path instead of evaluating damaged coefficients.
 //
 // These tests carry the `fault` ctest label so the sanitizer CI can run
 // them as a suite.
@@ -23,7 +26,9 @@
 #include <string>
 #include <vector>
 
+#include "analytic/surrogate.h"
 #include "core/error.h"
+#include "core/interactive_stage.h"
 #include "core/tiled_evaluator.h"
 #include "fem/thermo_solver.h"
 #include "io/snapshot.h"
@@ -222,6 +227,63 @@ TEST(FaultInjection, KilledRunResumesBitwiseIdentical) {
   expect_bitwise_equal(got, want);
   // Completion removed the checkpoint: a re-run starts clean.
   EXPECT_FALSE(io::try_load_tiled_checkpoint(path).has_value());
+}
+
+// --- corrupted surrogate snapshots ----------------------------------------
+
+TEST(FaultInjection, CorruptedSurrogateSnapshotDegradesToTheSeriesPath) {
+  const auto model = std::make_shared<const ana::InteractiveStressModel>(
+      kS, mat::ThermalLoad{});
+  const auto surrogate = std::make_shared<const ana::PairSurrogate>(
+      ana::PairSurrogate::fit(*model));
+  const std::string path = temp_path("surrogate_bitrot.snap");
+
+  // The armed save succeeds, then the harness flips one payload byte —
+  // bit rot discovered at load time, after the atomic write completed.
+  fault::disarm_all();
+  fault::arm(fault::Site::kSurrogateCorrupt);
+  io::save_surrogate(path, *surrogate);
+  fault::disarm_all();
+  EXPECT_EQ(fault::fired_count(fault::Site::kSurrogateCorrupt), 1u);
+
+  // The checksum must catch the damage: the strict loader reports
+  // IoCorruption, the best-effort loader declines.
+  EXPECT_THROW(io::load_surrogate(path), IoCorruptionError);
+  EXPECT_FALSE(io::try_load_surrogate(path).has_value());
+
+  // Graceful degradation, end to end: a warm start that fails to load the
+  // surrogate leaves the model without one, so Stage II runs the exact
+  // series — bitwise the never-had-a-surrogate field, not a crash and not
+  // damaged coefficients.
+  auto warm = io::try_load_surrogate(path);
+  if (warm.has_value())
+    model->attach_surrogate(std::make_shared<const ana::PairSurrogate>(
+        std::move(*warm)));
+  const tsvlib::Placement pair = tsvlib::make_pair(kS, 10.0);
+  const core::InteractiveStage stage(pair, model);
+  std::vector<geo::Point> pts;
+  for (double x = -8; x <= 18; x += 2.3)
+    for (double y = -8; y <= 8; y += 2.7) pts.push_back({x, y});
+  const auto got = stage.evaluate(pts);
+  const auto fresh_model = std::make_shared<const ana::InteractiveStressModel>(
+      kS, mat::ThermalLoad{});
+  const core::InteractiveStage series(pair, fresh_model);
+  const auto want = series.evaluate(pts);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].s11, want[i].s11) << i;
+    EXPECT_EQ(got[i].s22, want[i].s22) << i;
+    EXPECT_EQ(got[i].s12, want[i].s12) << i;
+  }
+
+  // The site self-disarmed: a recovery re-save produces a clean snapshot
+  // that round-trips and re-arms the fast path.
+  io::save_surrogate(path, *surrogate);
+  const auto recovered = io::try_load_surrogate(path);
+  ASSERT_TRUE(recovered.has_value());
+  EXPECT_EQ(recovered->certificate().certified_rel_bound,
+            surrogate->certificate().certified_rel_bound);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -185,6 +185,45 @@ TEST(InteractiveStage, PointsExactlyOnBoundingBoxEdgeAreEvaluated) {
   EXPECT_NE(batch[5].s11, 0.0);
 }
 
+// Regression for the stale-fingerprint hazard of the point-index cache:
+// the cache key is a CONTENT hash (FNV-1a over the coordinate bytes plus
+// the count), not the vector's identity, so mutating a point buffer in
+// place — to a new set of the SAME length, the case an address-or-size key
+// would miss — must rebuild the index. A stale index would hand pairs the
+// wrong affected-point sets and silently drop or misplace contributions.
+TEST(InteractiveStage, MutatedPointBufferOfEqualLengthRebuildsTheIndex) {
+  const tsvlib::Placement pair = tsvlib::make_pair(kS, 10.0);
+  const InteractiveStage stage(pair, make_model());
+  std::vector<geo::Point> pts;
+  for (double x = -8; x <= 18; x += 1.3)
+    for (double y = -8; y <= 8; y += 1.7) pts.push_back({x, y});
+
+  // Prime the cache with the original coordinates.
+  const auto first = stage.evaluate(pts);
+  ASSERT_EQ(first.size(), pts.size());
+
+  // Mutate IN PLACE: same vector object, same length, every coordinate
+  // changed (a quarter turn about the origin — exact in floating point, so
+  // the round trip below is bitwise).
+  for (geo::Point& p : pts) p = {-p.y, p.x};
+  const auto got = stage.evaluate(pts);
+
+  // A fresh stage has no cache to go stale; its field is the truth.
+  const InteractiveStage fresh(pair, make_model());
+  const auto want = fresh.evaluate(pts);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(got[i].s11, want[i].s11) << i;
+    EXPECT_EQ(got[i].s22, want[i].s22) << i;
+    EXPECT_EQ(got[i].s12, want[i].s12) << i;
+  }
+  // And mutating back re-keys again (no one-shot invalidation).
+  for (geo::Point& p : pts) p = {p.y, -p.x};
+  const auto back = stage.evaluate(pts);
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    EXPECT_EQ(back[i].s11, first[i].s11) << i;
+}
+
 TEST(InteractiveStage, FiveCrossSymmetry) {
   // The 5-TSV cross is symmetric under 90-degree rotation; von Mises of the
   // interactive field must match at rotated points.

@@ -10,6 +10,7 @@
 #include <memory>
 #include <vector>
 
+#include "analytic/surrogate.h"
 #include "core/framework.h"
 #include "tsv/generators.h"
 
@@ -145,6 +146,33 @@ TEST(Invariances, EquivarianceHoldsThroughTheLookupPath) {
   }
   ASSERT_GT(scale, 0.0);
   EXPECT_LT(worst, 0.01 * scale);
+}
+
+TEST(Invariances, EquivarianceHoldsThroughTheSurrogatePath) {
+  // Unlike the theta-sampled lookup table (1% budget above), the surrogate
+  // is a smooth polynomial in the pair-local coordinates, so rotating the
+  // whole scene perturbs its inputs only at rounding level: the surrogate
+  // path must keep the exact path's tight equivariance tolerance, not just
+  // an interpolation-budget version of it.
+  const auto model = shared_model();
+  model->attach_surrogate(std::make_shared<const ana::PairSurrogate>(
+      ana::PairSurrogate::fit(*model)));
+  const tsvlib::Placement p = seeded_placement(51);
+  const tsvlib::Placement q = transformed(
+      p, +[](const geo::Point& v) { return geo::Point{-v.y, v.x}; });
+  const StressFramework fa(p, model);
+  const StressFramework fb(q, model);
+  const std::vector<geo::Point> pts = probe_points(p);
+  const StressResult ra = fa.evaluate(pts);
+  std::vector<geo::Point> rotated;
+  for (const geo::Point& v : pts) rotated.push_back({-v.y, v.x});
+  const StressResult rb = fb.evaluate(rotated);
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const num::SymTensor2 want{ra.stress[i].s22, ra.stress[i].s11,
+                               -ra.stress[i].s12};
+    expect_tensor_near(rb.stress[i], want, 1e-9, i);
+  }
+  model->attach_surrogate(nullptr);
 }
 
 TEST(Invariances, StageTwoVanishesBeyondThePitchCutoff) {

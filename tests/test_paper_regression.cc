@@ -10,8 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
+#include "analytic/surrogate.h"
 #include "common.h"
 #include "tsv/generators.h"
 
@@ -123,6 +125,46 @@ TEST(PaperRegression, Table2FiveCrossCritRates) {
   // PF roughly halves the sigma_xx error and still improves von Mises.
   EXPECT_LT(pf_xx.critical_rate_thr50, 0.65 * ls_xx.critical_rate_thr50);
   EXPECT_LT(pf_vm.critical_rate_thr50, ls_vm.critical_rate_thr50);
+}
+
+// The certified surrogate fast path must reproduce the SAME locked cells:
+// its certificate bounds the Stage II field error at ~1e-6 relative, three
+// orders below the last printed digit of every table, so swapping the
+// series for the surrogate must not move a single cell. The d=8 pair also
+// pins the inclusive pitch-domain gate (8.0 um == the fitted pitch_min).
+TEST(PaperRegression, SurrogatePipelineReproducesTables1Through3) {
+  const bench::Characterization& ch = characterization();
+  const auto surrogate = std::make_shared<const ana::PairSurrogate>(
+      ana::PairSurrogate::fit(*ch.model));
+  ASSERT_TRUE(surrogate->certificate().certified_within(1e-6));
+  ch.model->attach_surrogate(surrogate);
+  surrogate->reset_use_stats();
+
+  const auto locked = [&](const GoldenCase& c, core::StressMeasure measure) {
+    const core::StressFramework pf(c.placement, ch.table, ch.model,
+                                   core::FrameworkOptions{});
+    return core::compare_fields(measure, c.pts, pf.evaluate(c.pts).stress,
+                                c.gold, c.placement);
+  };
+  const core::ErrorStats t1 =
+      locked(pair_d8(), core::StressMeasure::kSigmaXX);
+  EXPECT_NEAR(t1.critical_rate_thr50, 8.58, kRateTol);
+  EXPECT_NEAR(t1.avg_error, 0.96, kAvgTol);
+  const core::ErrorStats t3 =
+      locked(pair_d8(), core::StressMeasure::kVonMises);
+  EXPECT_NEAR(t3.critical_rate_thr50, 4.18, kRateTol);
+  const core::ErrorStats t2_xx =
+      locked(five_cross(), core::StressMeasure::kSigmaXX);
+  const core::ErrorStats t2_vm =
+      locked(five_cross(), core::StressMeasure::kVonMises);
+  EXPECT_NEAR(t2_xx.critical_rate_thr50, 4.87, kRateTol);
+  EXPECT_NEAR(t2_vm.critical_rate_thr50, 2.17, kRateTol);
+
+  // The cells above really came from the surrogate: the d=8 pair sits
+  // exactly on the inclusive domain edge and must not have fallen back.
+  EXPECT_GT(surrogate->use_stats().surrogate_pairs, 0u);
+  EXPECT_EQ(surrogate->use_stats().fallback_pairs, 0u);
+  ch.model->attach_surrogate(nullptr);
 }
 
 TEST(PaperRegression, CharacterizationConstantIsStable) {
