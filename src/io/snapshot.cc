@@ -338,6 +338,59 @@ std::vector<ana::PairStressTable::Data> get_pair_tables(Reader& r) {
   return tables;
 }
 
+void put_surrogate(Writer& w, const ana::PairSurrogate& surrogate) {
+  const ana::PairSurrogate::Data d = surrogate.to_data();
+  w.f64(d.pitch_min);
+  w.f64(d.pitch_max);
+  w.f64(d.r_max);
+  w.size(d.pitch_order);
+  w.size(d.segments.size());
+  for (const auto& seg : d.segments) {
+    w.u8(seg.inverse_radial ? 1 : 0);
+    w.f64(seg.r0);
+    w.f64(seg.r1);
+    w.size(seg.nr);
+    w.size(seg.nx);
+    w.f64_vec(seg.coeffs);
+  }
+  const ana::SurrogateCertificate& c = d.certificate;
+  w.f64(c.pitch_min);
+  w.f64(c.pitch_max);
+  w.f64(c.r_max);
+  w.u64(c.coefficient_count);
+  w.u64(c.sample_count);
+  w.f64(c.field_scale);
+  w.f64(c.max_abs_error);
+  w.f64(c.certified_rel_bound);
+}
+
+ana::PairSurrogate get_surrogate(Reader& r) {
+  ana::PairSurrogate::Data d;
+  d.pitch_min = r.f64();
+  d.pitch_max = r.f64();
+  d.r_max = r.f64();
+  d.pitch_order = r.size();
+  d.segments.resize(r.size());
+  for (auto& seg : d.segments) {
+    seg.inverse_radial = r.u8() != 0;
+    seg.r0 = r.f64();
+    seg.r1 = r.f64();
+    seg.nr = r.size();
+    seg.nx = r.size();
+    seg.coeffs = r.f64_vec();
+  }
+  ana::SurrogateCertificate& c = d.certificate;
+  c.pitch_min = r.f64();
+  c.pitch_max = r.f64();
+  c.r_max = r.f64();
+  c.coefficient_count = r.u64();
+  c.sample_count = r.u64();
+  c.field_scale = r.f64();
+  c.max_abs_error = r.f64();
+  c.certified_rel_bound = r.f64();
+  return ana::PairSurrogate(std::move(d));
+}
+
 }  // namespace
 
 const char* to_string(SnapshotKind kind) {
@@ -396,30 +449,8 @@ std::size_t load_pair_table_cache(const std::string& path,
 
 void save_surrogate(const std::string& path,
                     const ana::PairSurrogate& surrogate) {
-  const ana::PairSurrogate::Data d = surrogate.to_data();
   Writer w;
-  w.f64(d.pitch_min);
-  w.f64(d.pitch_max);
-  w.f64(d.r_max);
-  w.size(d.pitch_order);
-  w.size(d.segments.size());
-  for (const auto& seg : d.segments) {
-    w.u8(seg.inverse_radial ? 1 : 0);
-    w.f64(seg.r0);
-    w.f64(seg.r1);
-    w.size(seg.nr);
-    w.size(seg.nx);
-    w.f64_vec(seg.coeffs);
-  }
-  const ana::SurrogateCertificate& c = d.certificate;
-  w.f64(c.pitch_min);
-  w.f64(c.pitch_max);
-  w.f64(c.r_max);
-  w.u64(c.coefficient_count);
-  w.u64(c.sample_count);
-  w.f64(c.field_scale);
-  w.f64(c.max_abs_error);
-  w.f64(c.certified_rel_bound);
+  put_surrogate(w, surrogate);
   w.commit(path, SnapshotKind::kSurrogate);
   // Fault harness: the atomic commit rules out torn writes, so model
   // *external* bit rot (disk/filesystem damage after a successful save) by
@@ -439,31 +470,9 @@ void save_surrogate(const std::string& path,
 
 ana::PairSurrogate load_surrogate(const std::string& path) {
   Reader r = open_kind(path, SnapshotKind::kSurrogate);
-  ana::PairSurrogate::Data d;
-  d.pitch_min = r.f64();
-  d.pitch_max = r.f64();
-  d.r_max = r.f64();
-  d.pitch_order = r.size();
-  d.segments.resize(r.size());
-  for (auto& seg : d.segments) {
-    seg.inverse_radial = r.u8() != 0;
-    seg.r0 = r.f64();
-    seg.r1 = r.f64();
-    seg.nr = r.size();
-    seg.nx = r.size();
-    seg.coeffs = r.f64_vec();
-  }
-  ana::SurrogateCertificate& c = d.certificate;
-  c.pitch_min = r.f64();
-  c.pitch_max = r.f64();
-  c.r_max = r.f64();
-  c.coefficient_count = r.u64();
-  c.sample_count = r.u64();
-  c.field_scale = r.f64();
-  c.max_abs_error = r.f64();
-  c.certified_rel_bound = r.f64();
+  ana::PairSurrogate surrogate = get_surrogate(r);
   r.expect_end();
-  return ana::PairSurrogate(std::move(d));
+  return surrogate;
 }
 
 std::optional<ana::PairSurrogate> try_load_surrogate(const std::string& path) {
@@ -544,6 +553,14 @@ void save_engine_state(const std::string& path,
   put_pair_tables(w, model != nullptr
                          ? model->export_table_cache()
                          : std::vector<ana::PairStressTable::Data>{});
+
+  // Optional embedded surrogate (format version 2): ECO warm starts reuse
+  // the fitted-and-certified coefficients instead of refitting per process.
+  const std::shared_ptr<const ana::PairSurrogate> surrogate =
+      model != nullptr ? model->surrogate() : nullptr;
+  w.u8(surrogate != nullptr ? 1 : 0);
+  if (surrogate != nullptr) put_surrogate(w, *surrogate);
+
   w.commit(path, SnapshotKind::kEngineState);
 }
 
@@ -586,6 +603,9 @@ core::IncrementalEngine load_engine_state(const std::string& path) {
   auto table =
       std::make_shared<const core::RadialStressTable>(get_radial_table(r));
   std::vector<ana::PairStressTable::Data> pair_tables = get_pair_tables(r);
+  std::shared_ptr<const ana::PairSurrogate> surrogate;
+  if (r.u8() != 0)
+    surrogate = std::make_shared<const ana::PairSurrogate>(get_surrogate(r));
   r.expect_end();
 
   std::shared_ptr<const ana::InteractiveStressModel> model;
@@ -596,6 +616,9 @@ core::IncrementalEngine load_engine_state(const std::string& path) {
         std::make_shared<const ana::InclusionResponse>(state.structure, ropt),
         k_hat);
     model->import_table_cache(std::move(pair_tables));
+    // Reattach the embedded surrogate; its persisted certificate still
+    // gates use per evaluation (surrogate_for checks the bound and domain).
+    if (surrogate != nullptr) model->attach_surrogate(std::move(surrogate));
   }
   return core::IncrementalEngine::restore(std::move(state), std::move(table),
                                           std::move(model));

@@ -37,7 +37,12 @@
 
 namespace tsv::io {
 
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+// Version 2: engine-state snapshots gained an optional embedded surrogate
+// section (has_surrogate byte + coefficients/certificate), so warm starts
+// skip the ~40 ms fit as well as the table builds. Version-1 files are
+// rejected with a clear mismatch error; snapshots are ephemeral caches, so
+// re-saving is the upgrade path.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 enum class SnapshotKind : std::uint32_t {
   kRadialTable = 1,
@@ -106,9 +111,11 @@ tsvlib::Placement load_placement(const std::string& path);
 
 /// Saves the full warm state of an engine: placement slots, options, both
 /// accumulated fields, the Stage-I radial table, the Stage-II model
-/// characterization settings (k_hat + response options), and every cached
-/// pair table. Requires the engine's single-TSV field to be a
-/// RadialStressTable (throws std::invalid_argument otherwise).
+/// characterization settings (k_hat + response options), every cached
+/// pair table, and — when one is attached to the model — the fitted
+/// certified surrogate (bitwise, certificate included). Requires the
+/// engine's single-TSV field to be a RadialStressTable (throws
+/// std::invalid_argument otherwise).
 void save_engine_state(const std::string& path,
                        const core::IncrementalEngine& engine);
 

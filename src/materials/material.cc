@@ -11,5 +11,6 @@ Material copper() { return {"Cu", 110.0e3, 0.35, 17.0e-6}; }
 Material bcb() { return {"BCB", 3.0e3, 0.34, 40.0e-6}; }
 Material silicon_dioxide() { return {"SiO2", 71.0e3, 0.16, 0.5e-6}; }
 Material silicon() { return {"Si", 188.0e3, 0.28, 2.3e-6}; }
+Material cnt_fill() { return {"CNT", 100.0e3, 0.2, 1.0e-6}; }
 
 }  // namespace tsv::mat

@@ -43,6 +43,13 @@ Material bcb();
 Material silicon_dioxide();
 Material silicon();
 
+/// Bundle-effective carbon-nanotube via fill (arXiv:1601.04107): far stiffer
+/// axially than radially, but the radial/transverse bundle response that
+/// matters for in-plane stress is well approximated by E ~= 100 GPa,
+/// nu ~= 0.2, with a near-zero CTE (~1 ppm/K) — the low CTE is the reason
+/// CNT fill slashes thermal stress relative to copper.
+Material cnt_fill();
+
 /// Thermal loading of the anneal process: stress-free at anneal temperature,
 /// observed after cooling by delta_t (the paper uses delta_t = -250 K).
 struct ThermalLoad {

@@ -1,0 +1,137 @@
+#include "stats/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "numeric/check.h"
+
+namespace tsv::stats {
+
+namespace {
+
+// Purpose keys for the counter RNG streams; each sample consumes an
+// independent stream per concern so adding draws to one never shifts
+// another.
+constexpr std::uint64_t kSelect = 1;  ///< which TSVs to jitter
+constexpr std::uint64_t kJitter = 2;  ///< jitter displacement Gaussians
+constexpr std::uint64_t kScale = 3;   ///< thermal-load scale Gaussian
+
+// Standard normal via Box-Muller on two keyed draws. u1 is mapped into
+// (0, 1] so the log is finite.
+double gaussian(std::uint64_t seed, std::uint64_t sample,
+                std::uint64_t purpose, std::uint64_t lane) {
+  const double u1 = 1.0 - rng::to_unit(rng::draw(seed, sample, purpose, lane));
+  const double u2 = rng::to_unit(rng::draw(seed, sample, purpose, lane + 1));
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+}  // namespace
+
+std::vector<StructureCorner> material_corners(
+    const tsvlib::TsvStructure& nominal) {
+  const mat::Material fills[] = {mat::copper(), mat::cnt_fill()};
+  const mat::Material liners[] = {mat::bcb(), mat::silicon_dioxide()};
+  std::vector<StructureCorner> corners;
+  for (const auto& fill : fills)
+    for (const auto& liner : liners) {
+      tsvlib::TsvStructure s = nominal;
+      s.body = fill;
+      s.liner = liner;
+      corners.push_back({fill.name + "_" + liner.name, s});
+    }
+  return corners;
+}
+
+std::vector<StructureCorner> geometry_corners(
+    const tsvlib::TsvStructure& nominal, double radius_delta,
+    double liner_delta) {
+  TSV_REQUIRE(nominal.body_radius > radius_delta,
+              "radius delta larger than the body radius");
+  TSV_REQUIRE(nominal.liner_thickness > liner_delta,
+              "liner delta larger than the liner thickness");
+  std::vector<StructureCorner> corners;
+  corners.push_back({"nominal", nominal});
+  for (const double sr : {-1.0, 1.0})
+    for (const double sl : {-1.0, 1.0}) {
+      tsvlib::TsvStructure s = nominal;
+      s.body_radius = nominal.body_radius + sr * radius_delta;
+      s.liner_thickness = nominal.liner_thickness + sl * liner_delta;
+      corners.push_back(
+          {std::string("R") + (sr > 0 ? "+" : "-") + "t" + (sl > 0 ? "+" : "-"),
+           s});
+    }
+  return corners;
+}
+
+VariationSampler::VariationSampler(const tsvlib::Placement& nominal,
+                                   const VariationSpec& spec)
+    : nominal_(nominal.centers()), spec_(spec) {
+  TSV_REQUIRE(spec_.jitter_tsvs <= nominal_.size(),
+              "jitter_tsvs exceeds the placement size");
+  TSV_REQUIRE(spec_.cte_sigma >= 0.0 && spec_.cte_sigma * 3.0 < 1.0,
+              "cte_sigma must keep the 3-sigma field scale positive");
+  if (spec_.jitter_tsvs > 0 && nominal_.size() > 1) {
+    const double slack =
+        nominal.min_pitch() - 2.0 * nominal.structure().outer_radius();
+    TSV_REQUIRE(slack > 0.0,
+                "nominal placement has no pitch slack to jitter within");
+    max_disp_ = 0.45 * slack;
+  }
+}
+
+SampleRealization VariationSampler::realize(std::size_t sample_index) const {
+  SampleRealization r;
+  r.sample_index = sample_index;
+  const std::uint64_t seed = spec_.seed;
+  const auto sample = static_cast<std::uint64_t>(sample_index);
+
+  // Jittered subset: partial Fisher-Yates over the id range, then sorted so
+  // the edit batch (and hence the serial engine apply) has one fixed order.
+  const std::size_t n = nominal_.size();
+  const std::size_t k = std::min(spec_.jitter_tsvs, n);
+  if (k > 0) {
+    std::vector<std::uint32_t> ids(n);
+    std::iota(ids.begin(), ids.end(), 0u);
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::uint64_t u = rng::draw(seed, sample, kSelect, i);
+      const std::size_t j = i + static_cast<std::size_t>(u % (n - i));
+      std::swap(ids[i], ids[j]);
+    }
+    ids.resize(k);
+    std::sort(ids.begin(), ids.end());
+    r.jittered_ids = std::move(ids);
+
+    r.jittered_centers.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::uint32_t id = r.jittered_ids[i];
+      double dx = spec_.jitter_sigma *
+                  gaussian(seed, sample, kJitter, 4 * std::uint64_t{id});
+      double dy = spec_.jitter_sigma *
+                  gaussian(seed, sample, kJitter, 4 * std::uint64_t{id} + 2);
+      const double mag = std::hypot(dx, dy);
+      if (mag > max_disp_ && mag > 0.0) {
+        const double s = max_disp_ / mag;
+        dx *= s;
+        dy *= s;
+      }
+      const geo::Point c = nominal_[id];
+      r.jittered_centers.push_back({c.x + dx, c.y + dy});
+    }
+  }
+
+  const double z = std::clamp(gaussian(seed, sample, kScale, 0), -3.0, 3.0);
+  r.field_scale = 1.0 + spec_.cte_sigma * z;
+  return r;
+}
+
+std::vector<geo::Point> VariationSampler::realized_centers(
+    const SampleRealization& r) const {
+  std::vector<geo::Point> centers = nominal_;
+  for (std::size_t i = 0; i < r.jittered_ids.size(); ++i)
+    centers[r.jittered_ids[i]] = r.jittered_centers[i];
+  return centers;
+}
+
+}  // namespace tsv::stats

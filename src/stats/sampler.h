@@ -1,0 +1,123 @@
+#pragma once
+// Seeded process-variation sampler: turns a sample index into a concrete
+// realization (placement jitter + thermal-load scale) as a *pure function*
+// of (seed, sample index). The RNG is counter-based (SplitMix64 keyed on
+// seed/sample/purpose/lane), so sample k's realization never depends on how
+// many samples were drawn before it or on which thread asks — the brute
+// force reference in the tests regenerates bit-identical realizations.
+//
+// Structure variation (TSV radius, liner thickness, liner/fill material,
+// CTE of the materials) cannot be realized as a placement edit — it changes
+// the single-TSV characterization itself — so it is modeled as
+// design-of-experiments *corners*: each StructureCorner gets its own
+// characterized resident engine, and the Monte Carlo jitter/CTE sweep runs
+// per corner. Thermal-load (CTE·ΔT) variation is exact as a per-sample
+// scalar on the stress field, since the framework is linear thermoelastic.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/point.h"
+#include "tsv/placement.h"
+#include "tsv/structure.h"
+
+namespace tsv::stats {
+
+/// One design-of-experiments corner: a named TSV structure variant.
+struct StructureCorner {
+  std::string name;
+  tsvlib::TsvStructure structure;
+};
+
+/// Monte Carlo sweep specification.
+struct VariationSpec {
+  std::uint64_t seed = 1;
+  std::size_t samples = 128;
+  /// TSVs jittered per sample. Jittering a sparse subset keeps a sample an
+  /// O(subset) edit batch against the resident engine; jittering every TSV
+  /// would touch every pair twice and cost more than a full recompute.
+  std::size_t jitter_tsvs = 8;
+  double jitter_sigma = 0.5;  ///< um, per-axis Gaussian placement jitter
+  /// Relative sigma of the thermal-load scale (CTE / ΔT variation); the
+  /// per-sample field scale is 1 + cte_sigma * z with z clamped to ±3.
+  double cte_sigma = 0.05;
+  /// Structure corners to sweep; empty means nominal only.
+  std::vector<StructureCorner> corners;
+};
+
+/// {Cu, CNT fill} x {BCB, SiO2 liner} material corners around `nominal`
+/// (arXiv:1601.04107 motivates CNT fill; the paper's Appendix A.2 the SiO2
+/// liner).
+std::vector<StructureCorner> material_corners(
+    const tsvlib::TsvStructure& nominal);
+
+/// +/- radius and liner-thickness process corners around `nominal`.
+std::vector<StructureCorner> geometry_corners(
+    const tsvlib::TsvStructure& nominal, double radius_delta,
+    double liner_delta);
+
+/// One realized sample: the jittered subset (ids ascending, centers
+/// parallel) and the scalar field multiplier.
+struct SampleRealization {
+  std::size_t sample_index = 0;
+  std::vector<std::uint32_t> jittered_ids;
+  std::vector<geo::Point> jittered_centers;
+  double field_scale = 1.0;
+};
+
+class VariationSampler {
+ public:
+  /// The nominal placement must satisfy min_pitch > 2 R'; jitter
+  /// displacements are clamped to 0.45 * (min_pitch - 2 R') so every
+  /// realization keeps all pitches above the TSV diameter (no rejection
+  /// sampling, hence no cross-sample coupling).
+  VariationSampler(const tsvlib::Placement& nominal, const VariationSpec& spec);
+
+  const VariationSpec& spec() const { return spec_; }
+  const std::vector<geo::Point>& nominal_centers() const { return nominal_; }
+  /// The displacement clamp radius (um).
+  double max_displacement() const { return max_disp_; }
+
+  /// Pure function of (spec().seed, sample_index).
+  SampleRealization realize(std::size_t sample_index) const;
+
+  /// Materializes the full center list of a realization (nominal centers
+  /// with the jittered subset replaced) — what a from-scratch evaluation of
+  /// the sample would see.
+  std::vector<geo::Point> realized_centers(const SampleRealization& r) const;
+
+ private:
+  std::vector<geo::Point> nominal_;
+  VariationSpec spec_;
+  double max_disp_ = 0.0;
+};
+
+namespace rng {
+
+/// SplitMix64 output function — the counter-based generator under the
+/// sampler. Stateless: callers derive streams by keying the counter.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Keyed counter draw: uniform 64-bit for (seed, sample, purpose, lane).
+inline std::uint64_t draw(std::uint64_t seed, std::uint64_t sample,
+                          std::uint64_t purpose, std::uint64_t lane) {
+  std::uint64_t x = splitmix64(seed);
+  x = splitmix64(x ^ splitmix64(sample));
+  x = splitmix64(x ^ (purpose * 0x2545f4914f6cdd1dULL));
+  return splitmix64(x ^ lane);
+}
+
+/// Uniform double in [0, 1) from 53 bits.
+inline double to_unit(std::uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace rng
+
+}  // namespace tsv::stats

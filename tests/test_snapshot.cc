@@ -170,6 +170,71 @@ TEST(Snapshot, EngineStateRoundTripsBitwiseAndStaysEditable) {
                             sizeof(num::SymTensor2)), 0);
 }
 
+TEST(Snapshot, EngineStateEmbedsTheFittedSurrogate) {
+  const std::string path = temp_path("engine_sur.snap");
+  const tsvlib::Placement placement = tsvlib::make_five_cross(kS, 12.0);
+  const geo::SampleGrid grid =
+      geo::SampleGrid::with_spacing(placement.bounding_box().expanded(25.0),
+                                    4.0);
+  const auto table =
+      std::make_shared<const core::RadialStressTable>(make_table());
+  const auto model = make_model();
+  const auto fitted = std::make_shared<const ana::PairSurrogate>(
+      ana::PairSurrogate::fit(*model));
+  model->attach_surrogate(fitted);
+  core::IncrementalEngine engine(placement, grid, table, model, {});
+  save_engine_state(path, engine);
+
+  // The warm start gets the surrogate back without a refit…
+  const core::IncrementalEngine warmed = load_engine_state(path);
+  ASSERT_NE(warmed.model(), nullptr);
+  const auto reloaded = warmed.model()->surrogate();
+  ASSERT_NE(reloaded, nullptr);
+
+  // …bitwise identical: certificate fields and evaluated fields alike.
+  const ana::SurrogateCertificate& ca = fitted->certificate();
+  const ana::SurrogateCertificate& cb = reloaded->certificate();
+  EXPECT_EQ(cb.pitch_min, ca.pitch_min);
+  EXPECT_EQ(cb.pitch_max, ca.pitch_max);
+  EXPECT_EQ(cb.r_max, ca.r_max);
+  EXPECT_EQ(cb.coefficient_count, ca.coefficient_count);
+  EXPECT_EQ(cb.sample_count, ca.sample_count);
+  EXPECT_EQ(cb.field_scale, ca.field_scale);
+  EXPECT_EQ(cb.max_abs_error, ca.max_abs_error);
+  EXPECT_EQ(cb.certified_rel_bound, ca.certified_rel_bound);
+  std::vector<geo::Point> pts;
+  for (double x = -20.0; x <= 20.0; x += 3.7)
+    for (double y = -20.0; y <= 20.0; y += 4.3) pts.push_back({x, y});
+  const geo::Point victim{0.0, 0.0}, aggressor{12.7, 3.1};
+  std::vector<num::SymTensor2> want(pts.size()), got(pts.size());
+  fitted->accumulate(victim, aggressor, pts.data(), pts.size(), want.data());
+  reloaded->accumulate(victim, aggressor, pts.data(), pts.size(), got.data());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(got[i].s11, want[i].s11) << i;
+    EXPECT_EQ(got[i].s22, want[i].s22) << i;
+    EXPECT_EQ(got[i].s12, want[i].s12) << i;
+  }
+
+  // The reloaded certificate still gates use exactly like the fitted one.
+  EXPECT_EQ(warmed.model()->surrogate_for(1e-6, 25.0), reloaded);
+  EXPECT_EQ(warmed.model()->surrogate_for(0.5 * cb.certified_rel_bound, 25.0),
+            nullptr);
+  EXPECT_EQ(warmed.model()->surrogate_for(1e-6, 25.5), nullptr);
+
+  // save -> load -> save stays byte-identical with the embedded surrogate.
+  const std::string path2 = temp_path("engine_sur2.snap");
+  save_engine_state(path2, warmed);
+  EXPECT_EQ(read_bytes(path), read_bytes(path2));
+
+  // A surrogate-free engine still round-trips (has_surrogate = 0).
+  const auto plain_model = make_model();
+  core::IncrementalEngine plain(placement, grid, table, plain_model, {});
+  const std::string path3 = temp_path("engine_plain.snap");
+  save_engine_state(path3, plain);
+  const core::IncrementalEngine warmed_plain = load_engine_state(path3);
+  EXPECT_EQ(warmed_plain.model()->surrogate(), nullptr);
+}
+
 TEST(Snapshot, InfoReportsValidatedHeader) {
   const std::string path = temp_path("info.snap");
   const tsvlib::Placement p(kS, {{0.0, 0.0}});

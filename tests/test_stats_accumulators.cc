@@ -1,0 +1,204 @@
+// The streaming statistic engines under src/stats: every engine must match
+// its direct (store-all-samples) counterpart, and every merge must be
+// equivalent to one sequential stream — that equivalence is what lets the
+// variation engine parallelize over points without changing any result.
+
+#include "stats/accumulators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace tsv::stats {
+namespace {
+
+/// Deterministic pseudo-random doubles in (lo, hi) without <random> (the
+/// exact stream does not matter, only that both sides see the same one).
+std::vector<double> test_values(std::size_t n, double lo, double hi,
+                                std::uint64_t seed) {
+  std::vector<double> v(n);
+  std::uint64_t x = seed;
+  for (double& out : v) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    out = lo + (hi - lo) * static_cast<double>(x >> 11) * 0x1.0p-53;
+  }
+  return v;
+}
+
+TEST(DescriptiveAccumulator, MatchesDirectMoments) {
+  const std::vector<double> v = test_values(257, -3.0, 9.0, 42);
+  DescriptiveAccumulator acc;
+  for (double x : v) acc.add(x);
+
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  const double mean = sum / static_cast<double>(v.size());
+  double ss = 0.0;
+  for (double x : v) ss += (x - mean) * (x - mean);
+  const double var = ss / static_cast<double>(v.size());  // population
+
+  EXPECT_EQ(acc.count(), v.size());
+  EXPECT_NEAR(acc.mean(), mean, 1e-12);
+  EXPECT_NEAR(acc.variance(), var, 1e-12);
+  EXPECT_NEAR(acc.stddev(), std::sqrt(var), 1e-12);
+  EXPECT_EQ(acc.min(), *std::min_element(v.begin(), v.end()));
+  EXPECT_EQ(acc.max(), *std::max_element(v.begin(), v.end()));
+}
+
+TEST(DescriptiveAccumulator, EmptyAndSingleton) {
+  DescriptiveAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.variance(), 0.0);
+  acc.add(7.5);
+  EXPECT_EQ(acc.mean(), 7.5);
+  EXPECT_EQ(acc.variance(), 0.0);
+  EXPECT_EQ(acc.min(), 7.5);
+  EXPECT_EQ(acc.max(), 7.5);
+}
+
+TEST(DescriptiveAccumulator, MergeEquivalentToSequential) {
+  const std::vector<double> v = test_values(500, 0.0, 100.0, 7);
+  for (std::size_t split : {std::size_t{0}, std::size_t{1}, std::size_t{250},
+                            std::size_t{499}, std::size_t{500}}) {
+    DescriptiveAccumulator a, b, whole;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      (i < split ? a : b).add(v[i]);
+      whole.add(v[i]);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), whole.variance(),
+                1e-12 * std::max(1.0, whole.variance()));
+    EXPECT_EQ(a.min(), whole.min());
+    EXPECT_EQ(a.max(), whole.max());
+  }
+}
+
+TEST(DescriptiveField, PointsAreIndependent) {
+  DescriptiveField field(3);
+  field.add(0, 1.0);
+  field.add(0, 3.0);
+  field.add(2, 10.0);
+  EXPECT_EQ(field.count(0), 2u);
+  EXPECT_EQ(field.count(1), 0u);
+  EXPECT_EQ(field.count(2), 1u);
+  EXPECT_EQ(field.mean(0), 2.0);
+  EXPECT_EQ(field.variance(0), 1.0);  // population: ((1)^2 + (1)^2) / 2
+  EXPECT_EQ(field.mean(2), 10.0);
+  EXPECT_EQ(field.means()[0], 2.0);
+  EXPECT_EQ(field.stddevs()[0], 1.0);
+}
+
+TEST(QuantileField, RecoversQuantilesWithinBinResolution) {
+  // Log-spaced bins over [1, 1000] with 96 bins: one bin spans a factor of
+  // 1000^(1/96) ~ 7.5%, so a recovered quantile is within that of the true
+  // one.
+  QuantileField q(1, 1.0, 1000.0, 96);
+  const std::vector<double> v = test_values(4000, 5.0, 500.0, 99);
+  for (double x : v) q.add(0, x);
+
+  std::vector<double> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (double level : {0.05, 0.25, 0.5, 0.75, 0.95}) {
+    const auto rank = static_cast<std::size_t>(
+        std::ceil(level * static_cast<double>(v.size())));
+    const double want = sorted[std::min(rank, v.size()) - 1];
+    const double got = q.quantile(0, level);
+    EXPECT_NEAR(got, want, 0.08 * want) << "q=" << level;
+  }
+  // Monotone in the level.
+  EXPECT_LE(q.quantile(0, 0.1), q.quantile(0, 0.9));
+}
+
+TEST(QuantileField, ClampsOutOfRangeValues) {
+  QuantileField q(1, 1.0, 100.0, 16);
+  q.add(0, 0.001);  // below lo -> first bin
+  q.add(0, 1e9);    // above hi -> last bin
+  EXPECT_LE(q.quantile(0, 0.5), 2.0);
+  EXPECT_GE(q.quantile(0, 1.0), 90.0);
+  // No samples at another point -> 0.
+  QuantileField empty(2, 1.0, 100.0, 16);
+  EXPECT_EQ(empty.quantile(1, 0.5), 0.0);
+}
+
+TEST(ExceedanceField, CountsAreExact) {
+  ExceedanceField e(2, {10.0, 50.0});
+  for (double x : {5.0, 15.0, 55.0, 10.0}) e.add(0, x);  // 10.0 is NOT >10
+  EXPECT_EQ(e.count(0, 0), 2u);
+  EXPECT_EQ(e.count(0, 1), 1u);
+  EXPECT_EQ(e.probability(0, 0), 0.5);
+  EXPECT_EQ(e.probability(0, 1), 0.25);
+  EXPECT_EQ(e.probability(1, 0), 0.0);  // no samples at point 1
+  EXPECT_EQ(e.probabilities(0)[0], 0.5);
+}
+
+TEST(BivariateAccumulator, ExactLineRecovered) {
+  BivariateAccumulator biv;
+  for (double x = -4.0; x <= 4.0; x += 0.5) biv.add(x, 2.0 * x + 1.0);
+  const OlsFit fit = biv.ols();
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r, 1.0, 1e-12);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+  EXPECT_NEAR(biv.correlation(), 1.0, 1e-12);
+}
+
+TEST(BivariateAccumulator, MatchesClosedFormOnNoisyData) {
+  const std::vector<double> xs = test_values(300, 0.0, 10.0, 3);
+  const std::vector<double> ys = test_values(300, -5.0, 5.0, 4);
+  BivariateAccumulator biv;
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  const auto n = static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double y = 0.7 * xs[i] + ys[i];
+    biv.add(xs[i], y);
+    sx += xs[i];
+    sy += y;
+    sxx += xs[i] * xs[i];
+    syy += y * y;
+    sxy += xs[i] * y;
+  }
+  const double cov = sxy / n - (sx / n) * (sy / n);
+  const double varx = sxx / n - (sx / n) * (sx / n);
+  const double vary = syy / n - (sy / n) * (sy / n);
+  const OlsFit fit = biv.ols();
+  ASSERT_TRUE(fit.ok);
+  EXPECT_NEAR(fit.slope, cov / varx, 1e-9);
+  EXPECT_NEAR(fit.intercept, sy / n - (cov / varx) * (sx / n), 1e-9);
+  EXPECT_NEAR(fit.r, cov / std::sqrt(varx * vary), 1e-9);
+  EXPECT_NEAR(fit.r2, fit.r * fit.r, 1e-12);
+}
+
+TEST(BivariateAccumulator, DegenerateInputsAreFlagged) {
+  BivariateAccumulator biv;
+  EXPECT_FALSE(biv.ols().ok);  // n = 0
+  biv.add(1.0, 2.0);
+  EXPECT_FALSE(biv.ols().ok);  // n = 1
+  biv.add(1.0, 5.0);           // x degenerate
+  EXPECT_FALSE(biv.ols().ok);
+  EXPECT_EQ(biv.correlation(), 0.0);
+}
+
+TEST(BivariateAccumulator, MergeEquivalentToSequential) {
+  const std::vector<double> xs = test_values(200, 0.0, 10.0, 11);
+  const std::vector<double> ys = test_values(200, 0.0, 10.0, 12);
+  BivariateAccumulator a, b, whole;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    (i < 77 ? a : b).add(xs[i], ys[i]);
+    whole.add(xs[i], ys[i]);
+  }
+  a.merge(b);
+  // Merging an empty accumulator is the identity.
+  a.merge(BivariateAccumulator{});
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.ols().slope, whole.ols().slope, 1e-12);
+  EXPECT_NEAR(a.ols().intercept, whole.ols().intercept, 1e-12);
+  EXPECT_NEAR(a.correlation(), whole.correlation(), 1e-12);
+}
+
+}  // namespace
+}  // namespace tsv::stats

@@ -13,12 +13,23 @@ committed baseline (tools/kernel_baseline.json) and fails when
     for stage2_surrogate it is surrogate-batch vs Stage II *table* batch
     (the certified fast path's advertised >= 2.5x advantage).
 
+With --variation, the guard additionally checks bench_variation's
+results/variation.jsonl against the baseline's "variation" section: at the
+baseline TSV count, a Monte Carlo variation sample streamed through the
+resident incremental engine must stay at least `min_sample_speedup` times
+cheaper than a cold full recompute (speedup_cold in the row — fresh
+characterization + engine build per sample). Host-speed independent, like
+the batch-speedup floors.
+
 Usage:
   tools/check_kernel_perf.py <kernels.jsonl> <baseline.json>
+  tools/check_kernel_perf.py <kernels.jsonl> <baseline.json> \
+      --variation results/variation.jsonl
   tools/check_kernel_perf.py <kernels.jsonl> <baseline.json> --write-baseline
 
 --write-baseline refreshes the committed timings from the given run
-(keeping the existing speedup floors) instead of checking.
+(keeping the existing speedup floors and the variation section) instead of
+checking.
 """
 
 import argparse
@@ -59,10 +70,49 @@ def write_baseline(rows, baseline_path, old, max_regression):
         spec["min_speedup"] = old_spec.get(
             "min_speedup", DEFAULT_MIN_SPEEDUP.get(kernel, 1.0))
     data = {"max_regression": max_regression, "kernels": kernels}
+    if "variation" in old:
+        data["variation"] = old["variation"]
     with open(baseline_path, "w", encoding="utf-8") as f:
         json.dump(data, f, indent=2)
         f.write("\n")
     print(f"wrote {baseline_path}")
+
+
+def latest_variation_row(path, min_tsvs):
+    """Last bench_variation row at >= min_tsvs TSVs, or None."""
+    latest = None
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            if row.get("bench") != "variation":
+                continue
+            if row.get("tsvs", 0) >= min_tsvs:
+                latest = row
+    return latest
+
+
+def check_variation(path, baseline):
+    spec = baseline.get("variation")
+    if spec is None:
+        return ["baseline has no 'variation' section (add one or drop "
+                "--variation)"]
+    tsvs = spec.get("tsvs", 1000)
+    floor = spec.get("min_sample_speedup", 50.0)
+    row = latest_variation_row(path, tsvs)
+    if row is None:
+        return [f"variation: no row with tsvs >= {tsvs} in {path}"]
+    speedup = row.get("speedup_cold", 0.0)
+    verdict = "ok" if speedup >= floor else "BELOW FLOOR"
+    print(f"variation @ {row['tsvs']} TSVs: per-sample speedup "
+          f"{speedup:.1f}x vs cold full recompute "
+          f"(floor {floor:.1f}x) {verdict}")
+    if speedup < floor:
+        return [f"variation: per-sample speedup {speedup:.1f}x at "
+                f"{row['tsvs']} TSVs is below the floor {floor:.1f}x"]
+    return []
 
 
 def check(rows, baseline):
@@ -108,6 +158,9 @@ def main():
     parser.add_argument("baseline", help="committed baseline json")
     parser.add_argument("--write-baseline", action="store_true",
                         help="refresh the baseline from this run's rows")
+    parser.add_argument("--variation", metavar="PATH", default=None,
+                        help="also check bench_variation's variation.jsonl "
+                             "against the baseline's per-sample floor")
     parser.add_argument("--max-regression", type=float, default=None,
                         help="override the baseline's allowed fraction")
     args = parser.parse_args()
@@ -136,6 +189,8 @@ def main():
         return 0
 
     failures = check(rows, baseline)
+    if args.variation is not None:
+        failures += check_variation(args.variation, baseline)
     if failures:
         print("\nkernel perf guard FAILED:", file=sys.stderr)
         for f in failures:

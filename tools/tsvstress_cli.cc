@@ -1,7 +1,8 @@
 // tsvstress command-line front end.
 //
-//   tsvstress_cli evaluate <placement.tsv> [options]   one-shot field eval
-//   tsvstress_cli eco      <placement.tsv> [options]   incremental edits
+//   tsvstress_cli evaluate  <placement.tsv> [options]   one-shot field eval
+//   tsvstress_cli eco       <placement.tsv> [options]   incremental edits
+//   tsvstress_cli variation <placement.tsv> [options]   Monte Carlo sweep
 //   tsvstress_cli snapshot save <placement.tsv> [options]
 //   tsvstress_cli snapshot info <file.snap>
 //
@@ -24,6 +25,13 @@
 //                     delete it on success
 //   --checkpoint-every=N   checkpoint after every N computed tiles (default
 //                     16, with --checkpoint)
+//   --surrogate       Stage II via the certified Chebyshev surrogate (fits
+//                     and certifies one per process, ~40 ms)
+//   --surrogate-file=FILE  persist the fitted surrogate: load FILE when it
+//                     holds a valid surrogate snapshot (skipping the fit),
+//                     fit + save it otherwise. The file must come from the
+//                     same TSV structure; the embedded certificate still
+//                     gates use per evaluation.
 //
 // Exit codes (see src/core/error.h): 0 success, 2 invalid input, 3 numeric
 // failure (all solver backends failed), 4 on-disk corruption, 5 resource
@@ -45,9 +53,25 @@
 //                         only with --lookup)
 //   --threads=N           threads for the cold build / --verify recompute
 //
+// variation options (besides --spacing/--margin/--lookup/--quant/
+// --surrogate/--threads/--out):
+//   --samples=N       Monte Carlo samples per corner (default 128)
+//   --seed=S          sampler seed (default 1)
+//   --jitter-tsvs=K   TSVs jittered per sample (default 8)
+//   --jitter-sigma=X  per-axis placement jitter sigma, um (default 0.5)
+//   --cte-sigma=X     relative sigma of the thermal-load scale (default 0.05)
+//   --corners=MODE    none | materials ({Cu,CNT} x {BCB,SiO2}) | geometry
+//                     (+/- radius and liner corners); default none
+// Per corner the sweep streams every sample through a resident incremental
+// engine (an edit batch, never a full rebuild) and writes a per-point CSV
+// (mean/sigma/quantiles/exceedance); multiple corners write
+// <out-stem>.<corner>.csv.
+//
 // snapshot save: builds the engine (same knobs as eco) and writes the
 // engine-state snapshot to --out=FILE (default engine.snap). A later
-// `eco --snapshot=FILE` then skips characterization and evaluation.
+// `eco --snapshot=FILE` then skips characterization and evaluation —
+// including the surrogate fit when the engine had one attached (the
+// snapshot embeds it, certificate and all).
 // snapshot info: prints the header of any snapshot file (kind, version,
 // payload size, checksum) after validating its checksum.
 //
@@ -73,6 +97,7 @@
 #include "core/tiled_evaluator.h"
 #include "io/csv.h"
 #include "io/snapshot.h"
+#include "stats/variation_engine.h"
 #include "tsv/placement_io.h"
 
 namespace {
@@ -101,6 +126,18 @@ struct CommonOptions {
   core::StressMeasure measure = core::StressMeasure::kVonMises;
   std::string checkpoint_path;        ///< --checkpoint= (empty: disabled)
   std::size_t checkpoint_every = 16;  ///< --checkpoint-every=
+  bool surrogate = false;             ///< --surrogate
+  std::string surrogate_file;         ///< --surrogate-file= (empty: none)
+};
+
+/// variation-specific flags.
+struct VariationCliOptions {
+  std::size_t samples = 128;
+  std::uint64_t seed = 1;
+  std::size_t jitter_tsvs = 8;
+  double jitter_sigma = 0.5;
+  double cte_sigma = 0.05;
+  std::string corners = "none";  ///< none | materials | geometry
 };
 
 /// eco-specific flags (also parsed by `snapshot save` where they apply).
@@ -150,6 +187,10 @@ bool parse_flag(const std::string& arg, CommonOptions& c, EcoOptions& e) {
     e.moves = std::stoul(value("--moves="));
   } else if (arg.rfind("--seed=", 0) == 0) {
     e.seed = std::stoull(value("--seed="));
+  } else if (arg == "--surrogate") {
+    c.surrogate = true;
+  } else if (arg.rfind("--surrogate-file=", 0) == 0) {
+    c.surrogate_file = value("--surrogate-file=");
   } else {
     return false;
   }
@@ -169,6 +210,34 @@ void parse_args(const std::vector<std::string>& args, CommonOptions& c,
                                   usage);
     }
   }
+}
+
+/// Applies --surrogate / --surrogate-file to a characterized model: reuse
+/// the snapshot when it loads cleanly, otherwise fit (and persist the fit
+/// when a file was named). The attached certificate gates use either way.
+void setup_surrogate(const ana::InteractiveStressModel& model,
+                     const CommonOptions& c) {
+  if (!c.surrogate && c.surrogate_file.empty()) return;
+  if (!c.surrogate_file.empty()) {
+    if (std::optional<ana::PairSurrogate> loaded =
+            io::try_load_surrogate(c.surrogate_file)) {
+      std::printf("surrogate: reused %s (certified rel bound %.3g)\n",
+                  c.surrogate_file.c_str(),
+                  loaded->certificate().certified_rel_bound);
+      model.attach_surrogate(
+          std::make_shared<const ana::PairSurrogate>(std::move(*loaded)));
+      return;
+    }
+  }
+  auto fitted = std::make_shared<const ana::PairSurrogate>(
+      ana::PairSurrogate::fit(model));
+  std::printf("surrogate: fitted (certified rel bound %.3g)\n",
+              fitted->certificate().certified_rel_bound);
+  if (!c.surrogate_file.empty()) {
+    io::save_surrogate(c.surrogate_file, *fitted);
+    std::printf("surrogate: saved to %s\n", c.surrogate_file.c_str());
+  }
+  model.attach_surrogate(std::move(fitted));
 }
 
 void write_field_csv(const std::string& out_path,
@@ -211,7 +280,20 @@ int run_evaluate(const std::vector<std::string>& args) {
   options.enable_interactive = !c.ls_only;
   options.stage2.use_lookup_table = c.lookup;
   options.num_threads = c.threads;
-  const core::StressFramework framework(placement, options);
+
+  // With a surrogate request the model is built here so the surrogate can
+  // be attached (loaded or fitted) before the framework wraps it.
+  std::shared_ptr<const ana::InteractiveStressModel> model;
+  if (!c.ls_only && (c.surrogate || !c.surrogate_file.empty())) {
+    const ana::SingleTsvModel single(placement.structure(), options.load);
+    model = std::make_shared<const ana::InteractiveStressModel>(
+        std::make_shared<const ana::InclusionResponse>(placement.structure()),
+        single.k_hat());
+    setup_surrogate(*model, c);
+  }
+  const core::StressFramework framework =
+      model != nullptr ? core::StressFramework(placement, model, options)
+                       : core::StressFramework(placement, options);
 
   const geo::Box roi = placement.bounding_box().expanded(c.margin);
   const geo::SampleGrid grid = geo::SampleGrid::with_spacing(roi, c.spacing);
@@ -306,6 +388,8 @@ core::IncrementalEngine build_engine(const CommonOptions& c) {
         std::make_shared<const ana::InclusionResponse>(placement.structure()),
         single.k_hat());
 
+  if (model != nullptr) setup_surrogate(*model, c);
+
   core::IncrementalOptions opt;
   opt.enable_interactive = !c.ls_only;
   opt.stage2.use_lookup_table = c.lookup;
@@ -333,10 +417,22 @@ int run_eco(const std::vector<std::string>& args) {
   core::IncrementalEngine engine =
       e.snapshot_path.empty() ? build_engine(c)
                               : io::load_engine_state(e.snapshot_path);
-  if (!e.snapshot_path.empty())
+  if (!e.snapshot_path.empty()) {
     std::printf("warm start from %s: %zu TSVs, %zu points\n",
                 e.snapshot_path.c_str(), engine.active_count(),
                 engine.grid().size());
+    const std::shared_ptr<const ana::InteractiveStressModel> model =
+        engine.model();
+    if (model != nullptr) {
+      if (const auto surrogate = model->surrogate())
+        // Embedded in the snapshot — the refit is skipped entirely.
+        std::printf("surrogate: reused from snapshot (certified rel bound "
+                    "%.3g)\n",
+                    surrogate->certificate().certified_rel_bound);
+      else
+        setup_surrogate(*model, c);
+    }
+  }
 
   if (!e.edits_path.empty()) {
     const core::Delta delta = read_edit_script(e.edits_path);
@@ -390,6 +486,161 @@ int run_eco(const std::vector<std::string>& args) {
   return 0;
 }
 
+// --- variation -----------------------------------------------------------
+
+bool parse_variation_flag(const std::string& arg, VariationCliOptions& v) {
+  const auto value = [&](const char* prefix) {
+    return arg.substr(std::strlen(prefix));
+  };
+  if (arg.rfind("--samples=", 0) == 0) {
+    v.samples = std::stoul(value("--samples="));
+  } else if (arg.rfind("--jitter-tsvs=", 0) == 0) {
+    v.jitter_tsvs = std::stoul(value("--jitter-tsvs="));
+  } else if (arg.rfind("--jitter-sigma=", 0) == 0) {
+    v.jitter_sigma = std::stod(value("--jitter-sigma="));
+  } else if (arg.rfind("--cte-sigma=", 0) == 0) {
+    v.cte_sigma = std::stod(value("--cte-sigma="));
+  } else if (arg.rfind("--corners=", 0) == 0) {
+    v.corners = value("--corners=");
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// Per-point statistics CSV of one corner result:
+/// x,y,mean,sigma,q<levels...>,p_gt_<thresholds...>.
+void write_variation_csv(const std::string& path,
+                         const geo::SampleGrid& grid,
+                         const stats::VariationOptions& options,
+                         const stats::CornerResult& res) {
+  io::CsvWriter csv(path);
+  std::vector<std::string> columns{"x", "y", "mean", "sigma"};
+  char buf[64];
+  for (const double q : options.quantiles) {
+    std::snprintf(buf, sizeof(buf), "q%02.0f", 100.0 * q);
+    columns.emplace_back(buf);
+  }
+  for (const double t : options.thresholds) {
+    std::snprintf(buf, sizeof(buf), "p_gt_%g", t);
+    columns.emplace_back(buf);
+  }
+  csv.header(columns);
+  std::vector<double> row(columns.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const geo::Point p = grid.point(i);
+    std::size_t col = 0;
+    row[col++] = p.x;
+    row[col++] = p.y;
+    row[col++] = res.mean[i];
+    row[col++] = res.sigma[i];
+    for (const auto& q : res.quantile) row[col++] = q[i];
+    for (const auto& ex : res.exceedance) row[col++] = ex[i];
+    csv.row(row);
+  }
+}
+
+int run_variation(const std::vector<std::string>& args) {
+  constexpr const char* kUsage =
+      "usage: tsvstress_cli variation <placement.tsv> [--samples=N] "
+      "[--seed=S] [--jitter-tsvs=K] [--jitter-sigma=X] [--cte-sigma=X] "
+      "[--corners=none|materials|geometry] [--surrogate] [--lookup] "
+      "[--quant=X] [--threads=N] [--spacing=X] [--margin=X] [--out=FILE]";
+  CommonOptions c;
+  EcoOptions e;
+  e.seed = 1;  // the sampler's documented default, not eco's move seed
+  VariationCliOptions v;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--", 0) == 0) {
+      if (!parse_variation_flag(arg, v) && !parse_flag(arg, c, e))
+        throw std::invalid_argument("unknown option: " + arg + "\n" + kUsage);
+    } else if (c.placement_path.empty()) {
+      c.placement_path = arg;
+    } else {
+      throw std::invalid_argument("unexpected argument: " + arg + "\n" +
+                                  kUsage);
+    }
+  }
+  if (c.placement_path.empty()) throw std::invalid_argument(kUsage);
+  if (c.out_path.empty()) c.out_path = "variation.csv";
+  v.seed = e.seed;
+
+  const tsvlib::Placement placement =
+      tsvlib::read_placement_file(c.placement_path);
+  placement.validate_no_overlap();
+  std::printf("placement: %zu TSVs, min pitch %.2f um\n", placement.size(),
+              placement.min_pitch());
+
+  stats::VariationSpec spec;
+  spec.seed = v.seed;
+  spec.samples = v.samples;
+  spec.jitter_tsvs = std::min(v.jitter_tsvs, placement.size());
+  spec.jitter_sigma = v.jitter_sigma;
+  spec.cte_sigma = v.cte_sigma;
+  if (v.corners == "materials") {
+    spec.corners = stats::material_corners(placement.structure());
+  } else if (v.corners == "geometry") {
+    spec.corners = stats::geometry_corners(placement.structure(), 0.25, 0.1);
+  } else if (v.corners != "none") {
+    throw std::invalid_argument("unknown --corners mode: " + v.corners +
+                                "\n" + kUsage);
+  }
+
+  stats::VariationOptions options;
+  options.engine.stage2.use_lookup_table = c.lookup;
+  options.engine.stage2.pitch_quant_step = c.quant_step;
+  options.engine.enable_interactive = !c.ls_only;
+  options.num_threads = c.threads;
+  options.fit_surrogate = c.surrogate && !c.ls_only;
+
+  const geo::Box roi = placement.bounding_box().expanded(c.margin);
+  const geo::SampleGrid grid = geo::SampleGrid::with_spacing(roi, c.spacing);
+  std::printf("grid: %zu x %zu points, spacing %.3g um; %zu samples, "
+              "jittering %zu TSVs per sample\n",
+              grid.nx(), grid.ny(), c.spacing, spec.samples,
+              spec.jitter_tsvs);
+
+  stats::VariationEngine engine(placement, grid, spec, options);
+  const std::vector<stats::CornerResult> results = engine.run();
+
+  for (const stats::CornerResult& res : results) {
+    const double ms_per_sample =
+        res.samples > 0
+            ? 1e3 * res.sample_seconds / static_cast<double>(res.samples)
+            : 0.0;
+    std::printf("corner %s: %zu samples in %.3f s (%.3g ms/sample, "
+                "build %.3f s)\n",
+                res.name.c_str(), res.samples, res.sample_seconds,
+                ms_per_sample, res.build_seconds);
+    std::printf("  peak von Mises: mean %.1f MPa, sigma %.2f, max %.1f\n",
+                res.sample_peak.mean(), res.sample_peak.stddev(),
+                res.sample_peak.max());
+    if (res.pitch_fit.ok)
+      std::printf("  pitch vs local peak: slope %.3f MPa/um, r %.3f "
+                  "(n=%llu)\n",
+                  res.pitch_fit.slope, res.pitch_fit.r,
+                  static_cast<unsigned long long>(res.pitch_fit.n));
+    std::printf("  statistical KOZ (P(vm>%g) >= %g): mean radius %.2f um, "
+                "worst %.2f um (tsv %zu), total area %.0f um^2\n",
+                options.koz_limit, options.koz_alpha, res.koz.mean_radius,
+                res.koz.worst_radius, res.koz.worst_tsv,
+                res.koz.total_area);
+
+    std::string out = c.out_path;
+    if (results.size() > 1) {
+      const std::size_t dot = out.rfind('.');
+      const std::string stem = dot == std::string::npos ? out
+                                                        : out.substr(0, dot);
+      const std::string ext =
+          dot == std::string::npos ? ".csv" : out.substr(dot);
+      out = stem + "." + res.name + ext;
+    }
+    write_variation_csv(out, grid, options, res);
+    std::printf("  wrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
 // --- snapshot ------------------------------------------------------------
 
 int run_snapshot(const std::vector<std::string>& args) {
@@ -433,7 +684,7 @@ int run_snapshot(const std::vector<std::string>& args) {
 
 int main(int argc, char** argv) {
   constexpr const char* kUsage =
-      "usage: tsvstress_cli <evaluate|eco|snapshot> ...\n"
+      "usage: tsvstress_cli <evaluate|eco|variation|snapshot> ...\n"
       "       tsvstress_cli <placement.tsv> [options]   (implicit evaluate)";
   try {
     std::vector<std::string> args(argv + 1, argv + argc);
@@ -442,6 +693,7 @@ int main(int argc, char** argv) {
     const std::vector<std::string> rest(args.begin() + 1, args.end());
     if (cmd == "evaluate") return run_evaluate(rest);
     if (cmd == "eco") return run_eco(rest);
+    if (cmd == "variation") return run_variation(rest);
     if (cmd == "snapshot") return run_snapshot(rest);
     // Flat invocation: first argument is the placement file.
     return run_evaluate(args);
