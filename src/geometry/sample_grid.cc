@@ -1,5 +1,6 @@
 #include "geometry/sample_grid.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace tsv::geo {
@@ -27,6 +28,42 @@ std::vector<Point> SampleGrid::points() const {
   for (std::size_t iy = 0; iy < ny_; ++iy)
     for (std::size_t ix = 0; ix < nx_; ++ix) out.push_back(point(ix, iy));
   return out;
+}
+
+std::size_t SampleGrid::nearest_index(const Point& p) const {
+  const auto snap = [](double v, double d, std::size_t n) {
+    if (d <= 0.0 || n <= 1) return std::size_t{0};
+    const double f = std::clamp(v / d, 0.0, static_cast<double>(n - 1));
+    return std::min(static_cast<std::size_t>(std::llround(f)), n - 1);
+  };
+  const std::size_t ix = snap(p.x - box_.lo.x, dx_, nx_);
+  const std::size_t iy = snap(p.y - box_.lo.y, dy_, ny_);
+  return iy * nx_ + ix;
+}
+
+double bilinear(const SampleGrid& grid, const std::vector<double>& field,
+                const Point& p) {
+  const Box& box = grid.box();
+  const double fx = grid.dx() > 0.0
+                        ? std::clamp((p.x - box.lo.x) / grid.dx(), 0.0,
+                                     static_cast<double>(grid.nx() - 1))
+                        : 0.0;
+  const double fy = grid.dy() > 0.0
+                        ? std::clamp((p.y - box.lo.y) / grid.dy(), 0.0,
+                                     static_cast<double>(grid.ny() - 1))
+                        : 0.0;
+  const auto ix = std::min(static_cast<std::size_t>(fx), grid.nx() - 1);
+  const auto iy = std::min(static_cast<std::size_t>(fy), grid.ny() - 1);
+  const std::size_t ix1 = std::min(ix + 1, grid.nx() - 1);
+  const std::size_t iy1 = std::min(iy + 1, grid.ny() - 1);
+  const double tx = fx - static_cast<double>(ix);
+  const double ty = fy - static_cast<double>(iy);
+  const double f00 = field[iy * grid.nx() + ix];
+  const double f10 = field[iy * grid.nx() + ix1];
+  const double f01 = field[iy1 * grid.nx() + ix];
+  const double f11 = field[iy1 * grid.nx() + ix1];
+  return (1.0 - ty) * ((1.0 - tx) * f00 + tx * f10) +
+         ty * ((1.0 - tx) * f01 + tx * f11);
 }
 
 }  // namespace tsv::geo

@@ -40,6 +40,11 @@ class SampleGrid {
   /// Materializes all points (row-major, y outer).
   std::vector<Point> points() const;
 
+  /// Row-major index of the grid point nearest to `p` (clamped to the box),
+  /// so "evaluate at (x, y)" snaps to the point a full-grid evaluation
+  /// produced — exact field values, no interpolation.
+  std::size_t nearest_index(const Point& p) const;
+
  private:
   Box box_;
   std::size_t nx_ = 1;
@@ -47,5 +52,12 @@ class SampleGrid {
   double dx_ = 0.0;
   double dy_ = 0.0;
 };
+
+/// Bilinear interpolation of a per-point scalar field (indexed like
+/// grid.points()) at an arbitrary point, clamped to the grid box so probes
+/// just outside the halo stay finite. Shared by the variation engine's KOZ
+/// exceedance maps and the server's contour endpoint.
+double bilinear(const SampleGrid& grid, const std::vector<double>& field,
+                const Point& p);
 
 }  // namespace tsv::geo

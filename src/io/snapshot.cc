@@ -105,8 +105,15 @@ class Writer {
 /// malformed payloads fail with a clear error instead of reading garbage.
 class Reader {
  public:
-  Reader(std::string payload, std::string path)
-      : payload_(std::move(payload)), path_(std::move(path)) {}
+  Reader(std::string payload, std::string path,
+         std::uint32_t version = kSnapshotVersion)
+      : payload_(std::move(payload)),
+        path_(std::move(path)),
+        version_(version) {}
+
+  /// Format version of the file this payload came from; decoders branch on
+  /// it for sections added after version 1.
+  std::uint32_t version() const { return version_; }
 
   std::uint8_t u8() { return get<std::uint8_t>(); }
   std::uint32_t u32() { return get<std::uint32_t>(); }
@@ -180,6 +187,7 @@ class Reader {
 
   std::string payload_;
   std::string path_;
+  std::uint32_t version_ = kSnapshotVersion;
   std::size_t cursor_ = 0;
 };
 
@@ -217,10 +225,12 @@ FileContents read_file(const std::string& path) {
   read_pod(fc.info.payload_bytes);
   fc.info.kind = static_cast<SnapshotKind>(kind_u);
 
-  if (fc.info.version != kSnapshotVersion) {
+  if (fc.info.version < kMinSnapshotVersion ||
+      fc.info.version > kSnapshotVersion) {
     std::ostringstream os;
     os << "format version mismatch: file has version " << fc.info.version
-       << ", this build reads version " << kSnapshotVersion;
+       << ", this build reads versions " << kMinSnapshotVersion << ".."
+       << kSnapshotVersion;
     snapshot_error(path, os.str());
   }
   if (bytes.size() != off + fc.info.payload_bytes + sizeof(std::uint64_t))
@@ -250,7 +260,7 @@ Reader open_kind(const std::string& path, SnapshotKind expected) {
        << to_string(fc.info.kind);
     snapshot_error(path, os.str());
   }
-  return Reader(std::move(fc.payload), path);
+  return Reader(std::move(fc.payload), path, fc.info.version);
 }
 
 // --- shared sub-encoders -------------------------------------------------
@@ -603,8 +613,10 @@ core::IncrementalEngine load_engine_state(const std::string& path) {
   auto table =
       std::make_shared<const core::RadialStressTable>(get_radial_table(r));
   std::vector<ana::PairStressTable::Data> pair_tables = get_pair_tables(r);
+  // Version-1 payloads end at the pair tables (no surrogate section): the
+  // model comes back surrogate-free and callers re-fit on demand.
   std::shared_ptr<const ana::PairSurrogate> surrogate;
-  if (r.u8() != 0)
+  if (r.version() >= 2 && r.u8() != 0)
     surrogate = std::make_shared<const ana::PairSurrogate>(get_surrogate(r));
   r.expect_end();
 

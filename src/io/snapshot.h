@@ -39,10 +39,14 @@ namespace tsv::io {
 
 // Version 2: engine-state snapshots gained an optional embedded surrogate
 // section (has_surrogate byte + coefficients/certificate), so warm starts
-// skip the ~40 ms fit as well as the table builds. Version-1 files are
-// rejected with a clear mismatch error; snapshots are ephemeral caches, so
-// re-saving is the upgrade path.
+// skip the ~40 ms fit as well as the table builds. Version-1 files still
+// load — their engine-state payload simply ends at the pair tables, so the
+// restored model has no surrogate and callers re-fit on demand — and the
+// next save writes the current version (the upgrade path). Versions
+// outside [kMinSnapshotVersion, kSnapshotVersion] are rejected with a
+// clear mismatch error.
 inline constexpr std::uint32_t kSnapshotVersion = 2;
+inline constexpr std::uint32_t kMinSnapshotVersion = 1;
 
 enum class SnapshotKind : std::uint32_t {
   kRadialTable = 1,

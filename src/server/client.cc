@@ -1,0 +1,90 @@
+#include "server/client.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "core/error.h"
+#include "server/protocol.h"
+
+namespace tsv::server {
+
+Client Client::connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw InvalidInputError("unix socket path too long: " + path);
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw InvalidInputError("cannot create unix socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw InvalidInputError("cannot connect to unix:" + path + ": " + why);
+  }
+  return Client(fd);
+}
+
+Client Client::connect_tcp(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw InvalidInputError("cannot parse host: " + host);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw InvalidInputError("cannot create TCP socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string why = std::strerror(errno);
+    ::close(fd);
+    throw InvalidInputError("cannot connect to " + host + ":" +
+                            std::to_string(port) + ": " + why);
+  }
+  return Client(fd);
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+JsonValue Client::call_raw(const JsonValue& request) {
+  write_frame(fd_, request.dump());
+  const std::optional<std::string> frame = read_frame(fd_);
+  if (!frame.has_value())
+    throw IoCorruptionError("wire: server closed before responding");
+  return JsonValue::parse(*frame);
+}
+
+JsonValue Client::call(const JsonValue& request) {
+  return expect_ok(call_raw(request));
+}
+
+JsonValue Client::request(const std::string& op) {
+  JsonValue v = JsonValue::object();
+  v.set("op", JsonValue(op));
+  return v;
+}
+
+JsonValue Client::request(const std::string& op, const std::string& session) {
+  JsonValue v = request(op);
+  v.set("session", JsonValue(session));
+  return v;
+}
+
+}  // namespace tsv::server

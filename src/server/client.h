@@ -1,0 +1,40 @@
+#pragma once
+// C++ client for the stress-service daemon: one connection, synchronous
+// framed request/response (server/protocol.h). call() raises wire errors as
+// the matching tsv::Error subclass, so client code handles a remote
+// resource-limit refusal exactly like a local one; call_raw() returns the
+// response object untouched for code that inspects errors itself.
+
+#include <string>
+
+#include "server/json.h"
+
+namespace tsv::server {
+
+class Client {
+ public:
+  static Client connect_unix(const std::string& path);
+  static Client connect_tcp(const std::string& host, int port);
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One framed round trip; returns the response whether or not it is ok.
+  JsonValue call_raw(const JsonValue& request);
+  /// call_raw + expect_ok: throws the tsv::Error subclass matching a wire
+  /// error's category.
+  JsonValue call(const JsonValue& request);
+
+  /// Builds {"op": op} — the starting point for every request.
+  static JsonValue request(const std::string& op);
+  /// request(op) + {"session": session}.
+  static JsonValue request(const std::string& op, const std::string& session);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  int fd_ = -1;
+};
+
+}  // namespace tsv::server

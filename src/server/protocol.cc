@@ -1,0 +1,108 @@
+#include "server/protocol.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+namespace tsv::server {
+namespace {
+
+[[noreturn]] void io_error(const char* what) {
+  throw IoCorruptionError(std::string("wire: ") + what + ": " +
+                          std::strerror(errno));
+}
+
+/// Writes all of [buf, buf+n), retrying on EINTR and short writes.
+void write_all(int fd, const char* buf, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, buf, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      io_error("write failed");
+    }
+    buf += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+/// Reads exactly n bytes. Returns false on EOF before the first byte (clean
+/// close); throws on EOF mid-read or a socket error.
+bool read_all(int fd, char* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, buf + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      io_error("read failed");
+    }
+    if (r == 0) {
+      if (got == 0) return false;
+      throw IoCorruptionError("wire: peer closed mid-frame (truncated)");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+void write_frame(int fd, const std::string& body) {
+  if (body.size() > kMaxFrameBytes)
+    throw InvalidInputError("wire: frame exceeds " +
+                            std::to_string(kMaxFrameBytes) + " bytes");
+  const std::uint32_t len = static_cast<std::uint32_t>(body.size());
+  char prefix[4];
+  std::memcpy(prefix, &len, sizeof(len));  // native little-endian, like io/
+  write_all(fd, prefix, sizeof(prefix));
+  write_all(fd, body.data(), body.size());
+}
+
+std::optional<std::string> read_frame(int fd) {
+  char prefix[4];
+  if (!read_all(fd, prefix, sizeof(prefix))) return std::nullopt;
+  std::uint32_t len = 0;
+  std::memcpy(&len, prefix, sizeof(len));
+  if (len > kMaxFrameBytes)
+    throw IoCorruptionError("wire: frame length " + std::to_string(len) +
+                            " exceeds the protocol maximum");
+  std::string body(len, '\0');
+  if (len > 0 && !read_all(fd, body.data(), len))
+    throw IoCorruptionError("wire: peer closed mid-frame (truncated)");
+  return body;
+}
+
+JsonValue make_ok() {
+  JsonValue v = JsonValue::object();
+  v.set("ok", JsonValue(true));
+  return v;
+}
+
+JsonValue make_error(ErrorCategory category, const std::string& message) {
+  JsonValue err = JsonValue::object();
+  err.set("category", JsonValue(to_string(category)));
+  err.set("code", JsonValue(exit_code(category)));
+  err.set("message", JsonValue(message));
+  JsonValue v = JsonValue::object();
+  v.set("ok", JsonValue(false));
+  v.set("error", std::move(err));
+  return v;
+}
+
+JsonValue expect_ok(JsonValue response) {
+  if (response.at("ok").as_bool()) return response;
+  const JsonValue& err = response.at("error");
+  const std::string category = err.string_or("category", "unknown");
+  const std::string message = err.string_or("message", "(no message)");
+  if (category == to_string(ErrorCategory::kInvalidInput))
+    throw InvalidInputError(message);
+  if (category == to_string(ErrorCategory::kNumericFailure))
+    throw NumericFailureError(message);
+  if (category == to_string(ErrorCategory::kIoCorruption))
+    throw IoCorruptionError(message);
+  if (category == to_string(ErrorCategory::kResourceLimit))
+    throw ResourceLimitError(message);
+  throw std::runtime_error(message);
+}
+
+}  // namespace tsv::server

@@ -1,0 +1,69 @@
+#pragma once
+// The stress-service wire protocol: length-prefixed JSON over a stream
+// socket (Unix-domain or TCP).
+//
+// Framing: every message is a 4-byte little-endian unsigned payload length
+// followed by exactly that many bytes of UTF-8 JSON. Requests are objects
+// with an "op" field; responses are objects with "ok": true plus op-specific
+// fields, or "ok": false plus an "error" object:
+//
+//   {"ok":false,"error":{"category":"resource-limit","code":5,
+//                        "message":"..."}}
+//
+// The error categories and numeric codes are exactly the tsv::ErrorCategory
+// taxonomy and its CLI exit codes (src/core/error.h): 2 invalid-input,
+// 3 numeric-failure, 4 io-corruption, 5 resource-limit, 1 uncategorized.
+// Clients re-throw them as the matching tsv::Error subclass, so a scripted
+// `tsvstress_cli client` session exits with the same codes a batch run
+// would (tests/cli_exit_codes.sh's contract extends to the wire).
+//
+// Request ops served by the daemon (src/server/server.h):
+//   ping      liveness probe
+//   open      build a resident session from placement text
+//   query     point stress (snapped to the session grid)
+//   region    rectangular window of the resident field
+//   koz       keep-out contours from the resident field
+//   eco       atomic edit batch against the resident engine
+//   stats     per-session + global counters
+//   evict     force snapshot-backed eviction (admission does this on demand)
+//   close     drop a session (snapshotting it unless discard)
+//   shutdown  stop the daemon after responding
+//
+// Doubles cross the wire via "%.17g" (server/json.h), so numeric responses
+// are bitwise-comparable to an in-process evaluation.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/error.h"
+#include "server/json.h"
+
+namespace tsv::server {
+
+/// Frames larger than this are rejected as malformed — far above any real
+/// request/response (a full 10k-TSV region map is ~20 MB of JSON) but small
+/// enough that a corrupt length prefix cannot trigger a giant allocation.
+inline constexpr std::uint32_t kMaxFrameBytes = 256u << 20;
+
+/// Writes one length-prefixed frame to `fd`, handling short writes and
+/// EINTR. Throws tsv::IoCorruptionError when the peer is gone.
+void write_frame(int fd, const std::string& body);
+
+/// Reads one frame. Returns nullopt on clean EOF at a frame boundary
+/// (peer closed); throws tsv::IoCorruptionError on truncation mid-frame or
+/// an oversized length prefix.
+std::optional<std::string> read_frame(int fd);
+
+/// {"ok":true} with room for op-specific fields.
+JsonValue make_ok();
+
+/// The wire error object for a category + message (see header comment).
+JsonValue make_error(ErrorCategory category, const std::string& message);
+
+/// Parses a response: returns it when "ok" is true, otherwise throws the
+/// tsv::Error subclass matching the wire category (an unknown category
+/// degrades to std::runtime_error, preserving the message).
+JsonValue expect_ok(JsonValue response);
+
+}  // namespace tsv::server

@@ -1,0 +1,81 @@
+#pragma once
+// The stress-service daemon: a socket front end over SessionManager.
+//
+// StressServer binds one listening socket (Unix-domain when `unix_path` is
+// set, TCP otherwise), accepts connections on run(), and serves one thread
+// per connection. Each request frame (server/protocol.h) is dispatched to a
+// handler; every failure becomes a wire error object carrying the
+// tsv::ErrorCategory taxonomy, so a connection survives bad requests and a
+// scripted client can assert exit codes.
+//
+// Request handling takes a SessionManager::Guard, so all engine use is
+// serialized per session while requests against different sessions run
+// concurrently on their own connections. `shutdown` evicts every resident
+// session (durable snapshots on disk) before the accept loop exits, and a
+// restarted daemon pointed at the same snapshot directory recovers them.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/json.h"
+#include "server/session_manager.h"
+
+namespace tsv::server {
+
+struct ServerOptions {
+  /// Unix-domain socket path; when empty the server listens on TCP.
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< TCP port; 0 = kernel-assigned (see StressServer::port)
+  std::string snapshot_dir = "snapshots";
+  SessionLimits limits{};
+};
+
+class StressServer {
+ public:
+  /// Binds and listens (throws InvalidInputError when the endpoint cannot
+  /// be bound) and recovers sessions from the snapshot directory.
+  explicit StressServer(ServerOptions options);
+  ~StressServer();
+  StressServer(const StressServer&) = delete;
+  StressServer& operator=(const StressServer&) = delete;
+
+  /// The bound TCP port (resolves port 0); 0 for a Unix-domain server.
+  int port() const { return port_; }
+  /// Human-readable bound endpoint ("unix:/path" or "host:port").
+  const std::string& endpoint() const { return endpoint_; }
+  SessionManager& sessions() { return sessions_; }
+
+  /// Accept loop. Returns after a `shutdown` request (or stop()) once all
+  /// connection threads have drained; resident sessions are evicted to
+  /// their snapshots on the way out.
+  void run();
+
+  /// Asynchronously requests run() to exit (safe from any thread).
+  void stop();
+
+  /// Dispatches one parsed request to its handler — the full service logic
+  /// minus the socket, used directly by the in-process tests. Never throws:
+  /// failures come back as wire error objects.
+  JsonValue handle(const JsonValue& request);
+
+ private:
+  void serve_connection(int fd);
+
+  ServerOptions options_;
+  SessionManager sessions_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::string endpoint_;
+  std::atomic<bool> stop_{false};
+
+  std::mutex threads_mu_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace tsv::server

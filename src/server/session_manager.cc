@@ -1,0 +1,450 @@
+#include "server/session_manager.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "analytic/interaction.h"
+#include "analytic/single_tsv.h"
+#include "analytic/surrogate.h"
+#include "core/error.h"
+#include "core/stress_table.h"
+#include "geometry/sample_grid.h"
+#include "io/snapshot.h"
+
+namespace tsv::server {
+namespace {
+
+/// A cached PairStressTable is ~2 MB at the default polar resolution (the
+/// 10k-TSV snapshot is 114 MB across 61 tables + fields); exact sizing
+/// would require exporting the cache, so admission uses this estimate.
+constexpr std::uint64_t kPairTableBytesEstimate = 2ull << 20;
+
+void validate_session_name(const std::string& name) {
+  const bool chars_ok =
+      !name.empty() && name.size() <= 100 && name[0] != '.' &&
+      std::all_of(name.begin(), name.end(), [](char c) {
+        return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+               (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.';
+      });
+  if (!chars_ok)
+    throw InvalidInputError(
+        "invalid session name '" + name +
+        "' (use [A-Za-z0-9._-], not starting with '.', <= 100 chars)");
+}
+
+/// The CLI's cold-build pipeline, forced serial so every session's fields
+/// are bitwise reproducible no matter how requests interleave.
+std::unique_ptr<core::IncrementalEngine> build_engine(
+    const tsvlib::Placement& placement, const geo::SampleGrid& grid,
+    const SessionSpec& spec) {
+  const mat::ThermalLoad load{};
+  const ana::SingleTsvModel single(placement.structure(), load);
+  const auto table = std::make_shared<const core::RadialStressTable>(
+      core::RadialStressTable::from_analytic(single, 30.0, 4096));
+  auto model = std::make_shared<const ana::InteractiveStressModel>(
+      std::make_shared<const ana::InclusionResponse>(placement.structure()),
+      single.k_hat());
+  if (spec.surrogate)
+    model->attach_surrogate(std::make_shared<const ana::PairSurrogate>(
+        ana::PairSurrogate::fit(*model)));
+
+  core::IncrementalOptions opt;
+  opt.stage2.use_lookup_table = spec.lookup;
+  opt.stage2.pitch_quant_step = spec.quant_step;
+  opt.num_threads = 1;
+  opt.stage1.num_threads = 1;
+  opt.stage2.num_threads = 1;
+  return std::make_unique<core::IncrementalEngine>(placement, grid, table,
+                                                   model, opt);
+}
+
+}  // namespace
+
+std::uint64_t estimate_engine_bytes(const core::IncrementalEngine& engine) {
+  std::uint64_t bytes = 0;
+  // Two accumulated tensor fields + the dirty-point stamp array.
+  bytes += static_cast<std::uint64_t>(engine.grid().size()) *
+           (2 * sizeof(num::SymTensor2) + sizeof(std::uint32_t));
+  // Placement slots (center + active flag) and id scratch.
+  bytes += static_cast<std::uint64_t>(engine.slot_count()) *
+           (sizeof(geo::Point) + 2);
+  if (const auto* radial =
+          dynamic_cast<const core::RadialStressTable*>(&engine.table()))
+    bytes += static_cast<std::uint64_t>(radial->srr().size() +
+                                        radial->stt().size()) *
+             sizeof(double);
+  if (const auto model = engine.model()) {
+    bytes += static_cast<std::uint64_t>(model->table_cache_size()) *
+             kPairTableBytesEstimate;
+    if (const auto surrogate = model->surrogate())
+      bytes += surrogate->certificate().coefficient_count * sizeof(double);
+  }
+  return bytes;
+}
+
+/// One named session. `work_mu` serializes all engine use (requests);
+/// `meta` is a leaf mutex guarding the counters and the cached summary the
+/// stats endpoint reads, so stats() never blocks behind a long request.
+/// The engine pointer itself transitions (resident <-> evicted) only under
+/// the manager mutex while the work mutex is also held.
+class SessionManager::Session {
+ public:
+  explicit Session(std::string session_name) : name(std::move(session_name)) {}
+
+  std::string name;
+  std::mutex work_mu;
+  std::unique_ptr<core::IncrementalEngine> engine;  ///< null = evicted
+
+  // Guarded by SessionManager::mu_.
+  std::uint64_t estimated_bytes = 0;  ///< resident footprint (or hint)
+  std::uint64_t last_used = 0;        ///< LRU clock stamp
+
+  // Guarded by `meta`.
+  std::mutex meta;
+  SessionCounters counters;
+  std::size_t tsvs = 0;
+  std::size_t grid_points = 0;
+  double cache_hit_rate = 0.0;
+  bool has_surrogate = false;
+
+  /// Refreshes the cached summary from the resident engine (caller holds
+  /// work_mu, so the engine is stable).
+  void refresh_summary() {
+    if (engine == nullptr) return;
+    std::lock_guard<std::mutex> lk(meta);
+    tsvs = engine->active_count();
+    grid_points = engine->grid().size();
+    if (const auto model = engine->model()) {
+      cache_hit_rate = model->table_cache_stats().hit_rate();
+      has_surrogate = model->surrogate() != nullptr;
+    }
+  }
+};
+
+SessionManager::Guard::Guard(std::shared_ptr<Session> session,
+                             std::unique_lock<std::mutex> lock)
+    : session_(std::move(session)), lock_(std::move(lock)) {}
+
+SessionManager::Guard::Guard(Guard&&) noexcept = default;
+
+SessionManager::Guard::~Guard() {
+  if (session_ != nullptr && lock_.owns_lock()) session_->refresh_summary();
+}
+
+core::IncrementalEngine& SessionManager::Guard::engine() {
+  return *session_->engine;
+}
+
+void SessionManager::Guard::count_query(std::size_t points) {
+  std::lock_guard<std::mutex> lk(session_->meta);
+  ++session_->counters.queries;
+  session_->counters.points += points;
+}
+
+void SessionManager::Guard::count_region() {
+  std::lock_guard<std::mutex> lk(session_->meta);
+  ++session_->counters.regions;
+}
+
+void SessionManager::Guard::count_koz() {
+  std::lock_guard<std::mutex> lk(session_->meta);
+  ++session_->counters.koz_queries;
+}
+
+void SessionManager::Guard::count_eco(std::size_t ops) {
+  std::lock_guard<std::mutex> lk(session_->meta);
+  ++session_->counters.edits;
+  session_->counters.eco_ops += ops;
+}
+
+SessionManager::SessionManager(std::string snapshot_dir, SessionLimits limits)
+    : snapshot_dir_(std::move(snapshot_dir)), limits_(limits) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(snapshot_dir_, ec);
+  if (ec)
+    throw InvalidInputError("cannot create snapshot directory '" +
+                            snapshot_dir_ + "': " + ec.message());
+
+  // Crash recovery: every valid engine-state snapshot becomes an evicted
+  // session the next request transparently reloads. Anything else in the
+  // directory (corrupt files, other snapshot kinds) is skipped loudly.
+  std::vector<fs::path> candidates;
+  for (const auto& entry : fs::directory_iterator(snapshot_dir_)) {
+    if (entry.path().extension() == ".snap") candidates.push_back(entry.path());
+  }
+  std::sort(candidates.begin(), candidates.end());
+  for (const fs::path& path : candidates) {
+    const std::string name = path.stem().string();
+    try {
+      validate_session_name(name);
+      const io::SnapshotInfo info = io::read_snapshot_info(path.string());
+      if (info.kind != io::SnapshotKind::kEngineState) continue;
+      auto session = std::make_shared<Session>(name);
+      // The payload is the serialized fields + tables — the same state
+      // that will be resident — so it doubles as the admission hint.
+      session->estimated_bytes = info.payload_bytes;
+      sessions_.push_back(std::move(session));
+      recovered_.push_back(name);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr,
+                   "session recovery: skipping %s (%s)\n",
+                   path.string().c_str(), e.what());
+    }
+  }
+}
+
+std::shared_ptr<SessionManager::Session> SessionManager::find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& s : sessions_)
+    if (s->name == name) return s;
+  throw InvalidInputError("unknown session: " + name);
+}
+
+std::string SessionManager::snapshot_path(const std::string& name) const {
+  return snapshot_dir_ + "/" + name + ".snap";
+}
+
+void SessionManager::save_and_release_locked(Session& s) {
+  io::save_engine_state(snapshot_path(s.name), *s.engine);
+  s.engine.reset();
+  resident_bytes_ -= std::min(resident_bytes_, s.estimated_bytes);
+  {
+    std::lock_guard<std::mutex> lk(s.meta);
+    ++s.counters.evictions;
+  }
+  ++evictions_;
+}
+
+bool SessionManager::make_room_locked(std::uint64_t needed,
+                                      const Session* keep) {
+  const auto resident_count = [&] {
+    std::size_t n = 0;
+    for (const auto& s : sessions_)
+      if (s->engine != nullptr) ++n;
+    return n;
+  };
+  while (resident_bytes_ + needed > limits_.global_budget_bytes ||
+         (needed > 0 && resident_count() >= limits_.max_sessions)) {
+    // LRU victim among idle resident sessions. try_lock keeps the lock
+    // order acyclic and guarantees a session mid-request is never evicted.
+    Session* victim = nullptr;
+    for (const auto& s : sessions_) {
+      if (s->engine == nullptr || s.get() == keep) continue;
+      if (victim == nullptr || s->last_used < victim->last_used)
+        victim = s.get();
+    }
+    if (victim == nullptr) return false;
+    std::unique_lock<std::mutex> vl(victim->work_mu, std::try_to_lock);
+    if (!vl.owns_lock()) {
+      // Busy victim: pretend it was just used so the scan moves on; if
+      // every candidate is busy the loop exits via the nullptr branch.
+      victim->last_used = ++lru_clock_;
+      continue;
+    }
+    save_and_release_locked(*victim);
+  }
+  return true;
+}
+
+void SessionManager::open(const std::string& name,
+                          const tsvlib::Placement& placement,
+                          const SessionSpec& spec) {
+  validate_session_name(name);
+  placement.validate_no_overlap();
+  if (spec.spacing <= 0.0 || spec.margin < 0.0)
+    throw InvalidInputError("open: spacing must be > 0 and margin >= 0");
+
+  const geo::Box roi = placement.bounding_box().expanded(spec.margin);
+  const geo::SampleGrid grid = geo::SampleGrid::with_spacing(roi, spec.spacing);
+  // Pre-build admission on the dominant term (the two tensor fields), so a
+  // hopeless request is refused before any characterization runs.
+  const std::uint64_t pre_estimate =
+      static_cast<std::uint64_t>(grid.size()) *
+          (2 * sizeof(num::SymTensor2) + sizeof(std::uint32_t)) +
+      static_cast<std::uint64_t>(placement.size()) * (sizeof(geo::Point) + 2);
+
+  std::shared_ptr<Session> session;
+  std::unique_lock<std::mutex> work_lock;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& s : sessions_)
+      if (s->name == name)
+        throw InvalidInputError("session already exists: " + name);
+    if (pre_estimate > limits_.session_budget_bytes) {
+      ++admission_refusals_;
+      throw ResourceLimitError(
+          "session '" + name + "' needs ~" + std::to_string(pre_estimate) +
+          " bytes, over the per-session budget of " +
+          std::to_string(limits_.session_budget_bytes));
+    }
+    if (!make_room_locked(pre_estimate, nullptr)) {
+      ++admission_refusals_;
+      throw ResourceLimitError(
+          "cannot admit session '" + name + "': global budget of " +
+          std::to_string(limits_.global_budget_bytes) +
+          " bytes exhausted by busy sessions");
+    }
+    session = std::make_shared<Session>(name);
+    session->estimated_bytes = pre_estimate;
+    session->last_used = ++lru_clock_;
+    resident_bytes_ += pre_estimate;
+    sessions_.push_back(session);
+    work_lock = std::unique_lock<std::mutex>(session->work_mu);
+  }
+
+  const auto remove_session = [&] {
+    std::lock_guard<std::mutex> lk(mu_);
+    resident_bytes_ -= std::min(resident_bytes_, session->estimated_bytes);
+    sessions_.erase(std::remove(sessions_.begin(), sessions_.end(), session),
+                    sessions_.end());
+  };
+
+  try {
+    session->engine = build_engine(placement, grid, spec);
+  } catch (...) {
+    remove_session();
+    throw;
+  }
+
+  const std::uint64_t measured = estimate_engine_bytes(*session->engine);
+  std::lock_guard<std::mutex> lk(mu_);
+  resident_bytes_ -= std::min(resident_bytes_, session->estimated_bytes);
+  resident_bytes_ += measured;
+  session->estimated_bytes = measured;
+  if (measured > limits_.session_budget_bytes) {
+    resident_bytes_ -= std::min(resident_bytes_, measured);
+    sessions_.erase(std::remove(sessions_.begin(), sessions_.end(), session),
+                    sessions_.end());
+    ++admission_refusals_;
+    throw ResourceLimitError(
+        "session '" + name + "' measured " + std::to_string(measured) +
+        " bytes resident, over the per-session budget of " +
+        std::to_string(limits_.session_budget_bytes));
+  }
+  // Post-build tables can push the global total over; evict idle LRU
+  // sessions to restore the invariant (the new session itself is kept).
+  make_room_locked(0, session.get());
+  work_lock.unlock();
+  session->refresh_summary();
+}
+
+SessionManager::Guard SessionManager::use(const std::string& name) {
+  std::shared_ptr<Session> session = find(name);
+  std::unique_lock<std::mutex> work_lock(session->work_mu);
+
+  bool need_reload = false;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    // The session may have been closed while we waited for its lock.
+    if (std::find(sessions_.begin(), sessions_.end(), session) ==
+        sessions_.end())
+      throw InvalidInputError("unknown session: " + name);
+    if (session->engine == nullptr) {
+      if (session->estimated_bytes > limits_.session_budget_bytes ||
+          !make_room_locked(session->estimated_bytes, session.get())) {
+        ++admission_refusals_;
+        throw ResourceLimitError(
+            "cannot reload session '" + name + "' (~" +
+            std::to_string(session->estimated_bytes) +
+            " bytes) under the configured budgets");
+      }
+      resident_bytes_ += session->estimated_bytes;
+      need_reload = true;
+    }
+    session->last_used = ++lru_clock_;
+  }
+
+  if (need_reload) {
+    try {
+      auto engine = std::make_unique<core::IncrementalEngine>(
+          io::load_engine_state(snapshot_path(name)));
+      const std::uint64_t measured = estimate_engine_bytes(*engine);
+      std::lock_guard<std::mutex> lk(mu_);
+      resident_bytes_ -= std::min(resident_bytes_, session->estimated_bytes);
+      resident_bytes_ += measured;
+      session->estimated_bytes = measured;
+      session->engine = std::move(engine);
+      ++reloads_;
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu_);
+      resident_bytes_ -= std::min(resident_bytes_, session->estimated_bytes);
+      throw;
+    }
+    std::lock_guard<std::mutex> lk(session->meta);
+    ++session->counters.reloads;
+  }
+  return Guard(session, std::move(work_lock));
+}
+
+void SessionManager::evict(const std::string& name) {
+  std::shared_ptr<Session> session = find(name);
+  std::unique_lock<std::mutex> work_lock(session->work_mu);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (session->engine != nullptr) save_and_release_locked(*session);
+}
+
+void SessionManager::close(const std::string& name, bool discard) {
+  std::shared_ptr<Session> session = find(name);
+  std::unique_lock<std::mutex> work_lock(session->work_mu);
+  std::lock_guard<std::mutex> lk(mu_);
+  if (session->engine != nullptr) {
+    if (!discard) io::save_engine_state(snapshot_path(name), *session->engine);
+    session->engine.reset();
+    resident_bytes_ -= std::min(resident_bytes_, session->estimated_bytes);
+  }
+  if (discard) std::remove(snapshot_path(name).c_str());
+  sessions_.erase(std::remove(sessions_.begin(), sessions_.end(), session),
+                  sessions_.end());
+}
+
+void SessionManager::evict_all() {
+  // Snapshot order matches registration order; each eviction holds the
+  // session's work mutex so in-flight requests drain first.
+  std::vector<std::shared_ptr<Session>> all;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    all = sessions_;
+  }
+  for (const auto& session : all) {
+    std::unique_lock<std::mutex> work_lock(session->work_mu);
+    std::lock_guard<std::mutex> lk(mu_);
+    if (session->engine != nullptr) save_and_release_locked(*session);
+  }
+}
+
+ManagerStats SessionManager::stats() const {
+  ManagerStats out;
+  std::lock_guard<std::mutex> lk(mu_);
+  out.session_budget_bytes = limits_.session_budget_bytes;
+  out.global_budget_bytes = limits_.global_budget_bytes;
+  out.resident_bytes = resident_bytes_;
+  out.admission_refusals = admission_refusals_;
+  out.evictions = evictions_;
+  out.reloads = reloads_;
+  for (const auto& s : sessions_) {
+    SessionStats st;
+    st.name = s->name;
+    st.resident = s->engine != nullptr;
+    st.estimated_bytes = s->estimated_bytes;
+    {
+      std::lock_guard<std::mutex> meta(s->meta);
+      st.counters = s->counters;
+      st.tsvs = s->tsvs;
+      st.grid_points = s->grid_points;
+      st.cache_hit_rate = s->cache_hit_rate;
+      st.has_surrogate = s->has_surrogate;
+    }
+    if (st.resident)
+      ++out.resident_sessions;
+    else
+      ++out.evicted_sessions;
+    out.sessions.push_back(std::move(st));
+  }
+  return out;
+}
+
+}  // namespace tsv::server

@@ -1,0 +1,188 @@
+#pragma once
+// SessionManager: the engine-state owner behind the stress-service daemon.
+//
+// Until now every IncrementalEngine lived in a CLI stack frame and died
+// with the process; a persistent service needs a long-lived owner with an
+// explicit control plane. SessionManager holds N named sessions, each a
+// resident core::IncrementalEngine (one per design/user), and provides:
+//
+//   * Admission control. Every open/reload is budgeted: a session whose
+//     estimated resident footprint exceeds the per-session budget is
+//     refused with tsv::ResourceLimitError (kResourceLimit -> wire code 5),
+//     and the sum of resident sessions is kept under the global budget by
+//     evicting least-recently-used idle sessions first — only when nothing
+//     evictable remains is the request refused.
+//   * Snapshot-backed eviction. Evicting writes the full engine state
+//     through io::save_engine_state (fields, tables, embedded surrogate)
+//     to <snapshot_dir>/<name>.snap and releases the engine; the next
+//     request on that session transparently reloads it, bitwise identical
+//     (snapshots round-trip byte-exactly).
+//   * Crash recovery. Construction scans the snapshot directory: every
+//     valid engine-state snapshot becomes an evicted-but-known session, so
+//     a restarted daemon serves yesterday's sessions from their last saved
+//     state. Corrupt files are skipped (and reported), never trusted.
+//
+// Concurrency contract (mirrors the repo's determinism rules): each session
+// has its own work mutex, so all engine use — edits *and* queries — is
+// serialized per session while independent sessions proceed concurrently on
+// their own connections. Engines are built and applied with num_threads=1,
+// so every per-session result is bitwise reproducible regardless of how
+// requests interleave across sessions (test_server_concurrent locks this).
+// The manager mutex only guards the session map, LRU clock, and memory
+// accounting; it is never held across an engine evaluation. Eviction locks
+// its victim with try_lock, so a session actively serving a request is
+// never evicted out from under it (and lock order cannot cycle).
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/incremental_engine.h"
+#include "tsv/placement.h"
+
+namespace tsv::server {
+
+struct SessionLimits {
+  std::size_t max_sessions = 16;  ///< resident engines at once
+  std::uint64_t session_budget_bytes = 512ull << 20;
+  std::uint64_t global_budget_bytes = 2048ull << 20;
+};
+
+/// How to build a session's engine from a placement (the eco subset of the
+/// CLI's evaluation knobs; everything is forced serial for determinism).
+struct SessionSpec {
+  double spacing = 0.5;  ///< grid spacing, um
+  double margin = 25.0;  ///< halo around the placement bounding box, um
+  bool lookup = false;   ///< Stage II via quantized polar tables
+  double quant_step = 0.25;
+  bool surrogate = false;  ///< fit + attach the certified surrogate
+};
+
+/// Monotonic per-session counters, exposed by the stats endpoint.
+struct SessionCounters {
+  std::uint64_t queries = 0;        ///< point-query requests
+  std::uint64_t points = 0;         ///< points served across queries
+  std::uint64_t regions = 0;        ///< region-map requests
+  std::uint64_t koz_queries = 0;    ///< KOZ contour requests
+  std::uint64_t edits = 0;          ///< eco batches applied
+  std::uint64_t eco_ops = 0;        ///< individual ops across batches
+  std::uint64_t evictions = 0;      ///< times snapshot-evicted
+  std::uint64_t reloads = 0;        ///< transparent snapshot reloads
+};
+
+struct SessionStats {
+  std::string name;
+  bool resident = false;
+  std::size_t tsvs = 0;         ///< active TSVs (0 when evicted)
+  std::size_t grid_points = 0;  ///< 0 when evicted
+  std::uint64_t estimated_bytes = 0;
+  SessionCounters counters;
+  double cache_hit_rate = 0.0;  ///< Stage II pair-table cache
+  bool has_surrogate = false;
+};
+
+struct ManagerStats {
+  std::size_t resident_sessions = 0;
+  std::size_t evicted_sessions = 0;
+  std::uint64_t resident_bytes = 0;
+  std::uint64_t session_budget_bytes = 0;
+  std::uint64_t global_budget_bytes = 0;
+  std::uint64_t admission_refusals = 0;
+  std::uint64_t evictions = 0;  ///< global, including forced ones
+  std::uint64_t reloads = 0;
+  std::vector<SessionStats> sessions;
+};
+
+/// Conservative estimate of an engine's resident footprint: the two
+/// per-point tensor fields (which dominate at full-chip grids), placement
+/// slots, the radial table, and the pair-table cache. Used for admission
+/// and for the stats endpoint's RSS estimate.
+std::uint64_t estimate_engine_bytes(const core::IncrementalEngine& engine);
+
+class SessionManager {
+ public:
+  /// `snapshot_dir` must exist; it is scanned for engine-state snapshots
+  /// (crash recovery — see header comment).
+  SessionManager(std::string snapshot_dir, SessionLimits limits);
+
+  const SessionLimits& limits() const { return limits_; }
+  const std::string& snapshot_dir() const { return snapshot_dir_; }
+  /// Session names recovered from snapshots at construction.
+  const std::vector<std::string>& recovered() const { return recovered_; }
+
+  /// Builds a new resident session. Throws InvalidInputError on a duplicate
+  /// or invalid name, ResourceLimitError when admission fails.
+  void open(const std::string& name, const tsvlib::Placement& placement,
+            const SessionSpec& spec);
+
+  class Session;
+
+  /// Exclusive access to a session's engine for the duration of one
+  /// request. Acquiring the guard transparently reloads an evicted session
+  /// from its snapshot (counting a reload) and bumps the LRU clock.
+  class Guard {
+   public:
+    core::IncrementalEngine& engine();
+    /// Counter bumps for the stats endpoint (thread-safe vs stats()).
+    void count_query(std::size_t points);
+    void count_region();
+    void count_koz();
+    void count_eco(std::size_t ops);
+    ~Guard();
+    Guard(Guard&&) noexcept;
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+
+   private:
+    friend class SessionManager;
+    Guard(std::shared_ptr<Session> session,
+          std::unique_lock<std::mutex> lock);
+    std::shared_ptr<Session> session_;
+    std::unique_lock<std::mutex> lock_;
+  };
+
+  /// Locks `name` for use, reloading it from its snapshot if evicted.
+  /// Throws InvalidInputError for unknown sessions, IoCorruptionError when
+  /// the snapshot is damaged, ResourceLimitError when the reload cannot be
+  /// admitted.
+  Guard use(const std::string& name);
+
+  /// Snapshot-evicts a resident session (no-op when already evicted).
+  /// Throws InvalidInputError for unknown sessions.
+  void evict(const std::string& name);
+
+  /// Removes a session. Unless `discard`, a resident engine is snapshotted
+  /// first so the state survives for a later open of the same directory;
+  /// with `discard` the snapshot file is deleted too.
+  void close(const std::string& name, bool discard);
+
+  /// Evicts every resident session (daemon shutdown: durable state on disk).
+  void evict_all();
+
+  ManagerStats stats() const;
+
+ private:
+  std::shared_ptr<Session> find(const std::string& name) const;
+  std::string snapshot_path(const std::string& name) const;
+  /// Under mu_: evicts LRU idle sessions until `needed` more bytes fit
+  /// under the global budget and a resident slot is free. Returns false
+  /// when that is impossible without touching busy sessions or `keep`.
+  bool make_room_locked(std::uint64_t needed, const Session* keep);
+  void save_and_release_locked(Session& s);
+
+  std::string snapshot_dir_;
+  SessionLimits limits_;
+  std::vector<std::string> recovered_;
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Session>> sessions_;  ///< insertion order
+  std::uint64_t resident_bytes_ = 0;
+  std::uint64_t lru_clock_ = 0;
+  std::uint64_t admission_refusals_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t reloads_ = 0;
+};
+
+}  // namespace tsv::server

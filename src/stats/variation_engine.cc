@@ -25,33 +25,6 @@ double seconds_since(
       .count();
 }
 
-/// Bilinear interpolation of a per-point scalar field on the sample grid.
-/// Clamps to the grid box, so probes just outside the halo stay finite.
-double bilinear(const geo::SampleGrid& grid, const std::vector<double>& field,
-                const geo::Point& p) {
-  const geo::Box& box = grid.box();
-  const double fx = grid.dx() > 0.0
-                        ? std::clamp((p.x - box.lo.x) / grid.dx(), 0.0,
-                                     static_cast<double>(grid.nx() - 1))
-                        : 0.0;
-  const double fy = grid.dy() > 0.0
-                        ? std::clamp((p.y - box.lo.y) / grid.dy(), 0.0,
-                                     static_cast<double>(grid.ny() - 1))
-                        : 0.0;
-  const auto ix = std::min(static_cast<std::size_t>(fx), grid.nx() - 1);
-  const auto iy = std::min(static_cast<std::size_t>(fy), grid.ny() - 1);
-  const std::size_t ix1 = std::min(ix + 1, grid.nx() - 1);
-  const std::size_t iy1 = std::min(iy + 1, grid.ny() - 1);
-  const double tx = fx - static_cast<double>(ix);
-  const double ty = fy - static_cast<double>(iy);
-  const double f00 = field[iy * grid.nx() + ix];
-  const double f10 = field[iy * grid.nx() + ix1];
-  const double f01 = field[iy1 * grid.nx() + ix];
-  const double f11 = field[iy1 * grid.nx() + ix1];
-  return (1.0 - ty) * ((1.0 - tx) * f00 + tx * f10) +
-         ty * ((1.0 - tx) * f01 + tx * f11);
-}
-
 /// Calls f(point_index) for every grid point within `radius` of `c`
 /// (rectangular window refined by the disc test).
 template <typename F>
@@ -164,10 +137,19 @@ VariationEngine::VariationEngine(const tsvlib::Placement& nominal,
 }
 
 std::vector<CornerResult> VariationEngine::run() {
-  std::vector<CornerResult> results;
-  results.reserve(corners_.size());
-  for (std::size_t c = 0; c < corners_.size(); ++c)
-    results.push_back(run_corner(c));
+  std::vector<CornerResult> results(corners_.size());
+  if (options_.parallel_corners && corners_.size() > 1) {
+    // Corners are fully independent: each run_corner touches only its own
+    // engine and local accumulators, and the sampler is a pure function of
+    // (seed, sample index). Inside a worker the per-point accumulation's
+    // nested parallel_for runs serially, so result slot c carries the same
+    // bits as a sequential sweep.
+    num::parallel_for(corners_.size(), /*num_threads=*/0,
+                      [&](std::size_t c) { results[c] = run_corner(c); });
+  } else {
+    for (std::size_t c = 0; c < corners_.size(); ++c)
+      results[c] = run_corner(c);
+  }
   return results;
 }
 
@@ -312,7 +294,7 @@ CornerResult VariationEngine::run_corner(std::size_t corner_index) {
       for (double rad = r_outer; rad <= options_.koz_max_radius;
            rad += options_.koz_radial_step) {
         const geo::Point p{nominal[t].x + rad * cs, nominal[t].y + rad * sn};
-        if (bilinear(grid_, p_exceed, p) >= options_.koz_alpha) keep_out = rad;
+        if (geo::bilinear(grid_, p_exceed, p) >= options_.koz_alpha) keep_out = rad;
       }
       contour.radius[ray] = keep_out;
     }

@@ -65,6 +65,11 @@ struct VariationOptions {
   double koz_radial_step = 0.25;
   /// Threads for the per-point accumulation pass (0 = hardware, 1 = serial).
   std::size_t num_threads = 1;
+  /// Sweep structure corners concurrently on the shared pool. Corners are
+  /// fully independent (own engine, own accumulators, counter-based
+  /// sampler), and nested parallel regions run serially, so per-corner
+  /// results stay bitwise identical to the sequential sweep.
+  bool parallel_corners = false;
   /// Fit and attach a certified Chebyshev surrogate per corner before the
   /// sweep (fast Stage II per sample at the cost of one ~40 ms fit).
   bool fit_surrogate = false;
@@ -119,7 +124,7 @@ class VariationEngine {
   /// Streams spec().samples Monte Carlo samples through every corner's
   /// engine and returns one result per corner. Deterministic: same
   /// (seed, samples, corners) => bitwise-identical results at any
-  /// options().num_threads.
+  /// options().num_threads, with or without parallel_corners.
   std::vector<CornerResult> run();
 
  private:

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -233,6 +234,123 @@ TEST(Snapshot, EngineStateEmbedsTheFittedSurrogate) {
   save_engine_state(path3, plain);
   const core::IncrementalEngine warmed_plain = load_engine_state(path3);
   EXPECT_EQ(warmed_plain.model()->surrogate(), nullptr);
+}
+
+/// FNV-1a 64 over the payload, mirroring the writer (layout documented in
+/// snapshot.h) so tests can synthesize old-format files byte by byte.
+std::uint64_t fnv1a64(const char* data, std::size_t n) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Turns a current-format snapshot into a version-1 file: drops the last
+/// `drop` payload bytes, stamps version 1, and re-seals the header sizes
+/// and trailing checksum.
+std::string as_version1(const std::string& bytes, std::size_t drop) {
+  constexpr std::size_t kHeader = 24;  // magic + version + kind + payload
+  std::uint64_t payload_bytes = 0;
+  std::memcpy(&payload_bytes, bytes.data() + 16, sizeof(payload_bytes));
+  payload_bytes -= drop;
+
+  std::string v1 = bytes.substr(0, kHeader + payload_bytes);
+  const std::uint32_t version = 1;
+  std::memcpy(v1.data() + 8, &version, sizeof(version));
+  std::memcpy(v1.data() + 16, &payload_bytes, sizeof(payload_bytes));
+  const std::uint64_t checksum =
+      fnv1a64(v1.data() + kHeader, static_cast<std::size_t>(payload_bytes));
+  v1.append(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  return v1;
+}
+
+TEST(Snapshot, VersionOneEngineSnapshotLoadsAndRefitsOnDemand) {
+  const tsvlib::Placement placement = tsvlib::make_five_cross(kS, 12.0);
+  const geo::SampleGrid grid =
+      geo::SampleGrid::with_spacing(placement.bounding_box().expanded(25.0),
+                                    4.0);
+  const auto table =
+      std::make_shared<const core::RadialStressTable>(make_table());
+  core::IncrementalEngine engine(placement, grid, table, make_model(), {});
+  engine.apply({core::EcoOp::move(0, {2.0, 1.0})});
+  const std::string path = temp_path("engine_v2_for_v1.snap");
+  save_engine_state(path, engine);
+
+  // A version-1 engine snapshot is the current payload minus the trailing
+  // surrogate section — here just the has_surrogate = 0 byte.
+  const std::string v1_path = temp_path("engine_v1.snap");
+  write_bytes(v1_path, as_version1(read_bytes(path), 1));
+  EXPECT_EQ(read_snapshot_info(v1_path).version, 1u);
+
+  // It loads: same slots, bitwise-identical fields, no surrogate attached.
+  core::IncrementalEngine warmed = load_engine_state(v1_path);
+  EXPECT_EQ(warmed.active_count(), engine.active_count());
+  ASSERT_NE(warmed.model(), nullptr);
+  EXPECT_EQ(warmed.model()->surrogate(), nullptr);
+  ASSERT_EQ(warmed.stage2_field().size(), engine.stage2_field().size());
+  EXPECT_EQ(std::memcmp(warmed.stage1_field().data(),
+                        engine.stage1_field().data(),
+                        engine.stage1_field().size() *
+                            sizeof(num::SymTensor2)), 0);
+  EXPECT_EQ(std::memcmp(warmed.stage2_field().data(),
+                        engine.stage2_field().data(),
+                        engine.stage2_field().size() *
+                            sizeof(num::SymTensor2)), 0);
+
+  // The loaded engine stays fully editable in bitwise lock-step…
+  const core::Delta delta = {core::EcoOp::move(1, {13.0, 3.0})};
+  engine.apply(delta);
+  warmed.apply(delta);
+  EXPECT_EQ(std::memcmp(warmed.stage2_field().data(),
+                        engine.stage2_field().data(),
+                        engine.stage2_field().size() *
+                            sizeof(num::SymTensor2)), 0);
+
+  // …and a fresh fit attaches on demand, exactly as on a cold build.
+  warmed.model()->attach_surrogate(std::make_shared<const ana::PairSurrogate>(
+      ana::PairSurrogate::fit(*warmed.model())));
+  ASSERT_NE(warmed.model()->surrogate(), nullptr);
+  EXPECT_NE(warmed.model()->surrogate_for(1e-6, 25.0), nullptr);
+
+  // Re-saving is the upgrade path: the next snapshot is current-format and
+  // embeds the freshly fitted surrogate.
+  const std::string upgraded = temp_path("engine_v1_upgraded.snap");
+  save_engine_state(upgraded, warmed);
+  EXPECT_EQ(read_snapshot_info(upgraded).version, kSnapshotVersion);
+  EXPECT_NE(load_engine_state(upgraded).model()->surrogate(), nullptr);
+}
+
+TEST(Snapshot, CorruptEmbeddedSurrogateSectionIsRejectedNotEvaluated) {
+  const tsvlib::Placement placement = tsvlib::make_five_cross(kS, 12.0);
+  const geo::SampleGrid grid =
+      geo::SampleGrid::with_spacing(placement.bounding_box().expanded(25.0),
+                                    4.0);
+  const auto table =
+      std::make_shared<const core::RadialStressTable>(make_table());
+  const auto model = make_model();
+  model->attach_surrogate(std::make_shared<const ana::PairSurrogate>(
+      ana::PairSurrogate::fit(*model)));
+  core::IncrementalEngine engine(placement, grid, table, model, {});
+  const std::string path = temp_path("engine_sur_corrupt.snap");
+  save_engine_state(path, engine);
+
+  // Bit rot inside the embedded surrogate coefficients (the section sits at
+  // the end of the payload, just before the trailing checksum): the load
+  // must reject the whole file via the checksum — mirroring the standalone
+  // kSurrogateCorrupt degradation path — never evaluate damaged
+  // coefficients.
+  std::string bytes = read_bytes(path);
+  bytes[bytes.size() - 12] = static_cast<char>(bytes[bytes.size() - 12] ^ 0x40);
+  write_bytes(path, bytes);
+  expect_rejection([&] { load_engine_state(path); }, "checksum");
+  try {
+    load_engine_state(path);
+    FAIL() << "expected IoCorruptionError";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.category(), ErrorCategory::kIoCorruption);
+  }
 }
 
 TEST(Snapshot, InfoReportsValidatedHeader) {

@@ -324,6 +324,54 @@ TEST(Variation, MaterialCornersCharacterizeIndependently) {
   EXPECT_GT(hi, 2.0 * lo);
 }
 
+TEST(Variation, ParallelCornerSweepIsBitwiseIdenticalToSequential) {
+  // Corners are independent (own engine + accumulators, counter-based
+  // sampler), so sweeping them concurrently on the pool must reproduce the
+  // sequential per-corner results bit for bit.
+  const tsvlib::Placement placement = tsvlib::make_array(kS, 2, 2, 15.0);
+  const geo::SampleGrid grid = geo::SampleGrid::with_spacing(
+      placement.bounding_box().expanded(25.0), 5.0);
+  VariationSpec spec = small_spec(17, 4);
+  spec.jitter_tsvs = 2;
+  spec.corners = material_corners(kS);
+
+  VariationOptions sequential = fast_options();
+  VariationEngine seq_engine(placement, grid, spec, sequential);
+  const std::vector<CornerResult> seq = seq_engine.run();
+
+  VariationOptions parallel = fast_options();
+  parallel.parallel_corners = true;
+  VariationEngine par_engine(placement, grid, spec, parallel);
+  const std::vector<CornerResult> par = par_engine.run();
+
+  ASSERT_EQ(seq.size(), par.size());
+  for (std::size_t c = 0; c < seq.size(); ++c) {
+    SCOPED_TRACE(seq[c].name);
+    EXPECT_EQ(seq[c].name, par[c].name);
+    EXPECT_EQ(seq[c].samples, par[c].samples);
+    EXPECT_EQ(seq[c].point_updates, par[c].point_updates);
+    EXPECT_TRUE(bitwise_equal(seq[c].mean, par[c].mean));
+    EXPECT_TRUE(bitwise_equal(seq[c].sigma, par[c].sigma));
+    ASSERT_EQ(seq[c].quantile.size(), par[c].quantile.size());
+    for (std::size_t q = 0; q < seq[c].quantile.size(); ++q)
+      EXPECT_TRUE(bitwise_equal(seq[c].quantile[q], par[c].quantile[q]));
+    ASSERT_EQ(seq[c].exceedance.size(), par[c].exceedance.size());
+    for (std::size_t t = 0; t < seq[c].exceedance.size(); ++t)
+      EXPECT_TRUE(bitwise_equal(seq[c].exceedance[t], par[c].exceedance[t]));
+    EXPECT_EQ(seq[c].sample_peak.count(), par[c].sample_peak.count());
+    EXPECT_EQ(seq[c].sample_peak.mean(), par[c].sample_peak.mean());
+    EXPECT_EQ(seq[c].sample_peak.max(), par[c].sample_peak.max());
+    EXPECT_EQ(seq[c].pitch_fit.slope, par[c].pitch_fit.slope);
+    EXPECT_EQ(seq[c].pitch_fit.intercept, par[c].pitch_fit.intercept);
+    EXPECT_EQ(seq[c].pitch_fit.r, par[c].pitch_fit.r);
+    ASSERT_EQ(seq[c].koz_contours.size(), par[c].koz_contours.size());
+    for (std::size_t k = 0; k < seq[c].koz_contours.size(); ++k)
+      EXPECT_TRUE(bitwise_equal(seq[c].koz_contours[k].radius,
+                                par[c].koz_contours[k].radius));
+    EXPECT_EQ(seq[c].koz.total_area, par[c].koz.total_area);
+  }
+}
+
 TEST(Variation, GeometryCornerWithoutJitterSlackIsRejected) {
   // Pitch 9 leaves max_displacement = 0.45 * (9 - 6) = 1.35 um, so a corner
   // with outer radius > (9 - 2.7) / 2 = 3.15 um cannot guarantee legality.

@@ -21,15 +21,22 @@ cheaper than a cold full recompute (speedup_cold in the row — fresh
 characterization + engine build per sample). Host-speed independent, like
 the batch-speedup floors.
 
+With --fullchip, the guard also compares bench_fullchip's peak_rss_mb (at
+the baseline's "rss" TSV count and grid spacing) against the committed
+peak. This check is WARN-ONLY: peak RSS depends on the allocator and host
+far more than the timed kernels do, so growth beyond `max_growth` prints a
+loud warning for a human to triage instead of failing the job (the
+unnoticed 1.67 -> 3.3 GB regression is the motivating miss).
+
 Usage:
   tools/check_kernel_perf.py <kernels.jsonl> <baseline.json>
   tools/check_kernel_perf.py <kernels.jsonl> <baseline.json> \
-      --variation results/variation.jsonl
+      --variation results/variation.jsonl --fullchip results/fullchip.jsonl
   tools/check_kernel_perf.py <kernels.jsonl> <baseline.json> --write-baseline
 
 --write-baseline refreshes the committed timings from the given run
-(keeping the existing speedup floors and the variation section) instead of
-checking.
+(keeping the existing speedup floors and the variation/rss sections)
+instead of checking.
 """
 
 import argparse
@@ -72,6 +79,8 @@ def write_baseline(rows, baseline_path, old, max_regression):
     data = {"max_regression": max_regression, "kernels": kernels}
     if "variation" in old:
         data["variation"] = old["variation"]
+    if "rss" in old:
+        data["rss"] = old["rss"]
     with open(baseline_path, "w", encoding="utf-8") as f:
         json.dump(data, f, indent=2)
         f.write("\n")
@@ -113,6 +122,57 @@ def check_variation(path, baseline):
         return [f"variation: per-sample speedup {speedup:.1f}x at "
                 f"{row['tsvs']} TSVs is below the floor {floor:.1f}x"]
     return []
+
+
+def latest_fullchip_row(path, tsvs, spacing):
+    """Last bench_fullchip row at the baseline design point, or None."""
+    latest = None
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            if row.get("bench") != "fullchip":
+                continue
+            if row.get("tsvs") != tsvs:
+                continue
+            if spacing is not None and row.get("spacing_um") != spacing:
+                continue
+            latest = row
+    return latest
+
+
+def check_rss(path, baseline):
+    """Warn-only memory guard: prints a warning (never fails) when the
+    fullchip peak RSS grew more than the baseline's `max_growth` fraction.
+    """
+    spec = baseline.get("rss")
+    if spec is None:
+        print("rss: baseline has no 'rss' section; skipping")
+        return
+    tsvs = spec.get("tsvs", 1000)
+    spacing = spec.get("spacing_um")
+    row = latest_fullchip_row(path, tsvs, spacing)
+    if row is None:
+        where = f"tsvs == {tsvs}"
+        if spacing is not None:
+            where += f", spacing_um == {spacing}"
+        print(f"WARNING: rss: no fullchip row with {where} in {path}",
+              file=sys.stderr)
+        return
+    measured = row.get("peak_rss_mb", 0.0)
+    base = spec["peak_rss_mb"]
+    max_growth = spec.get("max_growth", 0.25)
+    allowed = base * (1.0 + max_growth)
+    verdict = "ok" if measured <= allowed else "GREW"
+    print(f"fullchip rss @ {tsvs} TSVs: peak {measured:.1f} MB "
+          f"(baseline {base:.1f}, allowed <= {allowed:.1f}) {verdict}")
+    if measured > allowed:
+        print(f"WARNING: fullchip peak RSS {measured:.1f} MB exceeds the "
+              f"baseline {base:.1f} MB by more than "
+              f"{100 * max_growth:.0f}% (warn-only, not failing the job)",
+              file=sys.stderr)
 
 
 def check(rows, baseline):
@@ -161,6 +221,10 @@ def main():
     parser.add_argument("--variation", metavar="PATH", default=None,
                         help="also check bench_variation's variation.jsonl "
                              "against the baseline's per-sample floor")
+    parser.add_argument("--fullchip", metavar="PATH", default=None,
+                        help="also compare bench_fullchip's peak_rss_mb "
+                             "against the baseline's 'rss' section "
+                             "(warn-only)")
     parser.add_argument("--max-regression", type=float, default=None,
                         help="override the baseline's allowed fraction")
     args = parser.parse_args()
@@ -191,6 +255,8 @@ def main():
     failures = check(rows, baseline)
     if args.variation is not None:
         failures += check_variation(args.variation, baseline)
+    if args.fullchip is not None:
+        check_rss(args.fullchip, baseline)  # warn-only, never a failure
     if failures:
         print("\nkernel perf guard FAILED:", file=sys.stderr)
         for f in failures:

@@ -1,0 +1,154 @@
+#!/usr/bin/env sh
+# End-to-end smoke test for the stress-service daemon: starts a real
+# tsvstress_server on a Unix socket, drives it with scripted
+# `tsvstress_cli client` sessions (point query, edit batch, eviction +
+# transparent reload, stats, clean shutdown), and asserts the CLI exit
+# codes follow the error taxonomy (0 ok, 2 invalid input). Also checks the
+# durability contract: a region map re-read after eviction and after a full
+# daemon restart is byte-identical (%.17g CSV) to the original.
+#
+# Usage: server_smoke.sh <path-to-tsvstress_server> <path-to-tsvstress_cli>
+set -u
+
+SERVER="$1"
+CLI="$2"
+WORK="$(mktemp -d)"
+SOCK="$WORK/daemon.sock"
+SNAPS="$WORK/snaps"
+DAEMON_PID=""
+fails=0
+
+cleanup() {
+  if [ -n "$DAEMON_PID" ] && kill -0 "$DAEMON_PID" 2>/dev/null; then
+    kill "$DAEMON_PID" 2>/dev/null
+    wait "$DAEMON_PID" 2>/dev/null
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+start_daemon() {
+  "$SERVER" --unix="$SOCK" --snapshot-dir="$SNAPS" \
+    >>"$WORK/server.log" 2>&1 &
+  DAEMON_PID=$!
+  tries=0
+  while [ ! -S "$SOCK" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+      echo "FAIL [daemon start]: socket never appeared" >&2
+      sed 's/^/  server: /' "$WORK/server.log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+
+client() {
+  "$CLI" client "--connect=unix:$SOCK" "$@"
+}
+
+expect_code() {
+  want="$1"
+  label="$2"
+  shift 2
+  client "$@" >"$WORK/out.log" 2>"$WORK/err.log"
+  got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL [$label]: expected exit $want, got $got" >&2
+    sed 's/^/  stderr: /' "$WORK/err.log" >&2
+    fails=$((fails + 1))
+  else
+    echo "ok [$label]: exit $got"
+  fi
+}
+
+expect_identical() {
+  label="$1"
+  if cmp -s "$2" "$3"; then
+    echo "ok [$label]"
+  else
+    echo "FAIL [$label]: files differ" >&2
+    fails=$((fails + 1))
+  fi
+}
+
+cat >"$WORK/chip.tsv" <<EOF
+structure 2.5 0.1 BCB
+tsv 0 0
+tsv 10 0
+tsv 5 8
+EOF
+cat >"$WORK/edits.txt" <<EOF
+move 1 11 0.5
+add 12 10
+EOF
+cat >"$WORK/bad_edits.txt" <<EOF
+move 1 0.5 0
+EOF
+
+start_daemon
+
+# --- the happy path -------------------------------------------------------
+expect_code 0 "ping" ping
+expect_code 0 "open session" \
+  open --session=chip "--placement=$WORK/chip.tsv" --spacing=1 --margin=5
+expect_code 0 "point query" query --session=chip --at=0,0 --at=5.2,4.1
+expect_code 0 "eco edit batch" eco --session=chip "--edits=$WORK/edits.txt"
+expect_code 0 "region map" \
+  region --session=chip "--out=$WORK/before.csv"
+expect_code 0 "koz contours" koz --session=chip --limit=60 --rays=16
+expect_code 0 "stats" stats
+
+# --- error taxonomy over the wire ----------------------------------------
+expect_code 2 "query on unknown session" query --session=ghost --at=0,0
+expect_code 2 "illegal edit (overlap)" \
+  eco --session=chip "--edits=$WORK/bad_edits.txt"
+expect_code 2 "open duplicate session" \
+  open --session=chip "--placement=$WORK/chip.tsv"
+
+# --- eviction + transparent reload ---------------------------------------
+expect_code 0 "force eviction" evict --session=chip
+if [ -f "$SNAPS/chip.snap" ]; then
+  echo "ok [snapshot written on eviction]"
+else
+  echo "FAIL [snapshot written on eviction]: no $SNAPS/chip.snap" >&2
+  fails=$((fails + 1))
+fi
+expect_code 0 "region map after reload" \
+  region --session=chip "--out=$WORK/after_evict.csv"
+expect_identical "reloaded field is byte-identical" \
+  "$WORK/before.csv" "$WORK/after_evict.csv"
+
+# --- clean shutdown persists sessions, restart recovers them -------------
+expect_code 0 "shutdown" shutdown
+wait "$DAEMON_PID"
+daemon_exit=$?
+DAEMON_PID=""
+if [ "$daemon_exit" -eq 0 ]; then
+  echo "ok [daemon clean exit]: exit 0"
+else
+  echo "FAIL [daemon clean exit]: exit $daemon_exit" >&2
+  fails=$((fails + 1))
+fi
+
+start_daemon
+expect_code 0 "region map after daemon restart" \
+  region --session=chip "--out=$WORK/after_restart.csv"
+expect_identical "recovered field is byte-identical" \
+  "$WORK/before.csv" "$WORK/after_restart.csv"
+expect_code 0 "close session (discard)" close --session=chip --discard
+if [ -e "$SNAPS/chip.snap" ]; then
+  echo "FAIL [discard removes snapshot]: $SNAPS/chip.snap survived" >&2
+  fails=$((fails + 1))
+else
+  echo "ok [discard removes snapshot]"
+fi
+expect_code 0 "second shutdown" shutdown
+wait "$DAEMON_PID"
+DAEMON_PID=""
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails check(s) failed" >&2
+  exit 1
+fi
+echo "all server smoke checks passed"

@@ -5,6 +5,9 @@
 //   tsvstress_cli variation <placement.tsv> [options]   Monte Carlo sweep
 //   tsvstress_cli snapshot save <placement.tsv> [options]
 //   tsvstress_cli snapshot info <file.snap>
+//   tsvstress_cli client --connect=unix:PATH|HOST:PORT <op> [options]
+//                                                        talk to the daemon
+//                                                        (tsvstress_server)
 //
 // Invocations that start with a placement file (no subcommand) are treated
 // as an implicit `evaluate`, so pre-subcommand scripts keep working:
@@ -92,6 +95,7 @@
 
 #include "core/error.h"
 #include "core/framework.h"
+#include "server/client.h"
 #include "core/incremental_engine.h"
 #include "core/metrics.h"
 #include "core/tiled_evaluator.h"
@@ -138,6 +142,7 @@ struct VariationCliOptions {
   double jitter_sigma = 0.5;
   double cte_sigma = 0.05;
   std::string corners = "none";  ///< none | materials | geometry
+  bool parallel_corners = false;  ///< sweep corners on the shared pool
 };
 
 /// eco-specific flags (also parsed by `snapshot save` where they apply).
@@ -502,6 +507,8 @@ bool parse_variation_flag(const std::string& arg, VariationCliOptions& v) {
     v.cte_sigma = std::stod(value("--cte-sigma="));
   } else if (arg.rfind("--corners=", 0) == 0) {
     v.corners = value("--corners=");
+  } else if (arg == "--parallel-corners") {
+    v.parallel_corners = true;
   } else {
     return false;
   }
@@ -544,7 +551,8 @@ int run_variation(const std::vector<std::string>& args) {
   constexpr const char* kUsage =
       "usage: tsvstress_cli variation <placement.tsv> [--samples=N] "
       "[--seed=S] [--jitter-tsvs=K] [--jitter-sigma=X] [--cte-sigma=X] "
-      "[--corners=none|materials|geometry] [--surrogate] [--lookup] "
+      "[--corners=none|materials|geometry] [--parallel-corners] "
+      "[--surrogate] [--lookup] "
       "[--quant=X] [--threads=N] [--spacing=X] [--margin=X] [--out=FILE]";
   CommonOptions c;
   EcoOptions e;
@@ -591,6 +599,7 @@ int run_variation(const std::vector<std::string>& args) {
   options.engine.stage2.pitch_quant_step = c.quant_step;
   options.engine.enable_interactive = !c.ls_only;
   options.num_threads = c.threads;
+  options.parallel_corners = v.parallel_corners;
   options.fit_surrogate = c.surrogate && !c.ls_only;
 
   const geo::Box roi = placement.bounding_box().expanded(c.margin);
@@ -680,11 +689,207 @@ int run_snapshot(const std::vector<std::string>& args) {
                               kUsage);
 }
 
+// --- client --------------------------------------------------------------
+
+server::Client connect_client(const std::string& endpoint) {
+  if (endpoint.empty())
+    throw std::invalid_argument("--connect=unix:PATH or --connect=HOST:PORT "
+                                "is required");
+  if (endpoint.rfind("unix:", 0) == 0)
+    return server::Client::connect_unix(endpoint.substr(5));
+  const auto colon = endpoint.rfind(':');
+  if (colon == std::string::npos)
+    throw std::invalid_argument("--connect needs unix:PATH or HOST:PORT, got " +
+                                endpoint);
+  return server::Client::connect_tcp(endpoint.substr(0, colon),
+                                     std::stoi(endpoint.substr(colon + 1)));
+}
+
+server::JsonValue delta_to_json(const core::Delta& delta) {
+  server::JsonValue ops = server::JsonValue::array();
+  for (const core::EcoOp& o : delta) {
+    server::JsonValue row = server::JsonValue::object();
+    switch (o.kind) {
+      case core::EcoOp::Kind::kAdd:
+        row.set("op", server::JsonValue("add"));
+        row.set("x", server::JsonValue(o.center.x));
+        row.set("y", server::JsonValue(o.center.y));
+        break;
+      case core::EcoOp::Kind::kMove:
+        row.set("op", server::JsonValue("move"));
+        row.set("id", server::JsonValue(o.id));
+        row.set("x", server::JsonValue(o.center.x));
+        row.set("y", server::JsonValue(o.center.y));
+        break;
+      case core::EcoOp::Kind::kRemove:
+        row.set("op", server::JsonValue("remove"));
+        row.set("id", server::JsonValue(o.id));
+        break;
+    }
+    ops.items().push_back(std::move(row));
+  }
+  return ops;
+}
+
+int run_client(const std::vector<std::string>& args) {
+  constexpr const char* kUsage =
+      "usage: tsvstress_cli client --connect=unix:PATH|HOST:PORT <op> "
+      "[options]\n"
+      "  ops: ping | open | query | region | koz | eco | stats | evict | "
+      "close | shutdown\n"
+      "  open:   --session=S --placement=FILE [--spacing=X] [--margin=X]\n"
+      "          [--lookup] [--quant=X] [--surrogate]\n"
+      "  query:  --session=S --at=X,Y [--at=X,Y ...] [--measure=M]\n"
+      "  region: --session=S [--box=x0,y0,x1,y1] [--measure=M] [--out=CSV]\n"
+      "  koz:    --session=S [--limit=MPa] [--rays=N] [--radial-step=X]\n"
+      "          [--max-radius=X] [--measure=M]\n"
+      "  eco:    --session=S --edits=FILE   (same script format as eco)\n"
+      "  evict/close: --session=S [--discard]";
+  std::string connect;
+  std::string op;
+  std::string session;
+  std::string placement_file;
+  std::string edits_file;
+  std::string out_path;
+  std::string measure;
+  std::string box;
+  std::vector<geo::Point> at;
+  double spacing = 0.0, margin = -1.0, quant = 0.0;
+  double limit = 0.0, radial_step = 0.0, max_radius = 0.0, rays = 0.0;
+  bool lookup = false, surrogate = false, discard = false;
+  for (const std::string& arg : args) {
+    const auto value = [&](const char* prefix) {
+      return arg.substr(std::strlen(prefix));
+    };
+    if (arg.rfind("--connect=", 0) == 0) connect = value("--connect=");
+    else if (arg.rfind("--session=", 0) == 0) session = value("--session=");
+    else if (arg.rfind("--placement=", 0) == 0)
+      placement_file = value("--placement=");
+    else if (arg.rfind("--edits=", 0) == 0) edits_file = value("--edits=");
+    else if (arg.rfind("--out=", 0) == 0) out_path = value("--out=");
+    else if (arg.rfind("--measure=", 0) == 0) measure = value("--measure=");
+    else if (arg.rfind("--box=", 0) == 0) box = value("--box=");
+    else if (arg.rfind("--at=", 0) == 0) {
+      geo::Point p;
+      if (std::sscanf(value("--at=").c_str(), "%lf,%lf", &p.x, &p.y) != 2)
+        throw std::invalid_argument("--at needs X,Y");
+      at.push_back(p);
+    } else if (arg.rfind("--spacing=", 0) == 0)
+      spacing = std::stod(value("--spacing="));
+    else if (arg.rfind("--margin=", 0) == 0)
+      margin = std::stod(value("--margin="));
+    else if (arg.rfind("--quant=", 0) == 0) quant = std::stod(value("--quant="));
+    else if (arg.rfind("--limit=", 0) == 0) limit = std::stod(value("--limit="));
+    else if (arg.rfind("--rays=", 0) == 0) rays = std::stod(value("--rays="));
+    else if (arg.rfind("--radial-step=", 0) == 0)
+      radial_step = std::stod(value("--radial-step="));
+    else if (arg.rfind("--max-radius=", 0) == 0)
+      max_radius = std::stod(value("--max-radius="));
+    else if (arg == "--lookup") lookup = true;
+    else if (arg == "--surrogate") surrogate = true;
+    else if (arg == "--discard") discard = true;
+    else if (arg.rfind("--", 0) == 0)
+      throw std::invalid_argument("unknown option: " + arg + "\n" + kUsage);
+    else if (op.empty()) op = arg;
+    else throw std::invalid_argument("unexpected argument: " + arg);
+  }
+  if (op.empty()) throw std::invalid_argument(kUsage);
+
+  server::Client client = connect_client(connect);
+  server::JsonValue req = session.empty()
+                              ? server::Client::request(op)
+                              : server::Client::request(op, session);
+  if (op == "open") {
+    if (placement_file.empty())
+      throw std::invalid_argument("open needs --placement=FILE");
+    std::ifstream in(placement_file);
+    if (!in)
+      throw InvalidInputError("cannot open placement: " + placement_file);
+    std::ostringstream text;
+    text << in.rdbuf();
+    req.set("placement", server::JsonValue(text.str()));
+    if (spacing > 0.0) req.set("spacing", server::JsonValue(spacing));
+    if (margin >= 0.0) req.set("margin", server::JsonValue(margin));
+    if (lookup) req.set("lookup", server::JsonValue(true));
+    if (quant > 0.0) req.set("quant", server::JsonValue(quant));
+    if (surrogate) req.set("surrogate", server::JsonValue(true));
+  } else if (op == "query") {
+    if (at.empty()) throw std::invalid_argument("query needs --at=X,Y");
+    server::JsonValue points = server::JsonValue::array();
+    for (const geo::Point& p : at) {
+      server::JsonValue xy = server::JsonValue::array();
+      xy.items().push_back(server::JsonValue(p.x));
+      xy.items().push_back(server::JsonValue(p.y));
+      points.items().push_back(std::move(xy));
+    }
+    req.set("points", std::move(points));
+    if (!measure.empty()) req.set("measure", server::JsonValue(measure));
+  } else if (op == "region") {
+    if (!box.empty()) {
+      double x0, y0, x1, y1;
+      if (std::sscanf(box.c_str(), "%lf,%lf,%lf,%lf", &x0, &y0, &x1, &y1) !=
+          4)
+        throw std::invalid_argument("--box needs x0,y0,x1,y1");
+      req.set("x0", server::JsonValue(x0));
+      req.set("y0", server::JsonValue(y0));
+      req.set("x1", server::JsonValue(x1));
+      req.set("y1", server::JsonValue(y1));
+    }
+    if (!measure.empty()) req.set("measure", server::JsonValue(measure));
+  } else if (op == "koz") {
+    if (!measure.empty()) req.set("measure", server::JsonValue(measure));
+    if (limit > 0.0) req.set("limit", server::JsonValue(limit));
+    if (rays > 0.0) req.set("rays", server::JsonValue(rays));
+    if (radial_step > 0.0)
+      req.set("radial_step", server::JsonValue(radial_step));
+    if (max_radius > 0.0) req.set("max_radius", server::JsonValue(max_radius));
+  } else if (op == "eco") {
+    if (edits_file.empty()) throw std::invalid_argument("eco needs --edits=");
+    req.set("ops", delta_to_json(read_edit_script(edits_file)));
+  } else if (op == "close") {
+    if (discard) req.set("discard", server::JsonValue(true));
+  }
+
+  const server::JsonValue resp = client.call(req);
+  if (op == "query") {
+    const auto& xs = resp.at("x").as_array();
+    const auto& ys = resp.at("y").as_array();
+    const auto& vs = resp.at("value").as_array();
+    for (std::size_t i = 0; i < vs.size(); ++i)
+      std::printf("%.17g %.17g %.17g\n", xs[i].as_number(), ys[i].as_number(),
+                  vs[i].as_number());
+  } else if (op == "region" && !out_path.empty()) {
+    const auto nx = static_cast<std::size_t>(resp.at("nx").as_number());
+    const auto ny = static_cast<std::size_t>(resp.at("ny").as_number());
+    const double x0 = resp.at("x0").as_number();
+    const double y0 = resp.at("y0").as_number();
+    const double dx = resp.at("dx").as_number();
+    const double dy = resp.at("dy").as_number();
+    const auto& vs = resp.at("value").as_array();
+    std::ofstream out(out_path);
+    if (!out) throw InvalidInputError("cannot write " + out_path);
+    out << "x_um,y_um,value\n";
+    char line[96];
+    for (std::size_t iy = 0; iy < ny; ++iy)
+      for (std::size_t ix = 0; ix < nx; ++ix) {
+        std::snprintf(line, sizeof(line), "%.17g,%.17g,%.17g\n",
+                      x0 + static_cast<double>(ix) * dx,
+                      y0 + static_cast<double>(iy) * dy,
+                      vs[iy * nx + ix].as_number());
+        out << line;
+      }
+    std::printf("wrote %zu points to %s\n", nx * ny, out_path.c_str());
+  } else {
+    std::printf("%s\n", resp.dump().c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   constexpr const char* kUsage =
-      "usage: tsvstress_cli <evaluate|eco|variation|snapshot> ...\n"
+      "usage: tsvstress_cli <evaluate|eco|variation|snapshot|client> ...\n"
       "       tsvstress_cli <placement.tsv> [options]   (implicit evaluate)";
   try {
     std::vector<std::string> args(argv + 1, argv + argc);
@@ -695,6 +900,7 @@ int main(int argc, char** argv) {
     if (cmd == "eco") return run_eco(rest);
     if (cmd == "variation") return run_variation(rest);
     if (cmd == "snapshot") return run_snapshot(rest);
+    if (cmd == "client") return run_client(rest);
     // Flat invocation: first argument is the placement file.
     return run_evaluate(args);
   } catch (const tsv::Error& e) {

@@ -1,0 +1,96 @@
+// tsvstress_server: the stress-as-a-service daemon.
+//
+//   tsvstress_server [options]
+//     --unix=PATH             listen on a Unix-domain socket (recommended)
+//     --host=H --port=P       listen on TCP instead (port 0 = ephemeral;
+//                             the bound endpoint is printed on stdout)
+//     --snapshot-dir=DIR      session snapshot directory (default
+//                             "snapshots"); scanned for crash recovery on
+//                             startup
+//     --max-sessions=N        resident engines at once (default 16)
+//     --session-budget-mb=N   per-session admission budget (default 512)
+//     --global-budget-mb=N    total resident budget (default 2048)
+//
+// The daemon prints "listening on <endpoint>" once it accepts connections
+// and serves until a `shutdown` request or SIGINT/SIGTERM; every resident
+// session is snapshot-evicted on the way out, so a restart against the same
+// snapshot directory resumes them. Protocol: src/server/protocol.h; exit
+// codes mirror tsvstress_cli (src/core/error.h).
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include <csignal>
+
+#include "core/error.h"
+#include "server/server.h"
+
+namespace {
+
+tsv::server::StressServer* g_server = nullptr;
+
+void handle_signal(int) {
+  if (g_server != nullptr) g_server->stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tsv;
+  try {
+    server::ServerOptions options;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&](const char* prefix) {
+        return arg.substr(std::strlen(prefix));
+      };
+      if (arg.rfind("--unix=", 0) == 0) {
+        options.unix_path = value("--unix=");
+      } else if (arg.rfind("--host=", 0) == 0) {
+        options.host = value("--host=");
+      } else if (arg.rfind("--port=", 0) == 0) {
+        options.port = std::stoi(value("--port="));
+      } else if (arg.rfind("--snapshot-dir=", 0) == 0) {
+        options.snapshot_dir = value("--snapshot-dir=");
+      } else if (arg.rfind("--max-sessions=", 0) == 0) {
+        options.limits.max_sessions = std::stoul(value("--max-sessions="));
+      } else if (arg.rfind("--session-budget-mb=", 0) == 0) {
+        options.limits.session_budget_bytes =
+            std::stoull(value("--session-budget-mb=")) << 20;
+      } else if (arg.rfind("--global-budget-mb=", 0) == 0) {
+        options.limits.global_budget_bytes =
+            std::stoull(value("--global-budget-mb=")) << 20;
+      } else {
+        throw InvalidInputError("unknown option: " + arg);
+      }
+    }
+
+    server::StressServer server(options);
+    g_server = &server;
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    for (const std::string& name : server.sessions().recovered())
+      std::printf("recovered session %s (evicted; reloads on first use)\n",
+                  name.c_str());
+    std::printf("listening on %s\n", server.endpoint().c_str());
+    std::fflush(stdout);
+    server.run();
+    g_server = nullptr;
+    std::printf("shut down; sessions snapshotted to %s\n",
+                server.sessions().snapshot_dir().c_str());
+    return 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error (%s): %s\n", to_string(e.category()),
+                 e.what());
+    return exit_code(e.category());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
