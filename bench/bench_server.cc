@@ -7,7 +7,10 @@
 // Measures, against a resident (warm) session:
 //   * point-query latency (one [x, y] per request) — p50/p99 and
 //     sustained queries/s over the full run;
-//   * ECO edit-batch latency (one single-TSV move per request);
+//   * ECO edit-batch latency (one single-TSV move per request), on two
+//     sessions — journal fsync on (the default durability contract) and
+//     off — so the journal's per-batch durability overhead is measured,
+//     not guessed (EXPERIMENTS.md appendix);
 //   * region-window throughput (grid points returned per second).
 //
 // Appends a JSONL row to <out-dir>/server.jsonl (schema: bench/common.h);
@@ -147,33 +150,57 @@ int main(int argc, char** argv) {
               n_queries, queries_wall_s, queries_per_s, q_p50, q_p99);
 
   // ECO edits: jitter one random TSV per batch (legal: +/- 0.5 um keeps the
-  // min-pitch floor intact at the default 10 um pitch).
+  // min-pitch floor intact at the default 10 um pitch). Run once against
+  // the default session (journal fsync on every acked batch) and once
+  // against a journal_fsync=false session, so the row separates engine
+  // cost from durability cost.
   std::uniform_int_distribution<std::uint32_t> pick(
       0, static_cast<std::uint32_t>(design.placement.size() - 1));
   std::uniform_real_distribution<double> jitter(-0.5, 0.5);
-  std::vector<double> edit_ms;
-  edit_ms.reserve(n_edits);
-  for (std::size_t e = 0; e < n_edits; ++e) {
-    const std::uint32_t id = pick(rng);
-    const geo::Point c = design.placement.centers()[id];
-    server::JsonValue op = server::JsonValue::object();
-    op.set("op", server::JsonValue("move"));
-    op.set("id", server::JsonValue(id));
-    op.set("x", server::JsonValue(c.x + jitter(rng)));
-    op.set("y", server::JsonValue(c.y + jitter(rng)));
-    server::JsonValue ops = server::JsonValue::array();
-    ops.items().push_back(std::move(op));
-    server::JsonValue req = server::Client::request("eco", "bench");
-    req.set("ops", std::move(ops));
-    const auto t0 = std::chrono::steady_clock::now();
-    client.call(req);
-    edit_ms.push_back(ms_since(t0));
-  }
+  const auto measure_edits = [&](const std::string& session) {
+    std::vector<double> edit_ms;
+    edit_ms.reserve(n_edits);
+    for (std::size_t e = 0; e < n_edits; ++e) {
+      const std::uint32_t id = pick(rng);
+      const geo::Point c = design.placement.centers()[id];
+      server::JsonValue op = server::JsonValue::object();
+      op.set("op", server::JsonValue("move"));
+      op.set("id", server::JsonValue(id));
+      op.set("x", server::JsonValue(c.x + jitter(rng)));
+      op.set("y", server::JsonValue(c.y + jitter(rng)));
+      server::JsonValue ops = server::JsonValue::array();
+      ops.items().push_back(std::move(op));
+      server::JsonValue req = server::Client::request("eco", session);
+      req.set("ops", std::move(ops));
+      const auto t0 = std::chrono::steady_clock::now();
+      client.call(req);
+      edit_ms.push_back(ms_since(t0));
+    }
+    return edit_ms;
+  };
+  const std::vector<double> edit_ms = measure_edits("bench");
   const double e_p50 = percentile(edit_ms, 0.50);
   const double e_p99 = percentile(edit_ms, 0.99);
-  std::printf("eco edits: %zu single-move batches, p50 %.2f ms, "
-              "p99 %.2f ms\n",
+  std::printf("eco edits (journal fsync): %zu single-move batches, "
+              "p50 %.2f ms, p99 %.2f ms\n",
               n_edits, e_p50, e_p99);
+
+  server::JsonValue open_nofsync =
+      server::Client::request("open", "bench_nofsync");
+  open_nofsync.set("placement", server::JsonValue(placement_text.str()));
+  open_nofsync.set("spacing", server::JsonValue(spacing));
+  open_nofsync.set("journal_fsync", server::JsonValue(false));
+  client.call(open_nofsync);
+  const std::vector<double> edit_nofsync_ms = measure_edits("bench_nofsync");
+  const double en_p50 = percentile(edit_nofsync_ms, 0.50);
+  const double en_p99 = percentile(edit_nofsync_ms, 0.99);
+  std::printf("eco edits (no fsync):      %zu single-move batches, "
+              "p50 %.2f ms, p99 %.2f ms (journal overhead p50 %+.2f ms)\n",
+              n_edits, en_p50, en_p99, e_p50 - en_p50);
+  server::JsonValue close_nofsync =
+      server::Client::request("close", "bench_nofsync");
+  close_nofsync.set("discard", server::JsonValue(true));
+  client.call(close_nofsync);
 
   // Region throughput: a 100 x 100 um window per request.
   const double wx = std::min(100.0, spec.chip.width());
@@ -215,6 +242,8 @@ int main(int argc, char** argv) {
       .uint("edits", n_edits)
       .num("eco_p50_ms", e_p50, "%.3f")
       .num("eco_p99_ms", e_p99, "%.3f")
+      .num("eco_nofsync_p50_ms", en_p50, "%.3f")
+      .num("eco_nofsync_p99_ms", en_p99, "%.3f")
       .num("region_points_per_s", region_pts_per_s, "%.4g")
       .num("peak_rss_mb", peak_rss_mb(), "%.1f");
   bench::append_jsonl(out_dir + "/server.jsonl", row);

@@ -69,12 +69,17 @@ class Writer {
     raw(v.data(), v.size() * sizeof(num::SymTensor2));
   }
 
+  /// The accumulated payload bytes (for embedding a sub-encoding inside
+  /// another container, e.g. the eco journal's open record).
+  const std::string& payload() const { return buffer_; }
+
   /// Writes header + payload + checksum to `path` atomically (temp file +
   /// rename), so a crash mid-save can never leave a torn snapshot behind —
   /// either the previous file survives intact or the new one is complete.
-  /// `durable=false` skips the fsync (see atomic_write_file).
-  void commit(const std::string& path, SnapshotKind kind,
-              bool durable = true) const {
+  /// `durable=false` skips the fsync (see atomic_write_file). Returns the
+  /// payload checksum — the identity the eco journal anchors replay to.
+  std::uint64_t commit(const std::string& path, SnapshotKind kind,
+                       bool durable = true) const {
     std::string bytes;
     bytes.reserve(sizeof(kMagic) + 2 * sizeof(std::uint32_t) +
                   2 * sizeof(std::uint64_t) + buffer_.size());
@@ -92,11 +97,12 @@ class Writer {
     bytes.append(buffer_);
     append_pod(checksum);
     atomic_write_file(path, bytes, durable);
+    return checksum;
   }
 
  private:
   void raw(const void* p, std::size_t n) {
-    buffer_.append(static_cast<const char*>(p), n);
+    if (n != 0) buffer_.append(static_cast<const char*>(p), n);
   }
   std::string buffer_;
 };
@@ -161,7 +167,9 @@ class Reader {
     std::vector<num::SymTensor2> v(n);
     const std::size_t bytes = n * sizeof(num::SymTensor2);
     need(bytes);
-    std::memcpy(v.data(), payload_.data() + cursor_, bytes);
+    // n == 0 leaves v.data() null, and memcpy's pointer arguments must be
+    // valid even for a zero count (UBSan enforces this).
+    if (bytes != 0) std::memcpy(v.data(), payload_.data() + cursor_, bytes);
     cursor_ += bytes;
     return v;
   }
@@ -514,8 +522,26 @@ tsvlib::Placement load_placement(const std::string& path) {
   return tsvlib::Placement(structure, std::move(centers));
 }
 
-void save_engine_state(const std::string& path,
-                       const core::IncrementalEngine& engine) {
+std::string encode_placement(const tsvlib::Placement& p) {
+  Writer w;
+  put_structure(w, p.structure());
+  w.size(p.size());
+  for (const geo::Point& c : p.centers()) w.point(c);
+  return w.payload();
+}
+
+tsvlib::Placement decode_placement(const std::string& bytes) {
+  Reader r(bytes, "<embedded placement>");
+  tsvlib::TsvStructure structure = get_structure(r);
+  const std::size_t n = r.size();
+  std::vector<geo::Point> centers(n);
+  for (geo::Point& c : centers) c = r.point();
+  r.expect_end();
+  return tsvlib::Placement(structure, std::move(centers));
+}
+
+std::uint64_t save_engine_state(const std::string& path,
+                                const core::IncrementalEngine& engine) {
   const auto* radial =
       dynamic_cast<const core::RadialStressTable*>(&engine.table());
   TSV_REQUIRE(radial != nullptr,
@@ -571,7 +597,7 @@ void save_engine_state(const std::string& path,
   w.u8(surrogate != nullptr ? 1 : 0);
   if (surrogate != nullptr) put_surrogate(w, *surrogate);
 
-  w.commit(path, SnapshotKind::kEngineState);
+  return w.commit(path, SnapshotKind::kEngineState);
 }
 
 core::IncrementalEngine load_engine_state(const std::string& path) {

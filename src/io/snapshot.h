@@ -111,6 +111,13 @@ std::optional<ana::PairSurrogate> try_load_surrogate(const std::string& path);
 void save_placement(const std::string& path, const tsvlib::Placement& p);
 tsvlib::Placement load_placement(const std::string& path);
 
+/// In-memory equivalents of save/load_placement: the same payload bytes
+/// (structure + bitwise f64 centers) without the file header. The eco
+/// journal's open record embeds these so a session can be rebuilt exactly —
+/// placement *text* round-trips at print precision, these round-trip bits.
+std::string encode_placement(const tsvlib::Placement& p);
+tsvlib::Placement decode_placement(const std::string& bytes);
+
 // --- Incremental engine --------------------------------------------------
 
 /// Saves the full warm state of an engine: placement slots, options, both
@@ -119,9 +126,11 @@ tsvlib::Placement load_placement(const std::string& path);
 /// pair table, and — when one is attached to the model — the fitted
 /// certified surrogate (bitwise, certificate included). Requires the
 /// engine's single-TSV field to be a RadialStressTable (throws
-/// std::invalid_argument otherwise).
-void save_engine_state(const std::string& path,
-                       const core::IncrementalEngine& engine);
+/// std::invalid_argument otherwise). Returns the payload checksum, which
+/// the eco journal records in its anchor so replay can tell whether a
+/// journal suffix is already folded into the on-disk snapshot.
+std::uint64_t save_engine_state(const std::string& path,
+                                const core::IncrementalEngine& engine);
 
 /// Rebuilds an engine from a snapshot without re-evaluating anything: the
 /// radial table is decoded, the interactive model is re-characterized from

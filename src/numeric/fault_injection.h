@@ -35,6 +35,19 @@ enum class Site : int {
   /// after a successful save, simulating bit rot the checksum must catch at
   /// load time (graceful degradation to the series path, not a crash).
   kSurrogateCorrupt,
+  /// io/journal.cc: the armed journal append fails before writing any
+  /// bytes (disk full / EIO), exercising the snapshot-fallback durability
+  /// path in SessionManager.
+  kJournalWriteFail,
+  /// io/journal.cc: the armed journal append writes roughly half the
+  /// record, then fails — a torn tail that recovery must cut back to the
+  /// last complete record, loudly.
+  kJournalTornTail,
+  /// server/session_manager.cc: _exit(137) immediately after the journal
+  /// append of the armed eco batch — the ack was never sent, the journal
+  /// holds the batch. Crash recovery must replay it exactly once (the
+  /// kill-via-fork chaos test).
+  kEcoKillAfterJournal,
   kSiteCount_,  ///< sentinel, keep last
 };
 
@@ -48,6 +61,12 @@ inline const char* to_string(Site s) {
       return "checkpoint-truncate";
     case Site::kSurrogateCorrupt:
       return "surrogate-corrupt";
+    case Site::kJournalWriteFail:
+      return "journal-write-fail";
+    case Site::kJournalTornTail:
+      return "journal-torn-tail";
+    case Site::kEcoKillAfterJournal:
+      return "eco-kill-after-journal";
     case Site::kSiteCount_:
       break;
   }

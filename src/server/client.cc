@@ -1,7 +1,10 @@
 #include "server/client.h"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include <arpa/inet.h>
@@ -85,6 +88,69 @@ JsonValue Client::request(const std::string& op, const std::string& session) {
   JsonValue v = request(op);
   v.set("session", JsonValue(session));
   return v;
+}
+
+RetryingClient RetryingClient::unix_endpoint(std::string path,
+                                             RetryPolicy policy) {
+  return RetryingClient(std::move(path), std::string(), 0, policy);
+}
+
+RetryingClient RetryingClient::tcp_endpoint(std::string host, int port,
+                                            RetryPolicy policy) {
+  return RetryingClient(std::string(), std::move(host), port, policy);
+}
+
+bool RetryingClient::retry_safe(const JsonValue& request) {
+  const std::string op = request.string_or("op", "");
+  if (op == "ping" || op == "query" || op == "region" || op == "koz" ||
+      op == "stats" || op == "evict")
+    return true;
+  // An eco is replayable only when the server can recognize the replay.
+  if (op == "eco") return request.number_or("seq", 0.0) > 0.0;
+  return false;
+}
+
+Client& RetryingClient::connection() {
+  if (!conn_.has_value()) {
+    conn_ = unix_path_.empty() ? Client::connect_tcp(host_, port_)
+                               : Client::connect_unix(unix_path_);
+    ++stats_.reconnects;
+  }
+  return *conn_;
+}
+
+double RetryingClient::next_delay_ms() {
+  // Decorrelated jitter: each sleep is uniform in [base, 3 * previous],
+  // capped. Grows fast enough to ride out a restart, spreads concurrent
+  // retriers instead of synchronizing them.
+  const double hi =
+      std::max(policy_.base_delay_ms, 3.0 * std::max(prev_delay_ms_,
+                                                     policy_.base_delay_ms));
+  std::uniform_real_distribution<double> dist(policy_.base_delay_ms, hi);
+  prev_delay_ms_ = std::min(policy_.max_delay_ms, dist(rng_));
+  return prev_delay_ms_;
+}
+
+JsonValue RetryingClient::call_raw(const JsonValue& request) {
+  const bool safe = retry_safe(request);
+  const int attempts = std::max(1, policy_.max_attempts);
+  for (int attempt = 1;; ++attempt) {
+    ++stats_.attempts;
+    try {
+      return connection().call_raw(request);
+    } catch (const std::exception&) {
+      conn_.reset();  // the socket is suspect either way
+      if (!safe || attempt >= attempts) throw;
+    }
+    ++stats_.retries;
+    const auto delay = std::chrono::duration<double, std::milli>(
+        next_delay_ms());
+    std::this_thread::sleep_for(delay);
+  }
+}
+
+JsonValue RetryingClient::call(const JsonValue& request) {
+  return expect_ok(call_raw(request));
 }
 
 }  // namespace tsv::server

@@ -4,7 +4,20 @@
 // the matching tsv::Error subclass, so client code handles a remote
 // resource-limit refusal exactly like a local one; call_raw() returns the
 // response object untouched for code that inspects errors itself.
+//
+// RetryingClient wraps Client with reconnect + bounded retry for requests
+// that are safe to replay: read-only ops (ping/query/region/koz/stats),
+// evict (idempotent — evicting an absent session is a typed error either
+// way), and eco batches carrying a nonzero "seq", which the server dedupes
+// (protocol.h, Idempotency). A transport failure on any other request is
+// rethrown immediately — retrying a seq-less eco could double-apply it.
+// Backoff uses decorrelated jitter (delay = min(cap, U(base, 3*prev)))
+// from a seeded generator, so tests are reproducible while concurrent
+// clients still spread their retries.
 
+#include <cstdint>
+#include <optional>
+#include <random>
 #include <string>
 
 #include "server/json.h"
@@ -35,6 +48,71 @@ class Client {
  private:
   explicit Client(int fd) : fd_(fd) {}
   int fd_ = -1;
+};
+
+/// Knobs for RetryingClient's reconnect/backoff loop.
+struct RetryPolicy {
+  int max_attempts = 5;        ///< total tries per request (first + retries)
+  double base_delay_ms = 5.0;  ///< floor of the jittered backoff window
+  double max_delay_ms = 1000.0;  ///< cap on any single backoff sleep
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;  ///< jitter RNG seed
+};
+
+/// Lifetime counters for one RetryingClient.
+struct RetryStats {
+  std::uint64_t attempts = 0;    ///< round trips started (including firsts)
+  std::uint64_t retries = 0;     ///< re-sends after a transport failure
+  std::uint64_t reconnects = 0;  ///< sockets (re-)established
+};
+
+/// A Client that survives daemon restarts: transport failures (connection
+/// refused/reset, server closed mid-response, send deadline) on retry-safe
+/// requests are absorbed by reconnect + jittered backoff, up to
+/// RetryPolicy::max_attempts. Typed wire *error responses* are never
+/// retried — they are the server answering, not the transport failing.
+class RetryingClient {
+ public:
+  static RetryingClient unix_endpoint(std::string path, RetryPolicy policy);
+  static RetryingClient tcp_endpoint(std::string host, int port,
+                                     RetryPolicy policy);
+
+  /// True when a transport failure on `request` may be retried: read-only
+  /// ops, evict, or an eco with a nonzero "seq".
+  static bool retry_safe(const JsonValue& request);
+
+  /// One round trip with reconnect + retry (retry-safe requests only).
+  /// Exhausting max_attempts rethrows the last transport error.
+  JsonValue call_raw(const JsonValue& request);
+  /// call_raw + expect_ok (same contract as Client::call).
+  JsonValue call(const JsonValue& request);
+
+  /// Next value for an eco "seq" field: starts at 1, never repeats, so
+  /// every batch sent through this client is dedupe-protected.
+  std::uint64_t next_sequence() { return ++sequence_; }
+
+  const RetryStats& stats() const { return stats_; }
+
+ private:
+  RetryingClient(std::string unix_path, std::string host, int port,
+                 RetryPolicy policy)
+      : unix_path_(std::move(unix_path)),
+        host_(std::move(host)),
+        port_(port),
+        policy_(policy),
+        rng_(policy.seed) {}
+
+  Client& connection();     ///< connects (counting it) when not connected
+  double next_delay_ms();   ///< decorrelated-jitter backoff step
+
+  std::string unix_path_;  // non-empty => unix endpoint
+  std::string host_;
+  int port_ = 0;
+  RetryPolicy policy_;
+  std::optional<Client> conn_;
+  std::mt19937_64 rng_;
+  double prev_delay_ms_ = 0.0;
+  std::uint64_t sequence_ = 0;
+  RetryStats stats_;
 };
 
 }  // namespace tsv::server

@@ -1,9 +1,12 @@
 #include "server/protocol.h"
 
-#include <cerrno>
-#include <cstring>
-
+#include <poll.h>
+#include <sys/socket.h>
 #include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
 
 namespace tsv::server {
 namespace {
@@ -13,12 +16,21 @@ namespace {
                           std::strerror(errno));
 }
 
-/// Writes all of [buf, buf+n), retrying on EINTR and short writes.
+/// Writes all of [buf, buf+n), retrying on EINTR and short writes. EAGAIN
+/// means a send timeout (SO_SNDTIMEO) expired with the peer not reading —
+/// the write-side slow-loris — and is reported as the resource-limit it
+/// is, not as corruption.
 void write_all(int fd, const char* buf, std::size_t n) {
   while (n > 0) {
-    const ssize_t w = ::write(fd, buf, n);
+    // MSG_NOSIGNAL: a peer that closed mid-response must surface as EPIPE
+    // (-> IoCorruptionError), never as a process-killing SIGPIPE — the
+    // daemon ignores the signal, but library users may not.
+    const ssize_t w = ::send(fd, buf, n, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        throw ResourceLimitError(
+            "wire: send deadline exceeded (peer not reading)");
       io_error("write failed");
     }
     buf += w;
@@ -70,6 +82,114 @@ std::optional<std::string> read_frame(int fd) {
   if (len > 0 && !read_all(fd, body.data(), len))
     throw IoCorruptionError("wire: peer closed mid-frame (truncated)");
   return body;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Bounded-read state shared between the prefix and body reads of one
+/// frame: an optional wait for the first byte (idle), then a deadline
+/// covering the rest of the frame.
+struct BoundedReader {
+  int fd;
+  int idle_timeout_ms;
+  int frame_deadline_ms;
+  bool frame_started = false;
+  Clock::time_point deadline{};
+
+  /// Reads exactly n bytes. Returns false on clean EOF before any byte of
+  /// the frame; kIdle result is signaled by returning false with
+  /// `idle_expired` set. Throws ResourceLimitError when the frame deadline
+  /// passes mid-frame.
+  bool idle_expired = false;
+
+  bool read_exact(char* buf, std::size_t n) {
+    std::size_t got = 0;
+    while (got < n) {
+      wait_readable();
+      const ssize_t r = ::read(fd, buf + got, n - got);
+      if (r < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+          continue;  // poll gates the timing; EAGAIN here is spurious
+        io_error("read failed");
+      }
+      if (r == 0) {
+        if (!frame_started && got == 0) return false;  // clean EOF
+        throw IoCorruptionError("wire: peer closed mid-frame (truncated)");
+      }
+      got += static_cast<std::size_t>(r);
+      if (!frame_started) {
+        frame_started = true;
+        if (frame_deadline_ms > 0)
+          deadline = Clock::now() + std::chrono::milliseconds(frame_deadline_ms);
+      }
+    }
+    return true;
+  }
+
+ private:
+  void wait_readable() {
+    int wait_ms = -1;  // block
+    if (!frame_started) {
+      if (idle_timeout_ms > 0) wait_ms = idle_timeout_ms;
+    } else if (frame_deadline_ms > 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - Clock::now());
+      if (left.count() <= 0) deadline_exceeded();
+      wait_ms = static_cast<int>(left.count()) + 1;
+    }
+    struct pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    while (true) {
+      const int rc = ::poll(&pfd, 1, wait_ms);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        io_error("poll failed");
+      }
+      if (rc == 0) {
+        if (!frame_started) {
+          idle_expired = true;
+          throw IdleTimeout{};
+        }
+        deadline_exceeded();
+      }
+      return;  // readable (or hup/err — the read() will report it)
+    }
+  }
+
+  [[noreturn]] static void deadline_exceeded() {
+    throw ResourceLimitError(
+        "wire: frame not completed within the op deadline");
+  }
+
+ public:
+  /// Internal control-flow exception for the idle case (never escapes
+  /// read_frame_bounded).
+  struct IdleTimeout {};
+};
+
+}  // namespace
+
+FrameRead read_frame_bounded(int fd, int idle_timeout_ms,
+                             int frame_deadline_ms, std::string* frame) {
+  BoundedReader reader{fd, idle_timeout_ms, frame_deadline_ms};
+  try {
+    char prefix[4];
+    if (!reader.read_exact(prefix, sizeof(prefix))) return FrameRead::kEof;
+    std::uint32_t len = 0;
+    std::memcpy(&len, prefix, sizeof(len));
+    if (len > kMaxFrameBytes)
+      throw IoCorruptionError("wire: frame length " + std::to_string(len) +
+                              " exceeds the protocol maximum");
+    frame->assign(len, '\0');
+    if (len > 0 && !reader.read_exact(frame->data(), len))
+      throw IoCorruptionError("wire: peer closed mid-frame (truncated)");
+    return FrameRead::kFrame;
+  } catch (const BoundedReader::IdleTimeout&) {
+    return FrameRead::kIdleTimeout;
+  }
 }
 
 JsonValue make_ok() {

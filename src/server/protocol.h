@@ -31,6 +31,20 @@
 //
 // Doubles cross the wire via "%.17g" (server/json.h), so numeric responses
 // are bitwise-comparable to an in-process evaluation.
+//
+// Idempotency: an eco request may carry a client-generated "seq" (a
+// per-session monotonically increasing integer). The server journals the
+// sequence with the batch and dedupes: a retry of an already-applied
+// sequence is acked with "duplicate": true and applies nothing, so clients
+// may safely retry an eco whose ack was lost. "seq": 0 (or absent) opts
+// out of dedupe.
+//
+// Deadlines: when the daemon runs with --io-timeout / --op-deadline, a
+// connection idle past the io-timeout is closed silently, and a request
+// that cannot be read or answered within the op-deadline gets a typed
+// `resource-limit` wire error (code 5) before the connection is closed —
+// a slow-loris client costs a bounded amount of server time, never a
+// leaked thread.
 
 #include <cstdint>
 #include <optional>
@@ -54,6 +68,23 @@ void write_frame(int fd, const std::string& body);
 /// (peer closed); throws tsv::IoCorruptionError on truncation mid-frame or
 /// an oversized length prefix.
 std::optional<std::string> read_frame(int fd);
+
+/// Outcome of a bounded frame read (deadline-aware server loop).
+enum class FrameRead {
+  kFrame,        ///< `*frame` holds a complete frame
+  kEof,          ///< clean EOF at a frame boundary
+  kIdleTimeout,  ///< no first byte within idle_timeout_ms (close quietly)
+};
+
+/// read_frame with deadlines, for the server side. Waits up to
+/// `idle_timeout_ms` for the first byte of the length prefix (0 = forever);
+/// once a frame has started, the whole frame must arrive within
+/// `frame_deadline_ms` (0 = unlimited) or the read throws
+/// tsv::ResourceLimitError — the slow-loris case, which the caller turns
+/// into a typed wire error before disconnecting. Other failure modes match
+/// read_frame (IoCorruptionError on truncation/oversize).
+FrameRead read_frame_bounded(int fd, int idle_timeout_ms,
+                             int frame_deadline_ms, std::string* frame);
 
 /// {"ok":true} with room for op-specific fields.
 JsonValue make_ok();

@@ -61,6 +61,10 @@ JsonValue counters_json(const SessionCounters& c) {
   v.set("eco_ops", JsonValue(c.eco_ops));
   v.set("evictions", JsonValue(c.evictions));
   v.set("reloads", JsonValue(c.reloads));
+  v.set("journaled", JsonValue(c.journaled));
+  v.set("duplicates", JsonValue(c.duplicates));
+  v.set("replays", JsonValue(c.replays));
+  v.set("journal_fallbacks", JsonValue(c.journal_fallbacks));
   return v;
 }
 
@@ -121,48 +125,136 @@ StressServer::StressServer(ServerOptions options)
 
 StressServer::~StressServer() {
   stop();
+  std::map<std::uint64_t, Connection> remaining;
   {
     std::lock_guard<std::mutex> lk(threads_mu_);
-    for (std::thread& t : threads_)
-      if (t.joinable()) t.join();
-    threads_.clear();
+    // Wake reads blocked in connection threads so they observe stop_.
+    for (auto& [id, conn] : connections_) ::shutdown(conn.fd, SHUT_RDWR);
+    remaining.swap(connections_);
+    finished_.clear();
   }
+  for (auto& [id, conn] : remaining)
+    if (conn.thread.joinable()) conn.thread.join();
   if (listen_fd_ >= 0) ::close(listen_fd_);
   if (!options_.unix_path.empty()) ::unlink(options_.unix_path.c_str());
 }
 
 void StressServer::stop() { stop_.store(true); }
 
+void StressServer::reap_finished_locked() {
+  for (const std::uint64_t id : finished_) {
+    const auto it = connections_.find(id);
+    if (it == connections_.end()) continue;  // already claimed by shutdown
+    if (it->second.thread.joinable()) it->second.thread.join();
+    connections_.erase(it);
+  }
+  finished_.clear();
+}
+
+std::size_t StressServer::connection_threads() {
+  std::lock_guard<std::mutex> lk(threads_mu_);
+  reap_finished_locked();
+  return connections_.size();
+}
+
+WireStats StressServer::wire_stats() const {
+  WireStats w;
+  w.connections = connections_total_.load(std::memory_order_relaxed);
+  w.idle_disconnects = idle_disconnects_.load(std::memory_order_relaxed);
+  w.deadline_disconnects =
+      deadline_disconnects_.load(std::memory_order_relaxed);
+  w.frame_errors = frame_errors_.load(std::memory_order_relaxed);
+  return w;
+}
+
 void StressServer::run() {
   while (!stop_.load()) {
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int n = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    {
+      // Reap every tick, not just on accepts, so a burst of short-lived
+      // connections doesn't linger as dead threads through a quiet spell.
+      std::lock_guard<std::mutex> lk(threads_mu_);
+      reap_finished_locked();
+    }
     if (n <= 0) continue;  // timeout or EINTR: re-check the stop flag
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
+    connections_total_.fetch_add(1, std::memory_order_relaxed);
     std::lock_guard<std::mutex> lk(threads_mu_);
-    threads_.emplace_back([this, fd] { serve_connection(fd); });
+    const std::uint64_t id = ++next_conn_id_;
+    Connection conn;
+    conn.fd = fd;
+    conn.thread = std::thread([this, fd, id] { serve_connection(fd, id); });
+    connections_.emplace(id, std::move(conn));
   }
+  std::map<std::uint64_t, Connection> remaining;
   {
     std::lock_guard<std::mutex> lk(threads_mu_);
-    for (std::thread& t : threads_)
-      if (t.joinable()) t.join();
-    threads_.clear();
+    for (auto& [id, conn] : connections_) ::shutdown(conn.fd, SHUT_RDWR);
+    remaining.swap(connections_);
+    finished_.clear();
   }
+  for (auto& [id, conn] : remaining)
+    if (conn.thread.joinable()) conn.thread.join();
   // Durable shutdown: every resident session lands in the snapshot
   // directory, where the next daemon's crash-recovery scan finds it.
   sessions_.evict_all();
 }
 
-void StressServer::serve_connection(int fd) {
+void StressServer::serve_connection(int fd, std::uint64_t id) {
+  // Kernel-level backstops behind the poll-based deadlines: SO_RCVTIMEO
+  // caps any single blocking read, SO_SNDTIMEO bounds response writes to a
+  // peer that stopped reading (write_all maps the resulting EAGAIN to a
+  // ResourceLimitError).
+  const auto set_timeout = [fd](int opt, int ms) {
+    if (ms <= 0) return;
+    timeval tv{};
+    tv.tv_sec = ms / 1000;
+    tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, opt, &tv, sizeof(tv));
+  };
+  set_timeout(SO_RCVTIMEO, std::max(options_.io_timeout_ms,
+                                    options_.op_deadline_ms));
+  set_timeout(SO_SNDTIMEO, options_.op_deadline_ms);
+
   try {
     while (!stop_.load()) {
-      const std::optional<std::string> frame = read_frame(fd);
-      if (!frame.has_value()) break;  // peer closed cleanly
+      std::string frame;
+      FrameRead fr;
+      try {
+        fr = read_frame_bounded(fd, options_.io_timeout_ms,
+                                options_.op_deadline_ms, &frame);
+      } catch (const ResourceLimitError& e) {
+        // Slow-loris: the frame started but never finished. Typed error,
+        // then disconnect — best effort, the peer may be beyond caring.
+        deadline_disconnects_.fetch_add(1, std::memory_order_relaxed);
+        try {
+          write_frame(fd, make_error(ErrorCategory::kResourceLimit,
+                                     e.what()).dump());
+        } catch (...) {
+        }
+        break;
+      } catch (const IoCorruptionError& e) {
+        // Oversized prefix or truncation mid-frame: the stream is
+        // unframeable from here on, so answer typed and disconnect.
+        frame_errors_.fetch_add(1, std::memory_order_relaxed);
+        try {
+          write_frame(fd, make_error(ErrorCategory::kIoCorruption,
+                                     e.what()).dump());
+        } catch (...) {
+        }
+        break;
+      }
+      if (fr == FrameRead::kEof) break;  // peer closed cleanly
+      if (fr == FrameRead::kIdleTimeout) {
+        idle_disconnects_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
       std::string op;
       JsonValue response = JsonValue::object();
       try {
-        const JsonValue request = JsonValue::parse(*frame);
+        const JsonValue request = JsonValue::parse(frame);
         op = request.string_or("op", "");
         response = handle(request);
       } catch (const Error& e) {
@@ -170,7 +262,12 @@ void StressServer::serve_connection(int fd) {
       } catch (const std::exception& e) {
         response = make_unknown_error(e.what());
       }
-      write_frame(fd, response.dump());
+      try {
+        write_frame(fd, response.dump());
+      } catch (const ResourceLimitError&) {
+        deadline_disconnects_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
       if (op == "shutdown" && response.bool_or("ok", false)) {
         stop();
         break;
@@ -180,6 +277,8 @@ void StressServer::serve_connection(int fd) {
     // Wire error (peer vanished mid-frame): drop the connection.
   }
   ::close(fd);
+  std::lock_guard<std::mutex> lk(threads_mu_);
+  finished_.push_back(id);
 }
 
 JsonValue StressServer::handle(const JsonValue& request) {
@@ -203,6 +302,8 @@ JsonValue StressServer::handle(const JsonValue& request) {
       spec.lookup = request.bool_or("lookup", spec.lookup);
       spec.quant_step = request.number_or("quant", spec.quant_step);
       spec.surrogate = request.bool_or("surrogate", spec.surrogate);
+      spec.journal_fsync =
+          request.bool_or("journal_fsync", spec.journal_fsync);
       sessions_.open(name, placement, spec);
       SessionManager::Guard guard = sessions_.use(name);
       JsonValue resp = make_ok();
@@ -224,6 +325,17 @@ JsonValue StressServer::handle(const JsonValue& request) {
       resp.set("admission_refusals", JsonValue(stats.admission_refusals));
       resp.set("evictions", JsonValue(stats.evictions));
       resp.set("reloads", JsonValue(stats.reloads));
+      resp.set("journal_replays", JsonValue(stats.journal_replays));
+      resp.set("journal_torn_tails", JsonValue(stats.journal_torn_tails));
+      resp.set("journal_fallbacks", JsonValue(stats.journal_fallbacks));
+      resp.set("durability_failures", JsonValue(stats.durability_failures));
+      const WireStats w = wire_stats();
+      JsonValue wire = JsonValue::object();
+      wire.set("connections", JsonValue(w.connections));
+      wire.set("idle_disconnects", JsonValue(w.idle_disconnects));
+      wire.set("deadline_disconnects", JsonValue(w.deadline_disconnects));
+      wire.set("frame_errors", JsonValue(w.frame_errors));
+      resp.set("wire", std::move(wire));
       JsonValue sessions = JsonValue::array();
       for (const SessionStats& s : stats.sessions) {
         JsonValue row = JsonValue::object();
@@ -432,24 +544,32 @@ JsonValue StressServer::handle(const JsonValue& request) {
           throw InvalidInputError("eco: unknown op kind '" + kind + "'");
         }
       }
-      const std::size_t pre_slots = engine.slot_count();
-      const core::ApplyStats stats = engine.apply(delta);
-      guard.count_eco(delta.size());
+      // The idempotency token: a retry resends the same "seq" and gets a
+      // duplicate ack instead of a double apply (0/absent opts out).
+      const std::uint64_t seq =
+          static_cast<std::uint64_t>(request.number_or("seq", 0.0));
+      const SessionManager::EcoResult result = guard.apply_eco(delta, seq);
       // Adds allocate slot ids sequentially in op order.
       JsonValue added = JsonValue::array();
-      std::size_t next_id = pre_slots;
-      for (const core::EcoOp& o : delta)
-        if (o.kind == core::EcoOp::Kind::kAdd)
-          added.items().push_back(JsonValue(next_id++));
+      if (!result.duplicate) {
+        std::size_t next_id = result.pre_slots;
+        for (const core::EcoOp& o : delta)
+          if (o.kind == core::EcoOp::Kind::kAdd)
+            added.items().push_back(JsonValue(next_id++));
+      }
       JsonValue resp = make_ok();
-      resp.set("ops", JsonValue(stats.ops));
-      resp.set("dirty_points", JsonValue(stats.dirty_points));
-      resp.set("stage1_point_updates", JsonValue(stats.stage1_point_updates));
-      resp.set("stage2_point_updates", JsonValue(stats.stage2_point_updates));
-      resp.set("removed_pairs", JsonValue(stats.removed_pairs));
-      resp.set("added_pairs", JsonValue(stats.added_pairs));
+      resp.set("ops", JsonValue(result.stats.ops));
+      resp.set("dirty_points", JsonValue(result.stats.dirty_points));
+      resp.set("stage1_point_updates",
+               JsonValue(result.stats.stage1_point_updates));
+      resp.set("stage2_point_updates",
+               JsonValue(result.stats.stage2_point_updates));
+      resp.set("removed_pairs", JsonValue(result.stats.removed_pairs));
+      resp.set("added_pairs", JsonValue(result.stats.added_pairs));
       resp.set("tsvs", JsonValue(engine.active_count()));
       resp.set("added_ids", std::move(added));
+      resp.set("seq", JsonValue(seq));
+      resp.set("duplicate", JsonValue(result.duplicate));
       return resp;
     }
 

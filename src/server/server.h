@@ -13,9 +13,19 @@
 // concurrently on their own connections. `shutdown` evicts every resident
 // session (durable snapshots on disk) before the accept loop exits, and a
 // restarted daemon pointed at the same snapshot directory recovers them.
+//
+// Every socket operation is bounded when the deadline options are set:
+// idle connections are closed after `io_timeout_ms`, and a request that
+// cannot be read or answered within `op_deadline_ms` gets a typed
+// `resource-limit` wire error before its connection is dropped — so a
+// slow-loris client pins a thread for at most one deadline. Finished
+// connection threads are reaped continuously (not accumulated until
+// shutdown), keeping the daemon's thread count proportional to live
+// connections.
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -34,6 +44,21 @@ struct ServerOptions {
   int port = 0;  ///< TCP port; 0 = kernel-assigned (see StressServer::port)
   std::string snapshot_dir = "snapshots";
   SessionLimits limits{};
+  /// Close a connection idle for this long between requests (0 = never).
+  int io_timeout_ms = 0;
+  /// Once a request frame starts arriving, the frame must complete (and
+  /// its response must be writable) within this budget, or the client is
+  /// sent a typed `resource-limit` error and disconnected (0 = unlimited).
+  /// Bounds the damage of a slow-loris client to one deadline per thread.
+  int op_deadline_ms = 0;
+};
+
+/// Wire-level connection counters, exposed by the stats endpoint.
+struct WireStats {
+  std::uint64_t connections = 0;          ///< accepted, lifetime
+  std::uint64_t idle_disconnects = 0;     ///< closed by the io-timeout
+  std::uint64_t deadline_disconnects = 0;  ///< closed by the op deadline
+  std::uint64_t frame_errors = 0;  ///< malformed/truncated/oversized frames
 };
 
 class StressServer {
@@ -64,8 +89,18 @@ class StressServer {
   /// failures come back as wire error objects.
   JsonValue handle(const JsonValue& request);
 
+  /// Wire counters (accepted / idle-closed / deadline-closed / frame
+  /// errors); also reported by the stats op.
+  WireStats wire_stats() const;
+
+  /// Live connection threads right now (reaps finished ones first). Lets
+  /// tests assert the accept loop does not accumulate dead threads.
+  std::size_t connection_threads();
+
  private:
-  void serve_connection(int fd);
+  void serve_connection(int fd, std::uint64_t id);
+  /// Joins and erases every connection thread that announced completion.
+  void reap_finished_locked();
 
   ServerOptions options_;
   SessionManager sessions_;
@@ -74,8 +109,23 @@ class StressServer {
   std::string endpoint_;
   std::atomic<bool> stop_{false};
 
+  // Connection registry: id -> (thread, fd). Finished threads enqueue
+  // their id and are joined on the next accept tick, so a long-lived
+  // daemon's thread count tracks *live* connections, not lifetime ones.
+  // The fd is kept so shutdown can wake reads blocked in connections.
+  struct Connection {
+    std::thread thread;
+    int fd = -1;
+  };
   std::mutex threads_mu_;
-  std::vector<std::thread> threads_;
+  std::uint64_t next_conn_id_ = 0;
+  std::map<std::uint64_t, Connection> connections_;
+  std::vector<std::uint64_t> finished_;
+
+  std::atomic<std::uint64_t> connections_total_{0};
+  std::atomic<std::uint64_t> idle_disconnects_{0};
+  std::atomic<std::uint64_t> deadline_disconnects_{0};
+  std::atomic<std::uint64_t> frame_errors_{0};
 };
 
 }  // namespace tsv::server

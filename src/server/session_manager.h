@@ -21,6 +21,22 @@
 //     valid engine-state snapshot becomes an evicted-but-known session, so
 //     a restarted daemon serves yesterday's sessions from their last saved
 //     state. Corrupt files are skipped (and reported), never trusted.
+//   * Durability (write-ahead eco journal). Every eco batch is appended to
+//     <snapshot_dir>/<name>.jrnl (checksummed, fsynced by default) after
+//     the engine applied it and before the ack, so a SIGKILL cannot lose
+//     an acknowledged edit: recovery replays journal-on-top-of-snapshot
+//     (or rebuilds from the journal's open record when no snapshot landed
+//     yet) and the restarted session is bitwise identical to one that shut
+//     down cleanly. Snapshots truncate the journal down to an anchor
+//     carrying the snapshot's payload checksum + the sequence watermark;
+//     replay starts after the last anchor matching the on-disk snapshot,
+//     which keeps the crash window between "snapshot written" and "journal
+//     reset" from double-applying. Client-supplied eco sequence numbers
+//     are deduped against the journaled watermark, so a retry after a
+//     lost ack is acked as a no-op instead of applied twice. If a journal
+//     append fails the batch is made durable the expensive way (immediate
+//     snapshot + journal reset); only when both fail does the eco error
+//     out — with the watermark advanced, so even then a retry dedupes.
 //
 // Concurrency contract (mirrors the repo's determinism rules): each session
 // has its own work mutex, so all engine use — edits *and* queries — is
@@ -33,6 +49,7 @@
 // its victim with try_lock, so a session actively serving a request is
 // never evicted out from under it (and lock order cannot cycle).
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -58,6 +75,11 @@ struct SessionSpec {
   bool lookup = false;   ///< Stage II via quantized polar tables
   double quant_step = 0.25;
   bool surrogate = false;  ///< fit + attach the certified surrogate
+  /// fsync the eco journal on every acked batch (full durability). false
+  /// trades power-loss durability for eco latency: process death still
+  /// cannot lose an acked batch (the page cache survives it), only a
+  /// machine-level crash can. Persisted in the journal header.
+  bool journal_fsync = true;
 };
 
 /// Monotonic per-session counters, exposed by the stats endpoint.
@@ -70,6 +92,10 @@ struct SessionCounters {
   std::uint64_t eco_ops = 0;        ///< individual ops across batches
   std::uint64_t evictions = 0;      ///< times snapshot-evicted
   std::uint64_t reloads = 0;        ///< transparent snapshot reloads
+  std::uint64_t journaled = 0;      ///< batches made durable via the journal
+  std::uint64_t duplicates = 0;     ///< deduped eco retries (no-op acks)
+  std::uint64_t replays = 0;        ///< batches replayed at reload/recovery
+  std::uint64_t journal_fallbacks = 0;  ///< durable via snapshot instead
 };
 
 struct SessionStats {
@@ -92,6 +118,10 @@ struct ManagerStats {
   std::uint64_t admission_refusals = 0;
   std::uint64_t evictions = 0;  ///< global, including forced ones
   std::uint64_t reloads = 0;
+  std::uint64_t journal_replays = 0;     ///< eco batches replayed, global
+  std::uint64_t journal_torn_tails = 0;  ///< damaged tails cut back
+  std::uint64_t journal_fallbacks = 0;   ///< appends degraded to snapshots
+  std::uint64_t durability_failures = 0;  ///< both paths failed (eco errored)
   std::vector<SessionStats> sessions;
 };
 
@@ -119,12 +149,31 @@ class SessionManager {
 
   class Session;
 
+  /// Outcome of one Guard::apply_eco call.
+  struct EcoResult {
+    bool duplicate = false;  ///< sequence already applied; nothing done
+    /// The journal append failed, so the batch was made durable via an
+    /// immediate snapshot instead (slow but safe).
+    bool journal_fallback = false;
+    core::ApplyStats stats;      ///< zeros when duplicate
+    std::size_t pre_slots = 0;   ///< slot count before the batch (add ids)
+  };
+
   /// Exclusive access to a session's engine for the duration of one
   /// request. Acquiring the guard transparently reloads an evicted session
-  /// from its snapshot (counting a reload) and bumps the LRU clock.
+  /// from its snapshot + journal (counting a reload) and bumps the LRU
+  /// clock.
   class Guard {
    public:
     core::IncrementalEngine& engine();
+    /// Applies one eco batch with the durability contract: dedupe by
+    /// `sequence` (0 = no idempotency token), apply, journal, then return
+    /// — callers ack only after this returns, so every acked batch is
+    /// recoverable. Throws InvalidInputError (batch invalid, nothing
+    /// applied or journaled) or IoCorruptionError (applied in memory but
+    /// could not be made durable; the sequence watermark still advanced,
+    /// so a retry dedupes instead of double-applying).
+    EcoResult apply_eco(const core::Delta& delta, std::uint64_t sequence);
     /// Counter bumps for the stats endpoint (thread-safe vs stats()).
     void count_query(std::size_t points);
     void count_region();
@@ -137,8 +186,9 @@ class SessionManager {
 
    private:
     friend class SessionManager;
-    Guard(std::shared_ptr<Session> session,
+    Guard(SessionManager* manager, std::shared_ptr<Session> session,
           std::unique_lock<std::mutex> lock);
+    SessionManager* manager_ = nullptr;
     std::shared_ptr<Session> session_;
     std::unique_lock<std::mutex> lock_;
   };
@@ -164,8 +214,15 @@ class SessionManager {
   ManagerStats stats() const;
 
  private:
+  struct RestoredState;
   std::shared_ptr<Session> find(const std::string& name) const;
   std::string snapshot_path(const std::string& name) const;
+  std::string journal_path(const std::string& name) const;
+  /// Rebuilds a session's engine from its on-disk state: snapshot + journal
+  /// replay, or journal-only (open record rebuild) when no snapshot landed.
+  /// Leaves the files normalized (fresh snapshot + anchored journal) when
+  /// anything was replayed or repaired. Caller holds the session's work_mu.
+  RestoredState restore_from_disk(const std::string& name);
   /// Under mu_: evicts LRU idle sessions until `needed` more bytes fit
   /// under the global budget and a resident slot is free. Returns false
   /// when that is impossible without touching busy sessions or `keep`.
@@ -183,6 +240,12 @@ class SessionManager {
   std::uint64_t admission_refusals_ = 0;
   std::uint64_t evictions_ = 0;
   std::uint64_t reloads_ = 0;
+  // Durability counters; atomic because apply_eco and restore run under a
+  // session's work mutex, not mu_.
+  std::atomic<std::uint64_t> journal_replays_{0};
+  std::atomic<std::uint64_t> journal_torn_tails_{0};
+  std::atomic<std::uint64_t> journal_fallbacks_{0};
+  std::atomic<std::uint64_t> durability_failures_{0};
 };
 
 }  // namespace tsv::server

@@ -17,7 +17,10 @@
 #include <vector>
 
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
+
+#include <chrono>
 
 #include "analytic/interaction.h"
 #include "analytic/single_tsv.h"
@@ -473,6 +476,177 @@ TEST_F(ServerEndToEnd, ShutdownPersistsSessionsForRecovery) {
   q.set("points", server::JsonValue::parse("[[5,4]]"));
   const server::JsonValue resp = server::expect_ok(reborn.handle(q));
   EXPECT_EQ(resp.at("value").as_array().size(), 1u);
+}
+
+TEST_F(ServerEndToEnd, EcoSequenceNumbersDedupeOverTheWire) {
+  server::Client client = connect();
+  server::JsonValue open = server::Client::request("open", "chip");
+  open.set("placement", server::JsonValue(kPlacementText));
+  open.set("spacing", server::JsonValue(1.0));
+  open.set("margin", server::JsonValue(5.0));
+  client.call(open);
+
+  server::JsonValue eco = server::Client::request("eco", "chip");
+  eco.set("ops", server::JsonValue::parse(R"([{"op":"add","x":12,"y":10}])"));
+  eco.set("seq", server::JsonValue(1));
+  const server::JsonValue first = client.call(eco);
+  EXPECT_FALSE(first.at("duplicate").as_bool());
+  EXPECT_EQ(first.at("seq").as_number(), 1.0);
+  EXPECT_EQ(first.at("added_ids").as_array().size(), 1u);
+
+  // The retry after a "lost ack": same sequence, acked as a no-op.
+  const server::JsonValue again = client.call(eco);
+  EXPECT_TRUE(again.at("duplicate").as_bool());
+  EXPECT_EQ(again.at("added_ids").as_array().size(), 0u);
+  EXPECT_EQ(again.at("ops").as_number(), 0.0);  // nothing re-applied
+
+  const server::JsonValue stats =
+      client.call(server::Client::request("stats"));
+  const auto& counters =
+      stats.at("sessions").as_array().at(0).at("counters");
+  EXPECT_EQ(counters.at("edits").as_number(), 1.0);
+  EXPECT_EQ(counters.at("journaled").as_number(), 1.0);
+  EXPECT_EQ(counters.at("duplicates").as_number(), 1.0);
+}
+
+// --- Protocol robustness (fuzz-ish negative paths) -------------------------
+
+int raw_connect(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+TEST_F(ServerEndToEnd, MalformedJsonFramesGetTypedErrorsAndConnectionLives) {
+  const int fd = raw_connect(dir_ + "/daemon.sock");
+  for (const char* bad : {"{not json", "", "[1,2,3]", "42", "{\"op\":7}"}) {
+    server::write_frame(fd, bad);
+    const std::optional<std::string> reply = server::read_frame(fd);
+    ASSERT_TRUE(reply.has_value()) << bad;
+    const server::JsonValue resp = server::JsonValue::parse(*reply);
+    EXPECT_FALSE(resp.at("ok").as_bool()) << bad;
+    EXPECT_EQ(resp.at("error").at("code").as_number(), 2.0) << bad;
+  }
+  // The connection survived every malformed frame.
+  server::write_frame(fd, R"({"op":"ping"})");
+  const server::JsonValue pong =
+      server::JsonValue::parse(server::read_frame(fd).value());
+  EXPECT_TRUE(pong.at("ok").as_bool());
+  ::close(fd);
+}
+
+TEST_F(ServerEndToEnd, OversizedLengthPrefixGetsIoCorruptionThenClose) {
+  const int fd = raw_connect(dir_ + "/daemon.sock");
+  const std::uint32_t huge = 0xffffffffu;  // far past kMaxFrameBytes
+  ASSERT_EQ(::send(fd, &huge, sizeof(huge), 0),
+            static_cast<ssize_t>(sizeof(huge)));
+  const std::optional<std::string> reply = server::read_frame(fd);
+  ASSERT_TRUE(reply.has_value());
+  const server::JsonValue resp = server::JsonValue::parse(*reply);
+  EXPECT_FALSE(resp.at("ok").as_bool());
+  EXPECT_EQ(resp.at("error").at("code").as_number(), 4.0);
+  // The stream is unframeable: the server closes after answering.
+  EXPECT_FALSE(server::read_frame(fd).has_value());
+  ::close(fd);
+  EXPECT_GE(daemon_->wire_stats().frame_errors, 1u);
+}
+
+TEST_F(ServerEndToEnd, MidFrameDisconnectNeverHangsTheServer) {
+  const int fd = raw_connect(dir_ + "/daemon.sock");
+  const char partial[] = {64, 0, 0, 0, 'x'};  // promises 64 bytes, sends 1
+  ASSERT_EQ(::send(fd, partial, sizeof(partial), 0),
+            static_cast<ssize_t>(sizeof(partial)));
+  ::close(fd);  // vanish mid-frame
+
+  // The daemon keeps serving new connections.
+  server::Client client = connect();
+  EXPECT_TRUE(
+      client.call(server::Client::request("ping")).at("ok").as_bool());
+
+  // And the dead connection's thread is reaped, not leaked: only the live
+  // client (plus transient teardown) remains.
+  for (int i = 0; i < 100 && daemon_->connection_threads() > 1; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_LE(daemon_->connection_threads(), 1u);
+}
+
+TEST_F(ServerEndToEnd, FinishedConnectionThreadsAreReaped) {
+  for (int i = 0; i < 8; ++i) {
+    server::Client client = connect();
+    client.call(server::Client::request("ping"));
+  }  // all eight clients disconnected
+  for (int i = 0; i < 100 && daemon_->connection_threads() > 0; ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(daemon_->connection_threads(), 0u);
+  EXPECT_GE(daemon_->wire_stats().connections, 8u);
+}
+
+// --- Deadlines -------------------------------------------------------------
+
+class DeadlineServer : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fresh_dir("deadline_daemon");
+    server::ServerOptions options;
+    options.unix_path = dir_ + "/daemon.sock";
+    options.snapshot_dir = dir_ + "/snaps";
+    std::filesystem::create_directories(options.snapshot_dir);
+    options.io_timeout_ms = 200;
+    options.op_deadline_ms = 200;
+    daemon_ = std::make_unique<server::StressServer>(options);
+    thread_ = std::thread([this] { daemon_->run(); });
+  }
+
+  void TearDown() override {
+    daemon_->stop();
+    thread_.join();
+    daemon_.reset();
+  }
+
+  std::string dir_;
+  std::unique_ptr<server::StressServer> daemon_;
+  std::thread thread_;
+};
+
+TEST_F(DeadlineServer, SlowLorisGetsTypedResourceLimitErrorThenDisconnect) {
+  const int fd = raw_connect(dir_ + "/daemon.sock");
+  // Start a frame but never finish it: two bytes of the length prefix.
+  ASSERT_EQ(::send(fd, "\x08\x00", 2, 0), 2);
+  const std::optional<std::string> reply = server::read_frame(fd);
+  ASSERT_TRUE(reply.has_value());
+  const server::JsonValue resp = server::JsonValue::parse(*reply);
+  EXPECT_FALSE(resp.at("ok").as_bool());
+  EXPECT_EQ(resp.at("error").at("code").as_number(), 5.0);
+  EXPECT_EQ(resp.at("error").at("category").as_string(), "resource-limit");
+  EXPECT_FALSE(server::read_frame(fd).has_value());  // then disconnected
+  ::close(fd);
+  EXPECT_GE(daemon_->wire_stats().deadline_disconnects, 1u);
+
+  // The timeout counters are on the wire too.
+  server::Client client =
+      server::Client::connect_unix(dir_ + "/daemon.sock");
+  const server::JsonValue stats =
+      client.call(server::Client::request("stats"));
+  EXPECT_GE(stats.at("wire").at("deadline_disconnects").as_number(), 1.0);
+}
+
+TEST_F(DeadlineServer, IdleConnectionsAreClosedQuietly) {
+  const int fd = raw_connect(dir_ + "/daemon.sock");
+  // Send nothing: the idle timeout closes the connection without a frame.
+  EXPECT_FALSE(server::read_frame(fd).has_value());
+  ::close(fd);
+  EXPECT_GE(daemon_->wire_stats().idle_disconnects, 1u);
+
+  // An active client is unaffected by its neighbors idling out.
+  server::Client client =
+      server::Client::connect_unix(dir_ + "/daemon.sock");
+  EXPECT_TRUE(
+      client.call(server::Client::request("ping")).at("ok").as_bool());
 }
 
 TEST_F(ServerEndToEnd, ResourceLimitRefusalCrossesTheWireAsCode5) {

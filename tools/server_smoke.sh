@@ -5,7 +5,9 @@
 # transparent reload, stats, clean shutdown), and asserts the CLI exit
 # codes follow the error taxonomy (0 ok, 2 invalid input). Also checks the
 # durability contract: a region map re-read after eviction and after a full
-# daemon restart is byte-identical (%.17g CSV) to the original.
+# daemon restart is byte-identical (%.17g CSV) to the original, and an eco
+# batch acked before a kill -9 survives the crash via journal replay — with
+# a duplicate-seq retry of that batch acked as a no-op.
 #
 # Usage: server_smoke.sh <path-to-tsvstress_server> <path-to-tsvstress_cli>
 set -u
@@ -136,6 +138,36 @@ expect_code 0 "region map after daemon restart" \
   region --session=chip "--out=$WORK/after_restart.csv"
 expect_identical "recovered field is byte-identical" \
   "$WORK/before.csv" "$WORK/after_restart.csv"
+
+# --- kill -9 mid-session: journal replay + duplicate-seq dedupe ----------
+cat >"$WORK/edits2.txt" <<EOF
+add 20 20
+EOF
+expect_code 0 "journaled eco (seq=1)" \
+  eco --session=chip "--edits=$WORK/edits2.txt" --seq=1
+expect_code 0 "region map after journaled eco" \
+  region --session=chip "--out=$WORK/replay_before.csv"
+kill -9 "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null
+DAEMON_PID=""
+start_daemon
+expect_code 0 "region map after kill -9 + replay" \
+  region --session=chip "--out=$WORK/replay_after.csv" --retries=3
+expect_identical "replayed field is byte-identical" \
+  "$WORK/replay_before.csv" "$WORK/replay_after.csv"
+expect_code 0 "duplicate eco retry (seq=1)" \
+  eco --session=chip "--edits=$WORK/edits2.txt" --seq=1
+if grep -q '"duplicate":true' "$WORK/out.log"; then
+  echo "ok [duplicate seq acked as no-op]"
+else
+  echo "FAIL [duplicate seq acked as no-op]: response lacked duplicate:true" >&2
+  fails=$((fails + 1))
+fi
+expect_code 0 "region map after duplicate retry" \
+  region --session=chip "--out=$WORK/replay_dup.csv"
+expect_identical "duplicate retry applied nothing" \
+  "$WORK/replay_before.csv" "$WORK/replay_dup.csv"
+
 expect_code 0 "close session (discard)" close --session=chip --discard
 if [ -e "$SNAPS/chip.snap" ]; then
   echo "FAIL [discard removes snapshot]: $SNAPS/chip.snap survived" >&2

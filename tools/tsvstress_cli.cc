@@ -705,6 +705,19 @@ server::Client connect_client(const std::string& endpoint) {
                                      std::stoi(endpoint.substr(colon + 1)));
 }
 
+server::RetryingClient retrying_client(const std::string& endpoint,
+                                       server::RetryPolicy policy) {
+  if (endpoint.rfind("unix:", 0) == 0)
+    return server::RetryingClient::unix_endpoint(endpoint.substr(5), policy);
+  const auto colon = endpoint.rfind(':');
+  if (colon == std::string::npos)
+    throw std::invalid_argument("--connect needs unix:PATH or HOST:PORT, got " +
+                                endpoint);
+  return server::RetryingClient::tcp_endpoint(
+      endpoint.substr(0, colon), std::stoi(endpoint.substr(colon + 1)),
+      policy);
+}
+
 server::JsonValue delta_to_json(const core::Delta& delta) {
   server::JsonValue ops = server::JsonValue::array();
   for (const core::EcoOp& o : delta) {
@@ -743,8 +756,11 @@ int run_client(const std::vector<std::string>& args) {
       "  region: --session=S [--box=x0,y0,x1,y1] [--measure=M] [--out=CSV]\n"
       "  koz:    --session=S [--limit=MPa] [--rays=N] [--radial-step=X]\n"
       "          [--max-radius=X] [--measure=M]\n"
-      "  eco:    --session=S --edits=FILE   (same script format as eco)\n"
-      "  evict/close: --session=S [--discard]";
+      "  eco:    --session=S --edits=FILE [--seq=N]  (same script as eco;\n"
+      "          --seq makes the batch idempotent under retry)\n"
+      "  evict/close: --session=S [--discard]\n"
+      "  any op: --retries=N  retry transport failures with reconnect +\n"
+      "          jittered backoff (retry-safe requests only)";
   std::string connect;
   std::string op;
   std::string session;
@@ -757,6 +773,8 @@ int run_client(const std::vector<std::string>& args) {
   double spacing = 0.0, margin = -1.0, quant = 0.0;
   double limit = 0.0, radial_step = 0.0, max_radius = 0.0, rays = 0.0;
   bool lookup = false, surrogate = false, discard = false;
+  std::uint64_t seq = 0;
+  int retries = 0;
   for (const std::string& arg : args) {
     const auto value = [&](const char* prefix) {
       return arg.substr(std::strlen(prefix));
@@ -785,6 +803,10 @@ int run_client(const std::vector<std::string>& args) {
       radial_step = std::stod(value("--radial-step="));
     else if (arg.rfind("--max-radius=", 0) == 0)
       max_radius = std::stod(value("--max-radius="));
+    else if (arg.rfind("--seq=", 0) == 0)
+      seq = std::stoull(value("--seq="));
+    else if (arg.rfind("--retries=", 0) == 0)
+      retries = std::stoi(value("--retries="));
     else if (arg == "--lookup") lookup = true;
     else if (arg == "--surrogate") surrogate = true;
     else if (arg == "--discard") discard = true;
@@ -795,7 +817,6 @@ int run_client(const std::vector<std::string>& args) {
   }
   if (op.empty()) throw std::invalid_argument(kUsage);
 
-  server::Client client = connect_client(connect);
   server::JsonValue req = session.empty()
                               ? server::Client::request(op)
                               : server::Client::request(op, session);
@@ -846,11 +867,24 @@ int run_client(const std::vector<std::string>& args) {
   } else if (op == "eco") {
     if (edits_file.empty()) throw std::invalid_argument("eco needs --edits=");
     req.set("ops", delta_to_json(read_edit_script(edits_file)));
+    if (seq > 0) req.set("seq", server::JsonValue(static_cast<double>(seq)));
   } else if (op == "close") {
     if (discard) req.set("discard", server::JsonValue(true));
   }
 
-  const server::JsonValue resp = client.call(req);
+  server::JsonValue resp;
+  if (retries > 0) {
+    if (connect.empty())
+      throw std::invalid_argument(
+          "--connect=unix:PATH or --connect=HOST:PORT is required");
+    server::RetryPolicy policy;
+    policy.max_attempts = retries + 1;
+    server::RetryingClient client = retrying_client(connect, policy);
+    resp = client.call(req);
+  } else {
+    server::Client client = connect_client(connect);
+    resp = client.call(req);
+  }
   if (op == "query") {
     const auto& xs = resp.at("x").as_array();
     const auto& ys = resp.at("y").as_array();

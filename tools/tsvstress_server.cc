@@ -10,6 +10,12 @@
 //     --max-sessions=N        resident engines at once (default 16)
 //     --session-budget-mb=N   per-session admission budget (default 512)
 //     --global-budget-mb=N    total resident budget (default 2048)
+//     --io-timeout=SECS       close a connection idle this long between
+//                             requests (fractional ok; default: never)
+//     --op-deadline=SECS      a started request frame must complete (and
+//                             its response be writable) within this budget
+//                             or the client gets a typed resource-limit
+//                             error and is disconnected (default: unlimited)
 //
 // The daemon prints "listening on <endpoint>" once it accepts connections
 // and serves until a `shutdown` request or SIGINT/SIGTERM; every resident
@@ -64,6 +70,12 @@ int main(int argc, char** argv) {
       } else if (arg.rfind("--global-budget-mb=", 0) == 0) {
         options.limits.global_budget_bytes =
             std::stoull(value("--global-budget-mb=")) << 20;
+      } else if (arg.rfind("--io-timeout=", 0) == 0) {
+        options.io_timeout_ms =
+            static_cast<int>(std::stod(value("--io-timeout=")) * 1000.0);
+      } else if (arg.rfind("--op-deadline=", 0) == 0) {
+        options.op_deadline_ms =
+            static_cast<int>(std::stod(value("--op-deadline=")) * 1000.0);
       } else {
         throw InvalidInputError("unknown option: " + arg);
       }
