@@ -545,13 +545,22 @@ JsonValue StressServer::handle(const JsonValue& request) {
         }
       }
       // The idempotency token: a retry resends the same "seq" and gets a
-      // duplicate ack instead of a double apply (0/absent opts out).
-      const std::uint64_t seq =
-          static_cast<std::uint64_t>(request.number_or("seq", 0.0));
+      // duplicate ack instead of a double apply (0/absent opts out). The
+      // wire value is a double, so a negative or fractional seq would be
+      // UB / silently lossy in the unsigned cast — reject it typed, and
+      // cap at 2^53 where doubles stop holding integers exactly.
+      const double seq_raw = request.number_or("seq", 0.0);
+      if (!(seq_raw >= 0.0) || seq_raw != std::floor(seq_raw) ||
+          seq_raw > 9007199254740992.0)
+        throw InvalidInputError(
+            "eco: \"seq\" must be a non-negative integer <= 2^53");
+      const std::uint64_t seq = static_cast<std::uint64_t>(seq_raw);
       const SessionManager::EcoResult result = guard.apply_eco(delta, seq);
-      // Adds allocate slot ids sequentially in op order.
+      // Adds allocate slot ids sequentially in op order. A duplicate ack
+      // repeats them when they are reconstructible (retry of the newest
+      // batch); "added_ids_known" tells the client which case it got.
       JsonValue added = JsonValue::array();
-      if (!result.duplicate) {
+      if (result.ids_known) {
         std::size_t next_id = result.pre_slots;
         for (const core::EcoOp& o : delta)
           if (o.kind == core::EcoOp::Kind::kAdd)
@@ -568,6 +577,7 @@ JsonValue StressServer::handle(const JsonValue& request) {
       resp.set("added_pairs", JsonValue(result.stats.added_pairs));
       resp.set("tsvs", JsonValue(engine.active_count()));
       resp.set("added_ids", std::move(added));
+      resp.set("added_ids_known", JsonValue(result.ids_known));
       resp.set("seq", JsonValue(seq));
       resp.set("duplicate", JsonValue(result.duplicate));
       return resp;

@@ -143,6 +143,10 @@ class SessionManager::Session {
   // session touches it).
   std::unique_ptr<io::EcoJournal> journal;  ///< null until open/restore
   std::uint64_t last_sequence = 0;  ///< dedupe watermark for eco retries
+  /// Highest sequence known to be on disk (journal or snapshot). Trails
+  /// last_sequence only after a total durability failure; a retry of a
+  /// sequence in the gap must re-attempt durability before being acked.
+  std::uint64_t last_durable_sequence = 0;
 
   // Guarded by SessionManager::mu_.
   std::uint64_t estimated_bytes = 0;  ///< resident footprint (or hint)
@@ -215,10 +219,44 @@ SessionManager::EcoResult SessionManager::Guard::apply_eco(
   EcoResult res;
 
   // Idempotency: a sequence at or below the watermark was already applied
-  // (and journaled or snapshotted) — the ack just got lost. Ack again,
-  // touch nothing.
+  // — the ack just got lost. Ack again without re-applying.
   if (sequence != 0 && sequence <= s.last_sequence) {
     res.duplicate = true;
+    if (sequence > s.last_durable_sequence) {
+      // The earlier attempt applied this batch in memory but both
+      // durability paths failed (the eco errored out). The retry is the
+      // chance to close that gap: snapshot now and only ack once the
+      // state is on disk — or error out again so the client keeps
+      // retrying instead of believing a volatile batch durable.
+      try {
+        const std::uint64_t checksum = io::save_engine_state(
+            manager_->snapshot_path(s.name), *s.engine);
+        s.journal->reset_to_anchor({checksum, s.last_sequence});
+        s.last_durable_sequence = s.last_sequence;
+        manager_->journal_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lk(s.meta);
+        ++s.counters.journal_fallbacks;
+      } catch (const std::exception& e) {
+        manager_->durability_failures_.fetch_add(1,
+                                                 std::memory_order_relaxed);
+        throw IoCorruptionError(
+            "session '" + s.name + "': retried eco batch (seq " +
+            std::to_string(sequence) +
+            ") is applied in memory but still cannot be made durable: " +
+            e.what());
+      }
+    }
+    // A retry of the *newest* batch can still be told its slot ids: ids
+    // allocate sequentially and nothing applied after it, so its adds
+    // occupy the last `adds` slots. Older sequences cannot be
+    // reconstructed from the live engine.
+    std::size_t adds = 0;
+    for (const core::EcoOp& op : delta)
+      if (op.kind == core::EcoOp::Kind::kAdd) ++adds;
+    if (sequence == s.last_sequence && adds <= s.engine->slot_count())
+      res.pre_slots = s.engine->slot_count() - adds;
+    else
+      res.ids_known = false;
     std::lock_guard<std::mutex> lk(s.meta);
     ++s.counters.duplicates;
     return res;
@@ -275,6 +313,7 @@ SessionManager::EcoResult SessionManager::Guard::apply_eco(
   if (fault::should_fire(fault::Site::kEcoKillAfterJournal)) ::_exit(137);
 
   s.last_sequence = watermark;
+  s.last_durable_sequence = watermark;
   count_eco(delta.size());
   return res;
 }
@@ -392,6 +431,7 @@ void SessionManager::save_and_release_locked(Session& s) {
   // one.
   if (s.journal != nullptr)
     s.journal->reset_to_anchor({checksum, s.last_sequence});
+  s.last_durable_sequence = s.last_sequence;
   s.engine.reset();
   resident_bytes_ -= std::min(resident_bytes_, s.estimated_bytes);
   {
@@ -604,6 +644,14 @@ void SessionManager::open(const std::string& name,
     // the ack contract must not accept edits.
     auto journal = std::make_unique<io::EcoJournal>(journal_path(name),
                                                     spec.journal_fsync);
+    // A close(discard=false) of a previous session with this name leaves
+    // its <name>.snap behind, and recovery treats any on-disk snapshot as
+    // newer than an anchorless journal — so a stale one would silently
+    // resurrect the old session's state if we crash before this session's
+    // first snapshot. Remove it *before* the open record lands: a crash in
+    // the gap leaves a journal recovery skips loudly (no open record, no
+    // snapshot), never silently-wrong state.
+    std::remove(snapshot_path(name).c_str());
     journal->reset_to_open(journal_open_record(placement, spec));
     session->journal = std::move(journal);
   } catch (...) {
@@ -672,6 +720,9 @@ SessionManager::Guard SessionManager::use(const std::string& name) {
       session->engine = std::move(restored.engine);
       session->journal = std::move(restored.journal);
       session->last_sequence = restored.last_sequence;
+      // Everything the restore saw was read from disk, so it is durable by
+      // construction.
+      session->last_durable_sequence = restored.last_sequence;
       ++reloads_;
       std::lock_guard<std::mutex> meta(session->meta);
       ++session->counters.reloads;
@@ -702,6 +753,7 @@ void SessionManager::close(const std::string& name, bool discard) {
           io::save_engine_state(snapshot_path(name), *session->engine);
       if (session->journal != nullptr)
         session->journal->reset_to_anchor({checksum, session->last_sequence});
+      session->last_durable_sequence = session->last_sequence;
     }
     session->engine.reset();
     resident_bytes_ -= std::min(resident_bytes_, session->estimated_bytes);

@@ -36,7 +36,9 @@
 //     lost ack is acked as a no-op instead of applied twice. If a journal
 //     append fails the batch is made durable the expensive way (immediate
 //     snapshot + journal reset); only when both fail does the eco error
-//     out — with the watermark advanced, so even then a retry dedupes.
+//     out — with the watermark advanced, so even then a retry dedupes
+//     instead of double-applying, and the duplicate ack is withheld until
+//     a fresh snapshot lands (the retry re-attempts durability).
 //
 // Concurrency contract (mirrors the repo's determinism rules): each session
 // has its own work mutex, so all engine use — edits *and* queries — is
@@ -157,6 +159,12 @@ class SessionManager {
     bool journal_fallback = false;
     core::ApplyStats stats;      ///< zeros when duplicate
     std::size_t pre_slots = 0;   ///< slot count before the batch (add ids)
+    /// Whether pre_slots is meaningful, i.e. the caller can derive the
+    /// slot ids this batch's adds allocated. Always true for a fresh
+    /// apply; true for a duplicate only when it retries the *newest*
+    /// applied batch (ids reconstruct from the live slot count — older
+    /// batches' ids are unknowable after later applies).
+    bool ids_known = true;
   };
 
   /// Exclusive access to a session's engine for the duration of one
@@ -172,7 +180,9 @@ class SessionManager {
     /// recoverable. Throws InvalidInputError (batch invalid, nothing
     /// applied or journaled) or IoCorruptionError (applied in memory but
     /// could not be made durable; the sequence watermark still advanced,
-    /// so a retry dedupes instead of double-applying).
+    /// so a retry dedupes instead of double-applying — and the retry
+    /// re-attempts durability via a snapshot, erroring again rather than
+    /// acking a batch that is still only in memory).
     EcoResult apply_eco(const core::Delta& delta, std::uint64_t sequence);
     /// Counter bumps for the stats endpoint (thread-safe vs stats()).
     void count_query(std::size_t points);

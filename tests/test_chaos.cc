@@ -149,6 +149,88 @@ TEST(Chaos, KillAfterJournalReplaysBitwiseIdenticalAndDedupes) {
   EXPECT_EQ(reborn.stats().journal_replays, 2u);
 }
 
+// Reopening a closed session's name must not let the predecessor's
+// snapshot shadow the new session: close(discard=false) leaves
+// <name>.snap behind, and recovery treats any on-disk snapshot as newer
+// than an anchorless journal. If open() left the stale file, a SIGKILL
+// before the reopened session's first snapshot would silently resurrect
+// the OLD session's state — dropping the new placement and every acked
+// batch. open() removes the stale snapshot when it resets the journal to
+// the open record, making the open record the unambiguous durability root.
+TEST(Chaos, ReopenAfterCloseKillRecoversNewSessionNotStaleSnapshot) {
+  const std::string dir = fresh_dir("reopen_stale_snap");
+
+  const pid_t child = fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    try {
+      server::SessionManager manager(dir, {});
+      manager.open("chip", test_placement(), test_spec());
+      manager.use("chip").apply_eco(kBatch1, 1);
+      manager.close("chip", /*discard=*/false);  // leaves chip.snap on disk
+      // Same name, fresh session, different edit history than the old one.
+      manager.open("chip", test_placement(), test_spec());
+      server::SessionManager::Guard guard = manager.use("chip");
+      guard.apply_eco(kBatch2, 1);
+      fault::arm(fault::Site::kEcoKillAfterJournal);
+      guard.apply_eco(kBatch1, 2);  // _exit(137) after the journal append
+    } catch (...) {
+    }
+    ::_exit(1);  // the fault site did not fire
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 137);
+  // The reopen purged the predecessor's snapshot; only the journal (open
+  // record + both batches) carries the reopened session.
+  EXPECT_FALSE(std::filesystem::exists(dir + "/chip.snap"));
+
+  core::IncrementalEngine reference = reference_engine();
+  reference.apply(kBatch2);
+  reference.apply(kBatch1);
+
+  server::SessionManager reborn(dir, {});
+  ASSERT_EQ(reborn.recovered().size(), 1u);
+  server::SessionManager::Guard guard = reborn.use("chip");
+  expect_bitwise_equal(guard.engine().total_field(), reference.total_field());
+  EXPECT_TRUE(guard.apply_eco(kBatch1, 2).duplicate);  // watermark survived
+}
+
+// Total durability failure (journal append AND snapshot fallback both
+// fail): the eco errors out with the watermark advanced so a retry cannot
+// double-apply — but the retry must not be no-op acked while the batch is
+// only in memory. It re-attempts the snapshot and only then acks.
+TEST(Chaos, RetryAfterTotalDurabilityFailureMakesBatchDurableBeforeAcking) {
+  const std::string dir = fresh_dir("durability_gap");
+  core::IncrementalEngine reference = reference_engine();
+  reference.apply(kBatch1);
+  {
+    server::SessionManager manager(dir, {});
+    manager.open("chip", test_placement(), test_spec());
+    server::SessionManager::Guard guard = manager.use("chip");
+    fault::arm(fault::Site::kJournalWriteFail);
+    fault::arm(fault::Site::kSnapshotWriteFail);
+    EXPECT_THROW(guard.apply_eco(kBatch1, 1), IoCorruptionError);
+    fault::disarm_all();
+    EXPECT_EQ(manager.stats().durability_failures, 1u);
+    EXPECT_FALSE(std::filesystem::exists(dir + "/chip.snap"));
+
+    // The lost-ack retry: deduped (the engine already holds the batch),
+    // but acked only after the re-attempted snapshot lands.
+    const server::SessionManager::EcoResult retry = guard.apply_eco(kBatch1, 1);
+    EXPECT_TRUE(retry.duplicate);
+    EXPECT_TRUE(std::filesystem::exists(dir + "/chip.snap"));
+    expect_bitwise_equal(guard.engine().total_field(),
+                         reference.total_field());
+  }  // dies resident: the re-attempted snapshot is all that survives
+
+  server::SessionManager reborn(dir, {});
+  server::SessionManager::Guard guard = reborn.use("chip");
+  expect_bitwise_equal(guard.engine().total_field(), reference.total_field());
+  EXPECT_TRUE(guard.apply_eco(kBatch1, 1).duplicate);
+}
+
 TEST(Chaos, TornJournalTailIsRecoveredLoudly) {
   const std::string dir = fresh_dir("torn_tail");
   {

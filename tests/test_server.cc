@@ -493,20 +493,62 @@ TEST_F(ServerEndToEnd, EcoSequenceNumbersDedupeOverTheWire) {
   EXPECT_FALSE(first.at("duplicate").as_bool());
   EXPECT_EQ(first.at("seq").as_number(), 1.0);
   EXPECT_EQ(first.at("added_ids").as_array().size(), 1u);
+  const double allocated_id = first.at("added_ids").as_array().at(0).as_number();
 
-  // The retry after a "lost ack": same sequence, acked as a no-op.
+  // The retry after a "lost ack": same sequence, acked as a no-op — and
+  // since it retries the newest batch, the original slot ids come back.
   const server::JsonValue again = client.call(eco);
   EXPECT_TRUE(again.at("duplicate").as_bool());
-  EXPECT_EQ(again.at("added_ids").as_array().size(), 0u);
+  EXPECT_TRUE(again.at("added_ids_known").as_bool());
+  ASSERT_EQ(again.at("added_ids").as_array().size(), 1u);
+  EXPECT_EQ(again.at("added_ids").as_array().at(0).as_number(), allocated_id);
   EXPECT_EQ(again.at("ops").as_number(), 0.0);  // nothing re-applied
+
+  // Apply a newer batch, then retry seq 1 once more: still a no-op ack,
+  // but the original ids are no longer reconstructible and the response
+  // says so instead of guessing.
+  server::JsonValue eco2 = server::Client::request("eco", "chip");
+  eco2.set("ops", server::JsonValue::parse(R"([{"op":"add","x":0,"y":12}])"));
+  eco2.set("seq", server::JsonValue(2));
+  EXPECT_FALSE(client.call(eco2).at("duplicate").as_bool());
+  const server::JsonValue stale = client.call(eco);
+  EXPECT_TRUE(stale.at("duplicate").as_bool());
+  EXPECT_FALSE(stale.at("added_ids_known").as_bool());
+  EXPECT_EQ(stale.at("added_ids").as_array().size(), 0u);
 
   const server::JsonValue stats =
       client.call(server::Client::request("stats"));
   const auto& counters =
       stats.at("sessions").as_array().at(0).at("counters");
-  EXPECT_EQ(counters.at("edits").as_number(), 1.0);
-  EXPECT_EQ(counters.at("journaled").as_number(), 1.0);
-  EXPECT_EQ(counters.at("duplicates").as_number(), 1.0);
+  EXPECT_EQ(counters.at("edits").as_number(), 2.0);
+  EXPECT_EQ(counters.at("journaled").as_number(), 2.0);
+  EXPECT_EQ(counters.at("duplicates").as_number(), 2.0);
+}
+
+TEST_F(ServerEndToEnd, EcoRejectsNegativeOrFractionalSequenceNumbers) {
+  server::Client client = connect();
+  server::JsonValue open = server::Client::request("open", "chip");
+  open.set("placement", server::JsonValue(kPlacementText));
+  open.set("spacing", server::JsonValue(1.0));
+  open.set("margin", server::JsonValue(5.0));
+  client.call(open);
+
+  // A client-controlled double must never reach the unsigned cast: -1 is
+  // UB in double->uint64_t, fractions silently truncate, and above 2^53
+  // doubles cannot represent the token exactly. All are typed refusals
+  // that leave the session untouched.
+  for (const double bad : {-1.0, 1.5, 9007199254740994.0}) {
+    server::JsonValue eco = server::Client::request("eco", "chip");
+    eco.set("ops",
+            server::JsonValue::parse(R"([{"op":"add","x":12,"y":10}])"));
+    eco.set("seq", server::JsonValue(bad));
+    EXPECT_THROW(client.call(eco), InvalidInputError) << bad;
+  }
+  const server::JsonValue stats =
+      client.call(server::Client::request("stats"));
+  const auto& counters =
+      stats.at("sessions").as_array().at(0).at("counters");
+  EXPECT_EQ(counters.at("edits").as_number(), 0.0);
 }
 
 // --- Protocol robustness (fuzz-ish negative paths) -------------------------
