@@ -14,6 +14,16 @@
 //              fitted once up front; pairs whose pitch falls outside the
 //              fitted domain fall back to the quantized table cache, and
 //              the per-design fallback counters are reported.
+//   farfield — the hierarchical far-field aggregate (core/far_field.h) on
+//              top of the surrogate+quant configuration: pairs are exact
+//              only inside the blend disc and the thin edge ring, the
+//              mid-zone comes from per-cluster bicubic tiles. The row
+//              reports the build (fold) time, the machine-checked
+//              certificate bound, and the fold dispatch counters.
+//
+// Above kSeriesLimit TSVs the exact-series row is skipped (it dominates
+// wall time); accuracy is still measured exactly by evaluating the exact
+// framework on the strided probe points only.
 //
 // The quant configuration is then re-run with tiled checkpointing enabled
 // (io::evaluate_with_checkpoint, ~3 checkpoints per run) to measure the
@@ -44,6 +54,7 @@
 
 #include "analytic/surrogate.h"
 #include "common.h"
+#include "core/far_field.h"
 #include "core/tiled_evaluator.h"
 #include "io/snapshot.h"
 #include "io/table_printer.h"
@@ -121,7 +132,15 @@ struct RunResult {
   std::size_t tables = 0;
   double max_vm = 0.0;
   double wall_seconds = 0.0;  ///< full evaluate() wall time, consumer included
+  double build_seconds = 0.0;  ///< framework ctor (includes far-field fold)
   std::vector<tsv::num::SymTensor2> probe;  ///< strided field subsample
+  std::vector<tsv::geo::Point> probe_pts;   ///< coordinates of the probes
+  // Far-field aggregate reporting (farfield row only).
+  bool far_active = false;
+  double far_bound = -1.0;
+  std::size_t far_clusters = 0;
+  tsv::core::FarFieldBuildStats far_stats;
+  double far_tile_mb = 0.0;
 };
 
 }  // namespace
@@ -191,7 +210,7 @@ int main(int argc, char** argv) {
     std::size_t ckpt_every = 8;
     const auto run = [&](bool lookup, double quant,
                          const std::string& ckpt_path = std::string(),
-                         bool use_surrogate = false) {
+                         bool use_surrogate = false, bool use_far = false) {
       const auto model = std::make_shared<const ana::InteractiveStressModel>(
           response, single.k_hat());
       if (use_surrogate) model->attach_surrogate(surrogate);
@@ -199,18 +218,38 @@ int main(int argc, char** argv) {
       fopt.num_threads = threads;
       fopt.stage2.use_lookup_table = lookup;
       fopt.stage2.pitch_quant_step = quant;
+      fopt.stage2.use_far_field = use_far;
+      const auto build_start = std::chrono::steady_clock::now();
       const core::StressFramework framework(design.placement, table, model,
                                             fopt);
       core::TiledOptions topt;
       topt.max_tile_points = opt.tile_points;
       const core::TiledEvaluator tiled(framework, topt);
       RunResult r;
+      r.build_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - build_start)
+                            .count();
+      if (use_far && framework.stage2() != nullptr) {
+        const core::FarFieldAggregate* far =
+            framework.stage2()->attached_far_field();
+        if (far != nullptr) {
+          r.far_active = framework.stage2()->active_far_field() != nullptr;
+          r.far_bound = far->certificate().certified_rel_bound;
+          r.far_clusters = far->cluster_count();
+          r.far_stats = far->build_stats();
+          r.far_tile_mb =
+              static_cast<double>(far->tile_bytes()) / (1024.0 * 1024.0);
+        }
+      }
       std::size_t seen = 0;
       const auto consume = [&](const core::Tile& tile) {
         for (std::size_t i = 0; i < tile.stress.size(); ++i, ++seen) {
           r.max_vm = std::max(r.max_vm,
                               num::von_mises_plane_stress(tile.stress[i]));
-          if (seen % 101 == 0) r.probe.push_back(tile.stress[i]);
+          if (seen % 101 == 0) {
+            r.probe.push_back(tile.stress[i]);
+            r.probe_pts.push_back(tile.points[i]);
+          }
         }
       };
       const auto start = std::chrono::steady_clock::now();
@@ -226,7 +265,13 @@ int main(int argc, char** argv) {
       return r;
     };
 
-    const RunResult series = run(false, 0.0);
+    // The exact-series row dominates wall time at scale; above the limit it
+    // is skipped and the exact reference is instead evaluated only at the
+    // strided probe points (same framework, exact configuration).
+    constexpr std::size_t kSeriesLimit = 20000;
+    const bool ran_series = design.placement.size() <= kSeriesLimit;
+    RunResult series;
+    if (ran_series) series = run(false, 0.0);
     RunResult lookup;
     // The exact-pitch cache keeps one table per unique pitch alive — at 10k
     // TSVs that is tens of GB of tables, so the uncached reference row only
@@ -248,6 +293,14 @@ int main(int argc, char** argv) {
     const RunResult surro = run(true, opt.quant_step, std::string(), true);
     const ana::SurrogateUseStats sur_use = surrogate->use_stats();
 
+    // Hierarchical far-field row: surrogate + quantized cache for the near
+    // disc and edge ring, per-cluster bicubic tiles for the mid zone. The
+    // fold (framework build) is timed separately from the evaluate.
+    surrogate->reset_use_stats();
+    const RunResult farf = run(true, opt.quant_step, std::string(), true,
+                               true);
+    const ana::SurrogateUseStats far_use = surrogate->use_stats();
+
     // Checkpointed re-run of the quantized configuration: same field, plus
     // resumable checkpoints (io::evaluate_with_checkpoint). Each checkpoint
     // holds the whole finished prefix of the field, so the cadence sets the
@@ -257,7 +310,7 @@ int main(int argc, char** argv) {
         opt.out_dir + "/fullchip_" + std::to_string(count) + ".ckpt";
     // Roughly 3 checkpoints per run whatever the tile count (8 on the 25-tile
     // 10k design), so small designs still exercise the write path.
-    ckpt_every = std::max<std::size_t>(1, series.stats.tiles / 3);
+    ckpt_every = std::max<std::size_t>(1, quant.stats.tiles / 3);
     const RunResult quant_ckpt = run(true, opt.quant_step, ckpt_path);
     // One more interleaved trial per variant, min wall each: single-run
     // deltas on a shared host are dominated by scheduler noise (the plain
@@ -270,26 +323,47 @@ int main(int argc, char** argv) {
     const double ckpt_overhead =
         plain_wall > 0.0 ? ckpt_wall / plain_wall - 1.0 : 0.0;
 
-    // Max probe deviation of the quantized-cache field vs the exact series,
-    // relative to the field scale (the documented look-up budget is ~1%).
+    // Max probe deviation of each fast path vs the exact series, relative
+    // to the field scale (the documented look-up budget is ~1%). When the
+    // full series row was skipped, the exact reference is still computed —
+    // framework.evaluate() on the probe coordinates only.
+    std::vector<num::SymTensor2> exact_probe;
+    if (ran_series) {
+      exact_probe = series.probe;
+    } else {
+      const auto model = std::make_shared<const ana::InteractiveStressModel>(
+          response, single.k_hat());
+      core::FrameworkOptions fopt;
+      fopt.num_threads = threads;
+      const core::StressFramework exact_fw(design.placement, table, model,
+                                           fopt);
+      exact_probe = exact_fw.evaluate(quant.probe_pts).stress;
+    }
     double scale = 0.0;
     double worst = 0.0;
     double sur_worst = 0.0;
-    for (std::size_t i = 0; i < series.probe.size(); ++i) {
-      scale = std::max({scale, std::abs(series.probe[i].s11),
-                        std::abs(series.probe[i].s22)});
+    double far_worst = 0.0;
+    for (std::size_t i = 0; i < exact_probe.size(); ++i) {
+      scale = std::max({scale, std::abs(exact_probe[i].s11),
+                        std::abs(exact_probe[i].s22)});
       worst = std::max({worst,
-                        std::abs(quant.probe[i].s11 - series.probe[i].s11),
-                        std::abs(quant.probe[i].s22 - series.probe[i].s22),
-                        std::abs(quant.probe[i].s12 - series.probe[i].s12)});
+                        std::abs(quant.probe[i].s11 - exact_probe[i].s11),
+                        std::abs(quant.probe[i].s22 - exact_probe[i].s22),
+                        std::abs(quant.probe[i].s12 - exact_probe[i].s12)});
       sur_worst = std::max({sur_worst,
-                            std::abs(surro.probe[i].s11 - series.probe[i].s11),
-                            std::abs(surro.probe[i].s22 - series.probe[i].s22),
+                            std::abs(surro.probe[i].s11 - exact_probe[i].s11),
+                            std::abs(surro.probe[i].s22 - exact_probe[i].s22),
                             std::abs(surro.probe[i].s12 -
-                                     series.probe[i].s12)});
+                                     exact_probe[i].s12)});
+      far_worst = std::max({far_worst,
+                            std::abs(farf.probe[i].s11 - exact_probe[i].s11),
+                            std::abs(farf.probe[i].s22 - exact_probe[i].s22),
+                            std::abs(farf.probe[i].s12 -
+                                     exact_probe[i].s12)});
     }
     const double field_err = scale > 0.0 ? worst / scale : 0.0;
     const double sur_field_err = scale > 0.0 ? sur_worst / scale : 0.0;
+    const double far_field_err = scale > 0.0 ? far_worst / scale : 0.0;
 
     io::TablePrinter out({"stage II path", "stageI(s)", "stageII(s)",
                           "tables", "hits", "misses", "hit%"});
@@ -300,10 +374,11 @@ int main(int argc, char** argv) {
                    std::to_string(r.cache.misses),
                    io::TablePrinter::format(100.0 * r.cache.hit_rate(), 3)});
     };
-    add_row("series", series);
+    if (ran_series) add_row("series", series);
     if (ran_uncached) add_row("lookup (exact pitch)", lookup);
     add_row("lookup (quantized)", quant);
     add_row("surrogate (+quant fb)", surro);
+    add_row("farfield (hier tiles)", farf);
     out.print(std::cout);
 
     const double speedup_vs_lookup =
@@ -311,29 +386,33 @@ int main(int argc, char** argv) {
             ? lookup.stats.stage2_seconds / quant.stats.stage2_seconds
             : 0.0;
     const double speedup_vs_series =
-        quant.stats.stage2_seconds > 0.0
+        ran_series && quant.stats.stage2_seconds > 0.0
             ? series.stats.stage2_seconds / quant.stats.stage2_seconds
             : 0.0;
     std::printf("tiles %zu (%zu x %zu, peak %zu points); pair culling "
                 "%zu/%zu evaluated\n",
-                series.stats.tiles, series.stats.tiles_x,
-                series.stats.tiles_y, series.stats.peak_tile_points,
-                series.stats.culled_pairs,
-                series.stats.total_pairs * series.stats.tiles);
+                quant.stats.tiles, quant.stats.tiles_x,
+                quant.stats.tiles_y, quant.stats.peak_tile_points,
+                quant.stats.culled_pairs,
+                quant.stats.total_pairs * quant.stats.tiles);
+    if (!ran_series)
+      std::printf("(series row skipped above %zu TSVs; exact reference "
+                  "evaluated at the %zu probe points only)\n",
+                  kSeriesLimit, exact_probe.size());
     if (ran_uncached)
       std::printf("quantized cache speedup: %.1fx vs exact-pitch lookup, "
                   "%.1fx vs series\n",
                   speedup_vs_lookup, speedup_vs_series);
-    else
+    else if (ran_series)
       std::printf("quantized cache speedup: %.1fx vs series (uncached row "
                   "skipped)\n", speedup_vs_series);
     std::printf("quantized field vs series (probe of %zu points): max dev "
                 "%.2f%% of field scale; max von Mises %.1f MPa; peak RSS "
                 "%.0f MB\n",
-                series.probe.size(), 100.0 * field_err, series.max_vm,
+                exact_probe.size(), 100.0 * field_err, quant.max_vm,
                 peak_rss_mb());
     const double sur_speedup =
-        surro.stats.stage2_seconds > 0.0
+        ran_series && surro.stats.stage2_seconds > 0.0
             ? series.stats.stage2_seconds / surro.stats.stage2_seconds
             : 0.0;
     std::printf("surrogate: %.1fx vs series (%.1fx vs quantized); pairs "
@@ -346,6 +425,20 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(sur_use.surrogate_pairs),
                 static_cast<unsigned long long>(sur_use.fallback_pairs),
                 100.0 * sur_field_err);
+    std::printf("farfield: %s (cert bound %.4f, tol 1e-2); build (fold) "
+                "%.3f s, %zu clusters, %.1f MB tiles; fold pairs %zu "
+                "(%zu surrogate / %zu table / %zu series); stage II %.3f s "
+                "(%.1fx vs quantized); field vs series max dev %.4f%% of "
+                "scale\n",
+                farf.far_active ? "ACTIVE" : "INERT (gate rejected)",
+                farf.far_bound, farf.build_seconds, farf.far_clusters,
+                farf.far_tile_mb, farf.far_stats.pairs,
+                farf.far_stats.surrogate_pairs, farf.far_stats.table_pairs,
+                farf.far_stats.series_pairs, farf.stats.stage2_seconds,
+                farf.stats.stage2_seconds > 0.0
+                    ? quant.stats.stage2_seconds / farf.stats.stage2_seconds
+                    : 0.0,
+                100.0 * far_field_err);
     std::printf("checkpointing (every %zu tiles): %zu checkpoints, %.3f s "
                 "writing; wall %.3f s vs %.3f s plain (min of 2 each) -> "
                 "overhead %+.2f%%\n",
@@ -362,11 +455,12 @@ int main(int argc, char** argv) {
         .uint("points", grid.size())
         .num("spacing_um", opt.spacing, "%.3g")
         .uint("threads", threads)
-        .uint("tiles", series.stats.tiles)
-        .uint("peak_tile_points", series.stats.peak_tile_points)
-        .uint("total_pairs", series.stats.total_pairs)
+        .uint("tiles", quant.stats.tiles)
+        .uint("peak_tile_points", quant.stats.peak_tile_points)
+        .uint("total_pairs", quant.stats.total_pairs)
         .num("stage1_s", quant.stats.stage1_seconds, "%.4f")
-        .num("stage2_series_s", series.stats.stage2_seconds, "%.4f")
+        .num("stage2_series_s",
+             ran_series ? series.stats.stage2_seconds : -1.0, "%.4f")
         .num("stage2_lookup_s",
              ran_uncached ? lookup.stats.stage2_seconds : -1.0, "%.4f")
         .num("stage2_quant_s", quant.stats.stage2_seconds, "%.4f")
@@ -376,6 +470,19 @@ int main(int argc, char** argv) {
         .num("surrogate_cert_bound",
              surrogate->certificate().certified_rel_bound, "%.3g")
         .num("surrogate_field_err_frac", sur_field_err, "%.6f")
+        .num("stage2_farfield_s", farf.stats.stage2_seconds, "%.4f")
+        .num("farfield_build_s", farf.build_seconds, "%.4f")
+        .uint("farfield_active", farf.far_active ? 1 : 0)
+        .num("farfield_cert_bound", farf.far_bound, "%.5f")
+        .uint("farfield_clusters", farf.far_clusters)
+        .num("farfield_tile_mb", farf.far_tile_mb, "%.2f")
+        .uint("farfield_fold_pairs", farf.far_stats.pairs)
+        .uint("farfield_fold_surrogate", farf.far_stats.surrogate_pairs)
+        .uint("farfield_fold_table", farf.far_stats.table_pairs)
+        .uint("farfield_fold_series", farf.far_stats.series_pairs)
+        .uint("farfield_near_surrogate", far_use.surrogate_pairs)
+        .uint("farfield_near_fallback", far_use.fallback_pairs)
+        .num("farfield_field_err_frac", far_field_err, "%.6f")
         .num("quant_step_um", opt.quant_step, "%.3g")
         .uint("quant_tables", quant.tables)
         .uint("quant_hits", quant.cache.hits)
@@ -384,7 +491,7 @@ int main(int argc, char** argv) {
         .num("speedup_vs_lookup", speedup_vs_lookup, "%.2f")
         .num("speedup_vs_series", speedup_vs_series, "%.2f")
         .num("field_err_frac", field_err, "%.5f")
-        .num("max_vm_mpa", series.max_vm, "%.2f")
+        .num("max_vm_mpa", quant.max_vm, "%.2f")
         .uint("checkpoint_every_tiles", ckpt_every)
         .uint("checkpoints_written", quant_ckpt.stats.checkpoints_written)
         .num("checkpoint_write_s", quant_ckpt.stats.checkpoint_seconds, "%.4f")

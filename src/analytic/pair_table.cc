@@ -27,7 +27,9 @@ PairStressTable::PairStressTable(const InteractiveStressModel& model,
     seg.r1 = r1;
     seg.nr = std::max<std::size_t>(
         2, 1 + static_cast<std::size_t>(std::ceil((r1 - r0) / dr)));
-    seg.values.reserve(seg.nr * n_theta_);
+    seg.s11.reserve(seg.nr * n_theta_);
+    seg.s22.reserve(seg.nr * n_theta_);
+    seg.s12.reserve(seg.nr * n_theta_);
     // The uniform radial samples land inside [r0, r1] by construction; only
     // the endpoints are nudged a whisker off the material interfaces so the
     // region dispatch in stress_with_combined never lands on the wrong side.
@@ -40,15 +42,17 @@ PairStressTable::PairStressTable(const InteractiveStressModel& model,
       for (std::size_t it = 0; it < n_theta_; ++it) {
         const double th = dtheta_ * static_cast<double>(it);
         const geo::Point p{r * std::cos(th), r * std::sin(th)};
-        seg.values.push_back(model.stress_with_combined(
-            combined, {0.0, 0.0}, {pitch, 0.0}, pitch, p));
+        const num::SymTensor2 t = model.stress_with_combined(
+            combined, {0.0, 0.0}, {pitch, 0.0}, pitch, p);
+        seg.s11.push_back(static_cast<float>(t.s11));
+        seg.s22.push_back(static_cast<float>(t.s22));
+        seg.s12.push_back(static_cast<float>(t.s12));
       }
     }
   };
   build(segments_[0], 0.0, r_body, options.dr_core);
   build(segments_[1], r_body, r_outer, options.dr_liner);
   build(segments_[2], r_outer, r_max, options.dr_substrate);
-  build_soa();
 }
 
 PairStressTable::PairStressTable(Data data)
@@ -59,29 +63,18 @@ PairStressTable::PairStressTable(Data data)
   dtheta_ = std::numbers::pi / static_cast<double>(n_theta_ - 1);
   for (std::size_t s = 0; s < segments_.size(); ++s) {
     Data::Segment& in = data.segments[s];
-    TSV_REQUIRE(in.nr >= 2 && in.values.size() == in.nr * n_theta_,
+    TSV_REQUIRE(in.nr >= 2 && in.s11.size() == in.nr * n_theta_ &&
+                    in.s22.size() == in.s11.size() &&
+                    in.s12.size() == in.s11.size(),
                 "pair table data: segment shape mismatch");
     TSV_REQUIRE(in.r1 > in.r0 && in.r0 >= 0.0,
                 "pair table data: inverted segment radii");
     segments_[s].r0 = in.r0;
     segments_[s].r1 = in.r1;
     segments_[s].nr = in.nr;
-    segments_[s].values = std::move(in.values);
-  }
-  build_soa();
-}
-
-void PairStressTable::build_soa() {
-  for (Segment& seg : segments_) {
-    const std::size_t n = seg.values.size();
-    seg.s11.resize(n);
-    seg.s22.resize(n);
-    seg.s12.resize(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      seg.s11[i] = seg.values[i].s11;
-      seg.s22[i] = seg.values[i].s22;
-      seg.s12[i] = seg.values[i].s12;
-    }
+    segments_[s].s11 = std::move(in.s11);
+    segments_[s].s22 = std::move(in.s22);
+    segments_[s].s12 = std::move(in.s12);
   }
 }
 
@@ -94,14 +87,16 @@ PairStressTable::Data PairStressTable::to_data() const {
     data.segments[s].r0 = segments_[s].r0;
     data.segments[s].r1 = segments_[s].r1;
     data.segments[s].nr = segments_[s].nr;
-    data.segments[s].values = segments_[s].values;
+    data.segments[s].s11 = segments_[s].s11;
+    data.segments[s].s22 = segments_[s].s22;
+    data.segments[s].s12 = segments_[s].s12;
   }
   return data;
 }
 
 std::size_t PairStressTable::sample_count() const {
   std::size_t n = 0;
-  for (const auto& s : segments_) n += s.values.size();
+  for (const auto& s : segments_) n += s.s11.size();
   return n;
 }
 
@@ -117,7 +112,8 @@ num::SymTensor2 PairStressTable::sample_segment(const Segment& s, double r,
   const double tr = std::clamp(fr - static_cast<double>(ir), 0.0, 1.0);
   const double tt = std::clamp(ft - static_cast<double>(it), 0.0, 1.0);
   const auto at = [&](std::size_t jr, std::size_t jt) {
-    return s.values[jr * n_theta_ + jt];
+    const std::size_t k = jr * n_theta_ + jt;
+    return num::SymTensor2{s.s11[k], s.s22[k], s.s12[k]};
   };
   return (1.0 - tr) * (1.0 - tt) * at(ir, it) + tr * (1.0 - tt) * at(ir + 1, it) +
          (1.0 - tr) * tt * at(ir, it + 1) + tr * tt * at(ir + 1, it + 1);
@@ -179,12 +175,14 @@ void PairStressTable::accumulate(const geo::Point& victim,
     const double r = std::sqrt(px * px + py * py);
     if (r >= r_max_) continue;
     // Rotate the displacement into the pair frame; the mirror fold onto
-    // theta in [0, pi] becomes |uy| with an s12 sign flip. One atan2 — the
-    // table-lookup angle — is all that remains per point.
+    // theta in [0, pi] becomes |uy| with an s12 sign flip. The lookup angle
+    // comes from the octant-folded polynomial (num::atan2_upper), not libm
+    // atan2 — its <1e-15 rad deviation shifts the bilinear theta weight by
+    // under 1e-13 of a cell, far inside the batch-vs-scalar 1e-12 lock.
     const double ux = cb * px + sb * py;
     const double uy = cb * py - sb * px;
     const bool mirrored = uy < 0.0;
-    const double th = std::atan2(mirrored ? -uy : uy, ux);
+    const double th = num::atan2_upper(mirrored ? -uy : uy, ux);
     const Segment& seg =
         r < segments_[0].r1
             ? segments_[0]

@@ -13,6 +13,15 @@
 // (the field is mirror-symmetric: sxx/syy even, sxy odd). The radial grid
 // is split at the material interfaces r = R and r = R' so the hoop-stress
 // jumps are never interpolated across.
+//
+// Storage is float32-from-birth: samples are computed in double and
+// narrowed once into SoA float arrays that both the scalar and the batch
+// path read (widened back to double for the arithmetic). The narrowing
+// noise (~6e-8 relative) is four orders below the table's ~1%
+// interpolation budget, and a full-chip exact-pitch cache shrinks 4x —
+// the f64 AoS + f64 SoA layout it replaces was the 3.3 GB RSS spike in
+// the fullchip bench. Because the floats are the single authoritative
+// copy, warm (snapshot-restored) and cold tables are bitwise identical.
 
 #include <array>
 #include <vector>
@@ -45,7 +54,10 @@ class PairStressTable {
       double r0 = 0.0;
       double r1 = 0.0;
       std::size_t nr = 0;
-      std::vector<num::SymTensor2> values;  ///< nr x n_theta, radial outer
+      /// nr x n_theta each, radial outer — the float32 storage tier
+      /// (snapshot format v3 stores these verbatim; v1/v2 payloads carry
+      /// f64 tensors that the snapshot layer narrows on load).
+      std::vector<float> s11, s22, s12;
     };
     std::array<Segment, 3> segments;
   };
@@ -83,8 +95,9 @@ class PairStressTable {
   /// Batch kernel: adds the pair's interactive stress at each of
   /// points[0..n) into out[i]. The pair-frame rotation (the beta
   /// coefficients cos 2beta = (ax^2-ay^2)/d^2, sin 2beta = 2 ax ay / d^2)
-  /// is hoisted out of the point loop, leaving one sqrt and one atan2 (the
-  /// table-lookup angle) per point over SoA segment storage.
+  /// is hoisted out of the point loop, leaving one sqrt and one
+  /// polynomial-folded lookup angle (num::atan2_upper — no libm trig) per
+  /// point over SoA float32 segment storage.
   void accumulate(const geo::Point& victim, const geo::Point& aggressor,
                   const geo::Point* points, std::size_t n,
                   num::SymTensor2* out) const;
@@ -94,18 +107,13 @@ class PairStressTable {
     double r0 = 0.0;
     double r1 = 0.0;
     std::size_t nr = 0;  ///< radial samples (>= 2)
-    /// Row-major: radial index outer, theta inner.
-    std::vector<num::SymTensor2> values;
-    /// SoA mirrors of `values` for the batch kernel (built once per ctor;
-    /// `values` stays authoritative for snapshots and the scalar path).
-    std::vector<double> s11, s22, s12;
+    /// Row-major (radial index outer, theta inner) SoA float32 samples —
+    /// the only copy; scalar and batch paths widen on read.
+    std::vector<float> s11, s22, s12;
   };
 
   num::SymTensor2 sample_segment(const Segment& s, double r,
                                  double theta) const;
-
-  /// Fills the per-segment SoA mirrors from `values`.
-  void build_soa();
 
   double pitch_ = 0.0;
   double r_max_ = 0.0;

@@ -1,0 +1,595 @@
+#include "core/far_field.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "analytic/surrogate.h"
+#include "core/interactive_stage.h"
+#include "numeric/parallel.h"
+
+namespace tsv::core {
+namespace {
+
+geo::Box index_bounds(const std::vector<geo::Point>& points) {
+  return points.empty() ? geo::Box{{0.0, 0.0}, {1.0, 1.0}}
+                        : geo::Box::bounding(points);
+}
+
+std::int64_t cell_coord(double x, double cell) {
+  return static_cast<std::int64_t>(std::floor(x / cell));
+}
+
+std::int64_t pack_key(std::int64_t ci, std::int64_t cj) {
+  return (static_cast<std::int64_t>(static_cast<std::uint64_t>(
+              static_cast<std::uint32_t>(ci)))
+          << 32) |
+         static_cast<std::int64_t>(static_cast<std::uint32_t>(cj));
+}
+
+std::int64_t unpack_ci(std::int64_t key) {
+  return static_cast<std::int32_t>(
+      static_cast<std::uint64_t>(key) >> 32);
+}
+
+std::int64_t unpack_cj(std::int64_t key) {
+  return static_cast<std::int32_t>(static_cast<std::uint32_t>(
+      static_cast<std::uint64_t>(key) & 0xffffffffull));
+}
+
+/// splitmix64-style generator seeded by the cluster key: the probe points
+/// are deterministic per cell, independent of iteration order or platform
+/// RNG state.
+struct ProbeRng {
+  std::uint64_t state;
+  explicit ProbeRng(std::int64_t key)
+      : state(static_cast<std::uint64_t>(key) * 0x9e3779b97f4a7c15ull +
+              0xda3e39cb94b95bdbull) {}
+  double next() {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * 0x1.0p-53;
+  }
+};
+
+double max_abs_component(const num::SymTensor2& t) {
+  return std::max({std::abs(t.s11), std::abs(t.s22), std::abs(t.s12)});
+}
+
+}  // namespace
+
+std::uint64_t fingerprint_centers(const std::vector<geo::Point>& centers) {
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](double v) {
+    std::uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xffull;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const geo::Point& p : centers) {
+    mix(p.x);
+    mix(p.y);
+  }
+  return h;
+}
+
+std::shared_ptr<FarFieldAggregate> FarFieldAggregate::build(
+    const tsvlib::Placement& placement,
+    const ana::InteractiveStressModel& model, const InteractiveOptions& stage2,
+    const FarFieldOptions& options) {
+  TSV_REQUIRE(options.cell_size > 0.0 && options.tile_spacing > 0.0,
+              "far field: cell size and tile spacing must be positive");
+  TSV_REQUIRE(options.blend_r0 >= 0.0 && options.blend_r1 > options.blend_r0,
+              "far field: blend window must satisfy 0 <= r0 < r1");
+  TSV_REQUIRE(options.edge_width > 0.0,
+              "far field: edge_width must be positive");
+  TSV_REQUIRE(options.blend_r1 <= stage2.influence_radius - options.edge_width,
+              "far field: blend_r1 must not reach the edge ring "
+              "(influence_radius - edge_width)");
+  TSV_REQUIRE(options.cert_margin >= 1.0,
+              "far field: certificate margin must be >= 1");
+
+  std::shared_ptr<FarFieldAggregate> agg(new FarFieldAggregate());
+  agg->options_ = options;
+  agg->influence_radius_ = stage2.influence_radius;
+  agg->pair_pitch_cutoff_ = stage2.pair_pitch_cutoff;
+  agg->reach_ = static_cast<std::int64_t>(
+      std::ceil(stage2.influence_radius / options.cell_size));
+  const std::vector<geo::Point>& centers = placement.centers();
+  agg->fingerprint_ = fingerprint_centers(centers);
+  if (centers.size() < 2) return agg;
+
+  const geo::GridIndex tsv_index(
+      centers, index_bounds(centers),
+      std::max(stage2.pair_pitch_cutoff / 2.0, 1.0));
+
+  // Cell -> victims, in deterministic key order (std::map) with victims in
+  // ascending index order (the append order below).
+  std::map<std::int64_t, std::vector<std::uint32_t>> cell_victims;
+  for (std::uint32_t v = 0; v < centers.size(); ++v)
+    cell_victims[agg->cell_key(centers[v])].push_back(v);
+
+  std::int64_t ci_lo = 0, ci_hi = 0, cj_lo = 0, cj_hi = 0;
+  bool first = true;
+  for (const auto& [key, victims] : cell_victims) {
+    const std::int64_t ci = unpack_ci(key);
+    const std::int64_t cj = unpack_cj(key);
+    if (first) {
+      ci_lo = ci_hi = ci;
+      cj_lo = cj_hi = cj;
+      first = false;
+    } else {
+      ci_lo = std::min(ci_lo, ci);
+      ci_hi = std::max(ci_hi, ci);
+      cj_lo = std::min(cj_lo, cj);
+      cj_hi = std::max(cj_hi, cj);
+    }
+  }
+  agg->ci_min_ = ci_lo;
+  agg->cj_min_ = cj_lo;
+  agg->ncx_ = ci_hi - ci_lo + 1;
+  agg->ncy_ = cj_hi - cj_lo + 1;
+  agg->grid_slots_.assign(
+      static_cast<std::size_t>(agg->ncx_ * agg->ncy_), -1);
+
+  std::vector<const std::vector<std::uint32_t>*> victims_of;
+  victims_of.reserve(cell_victims.size());
+  agg->clusters_.reserve(cell_victims.size());
+  for (const auto& [key, victims] : cell_victims) {
+    const std::int32_t slot = static_cast<std::int32_t>(agg->clusters_.size());
+    agg->clusters_.push_back(agg->make_cluster(key));
+    agg->index_insert(key, slot);
+    victims_of.push_back(&victims);
+  }
+
+  // Cluster folds are independent, each internally serial over a canonical
+  // pair order, so the tiles are bitwise identical for any thread count.
+  std::vector<std::array<std::size_t, 3>> dispatch(agg->clusters_.size(),
+                                                   {0, 0, 0});
+  num::parallel_for(agg->clusters_.size(), stage2.num_threads,
+                    [&](std::size_t s) {
+                      agg->fold_cluster(agg->clusters_[s], *victims_of[s],
+                                        centers, tsv_index, model, stage2,
+                                        dispatch[s][0], dispatch[s][1],
+                                        dispatch[s][2]);
+                    });
+
+  FarFieldBuildStats& st = agg->stats_;
+  st.clusters = agg->clusters_.size();
+  for (std::size_t s = 0; s < agg->clusters_.size(); ++s) {
+    st.pairs += agg->clusters_[s].pairs;
+    st.tile_samples += agg->clusters_[s].s11.size();
+    st.surrogate_pairs += dispatch[s][0];
+    st.table_pairs += dispatch[s][1];
+    st.series_pairs += dispatch[s][2];
+  }
+
+  agg->certify(placement, tsv_index, model, stage2);
+  return agg;
+}
+
+std::size_t FarFieldAggregate::tile_bytes() const {
+  std::size_t samples = 0;
+  for (const Cluster& c : clusters_) samples += c.s11.size();
+  return samples * 3 * sizeof(float);
+}
+
+bool FarFieldAggregate::compatible_with(const InteractiveOptions& stage2) const {
+  return influence_radius_ == stage2.influence_radius &&
+         pair_pitch_cutoff_ == stage2.pair_pitch_cutoff;
+}
+
+std::int64_t FarFieldAggregate::cell_key(const geo::Point& c) const {
+  return pack_key(cell_coord(c.x, options_.cell_size),
+                  cell_coord(c.y, options_.cell_size));
+}
+
+geo::Box FarFieldAggregate::cell_support(std::int64_t key) const {
+  const double L = options_.cell_size;
+  const double x0 = static_cast<double>(unpack_ci(key)) * L;
+  const double y0 = static_cast<double>(unpack_cj(key)) * L;
+  return geo::Box{{x0, y0}, {x0 + L, y0 + L}}.expanded(influence_radius_);
+}
+
+FarFieldAggregate::Cluster FarFieldAggregate::make_cluster(
+    std::int64_t key) const {
+  Cluster c;
+  c.key = key;
+  c.support = cell_support(key);
+  c.nx = std::max<std::size_t>(
+      2, static_cast<std::size_t>(
+             std::ceil(c.support.width() / options_.tile_spacing)) +
+             1);
+  c.ny = std::max<std::size_t>(
+      2, static_cast<std::size_t>(
+             std::ceil(c.support.height() / options_.tile_spacing)) +
+             1);
+  c.hx = c.support.width() / static_cast<double>(c.nx - 1);
+  c.hy = c.support.height() / static_cast<double>(c.ny - 1);
+  return c;
+}
+
+std::int32_t FarFieldAggregate::slot_of(std::int64_t ci, std::int64_t cj) const {
+  if (ncx_ == 0 || ci < ci_min_ || ci >= ci_min_ + ncx_ || cj < cj_min_ ||
+      cj >= cj_min_ + ncy_)
+    return -1;
+  return grid_slots_[static_cast<std::size_t>((cj - cj_min_) * ncx_ +
+                                              (ci - ci_min_))];
+}
+
+void FarFieldAggregate::index_insert(std::int64_t key, std::int32_t slot) {
+  const std::int64_t ci = unpack_ci(key);
+  const std::int64_t cj = unpack_cj(key);
+  grid_slots_[static_cast<std::size_t>((cj - cj_min_) * ncx_ +
+                                       (ci - ci_min_))] = slot;
+}
+
+std::int32_t FarFieldAggregate::ensure_slot(std::int64_t key) {
+  const std::int64_t ci = unpack_ci(key);
+  const std::int64_t cj = unpack_cj(key);
+  if (slot_of(ci, cj) < 0 &&
+      (ncx_ == 0 || ci < ci_min_ || ci >= ci_min_ + ncx_ || cj < cj_min_ ||
+       cj >= cj_min_ + ncy_)) {
+    // Grow the dense cell window to cover the new cell (rare: an edit
+    // reached a virgin border cell) and re-index the existing clusters.
+    const std::int64_t nci_min = ncx_ == 0 ? ci : std::min(ci_min_, ci);
+    const std::int64_t nci_max =
+        ncx_ == 0 ? ci : std::max(ci_min_ + ncx_ - 1, ci);
+    const std::int64_t ncj_min = ncy_ == 0 ? cj : std::min(cj_min_, cj);
+    const std::int64_t ncj_max =
+        ncy_ == 0 ? cj : std::max(cj_min_ + ncy_ - 1, cj);
+    ci_min_ = nci_min;
+    cj_min_ = ncj_min;
+    ncx_ = nci_max - nci_min + 1;
+    ncy_ = ncj_max - ncj_min + 1;
+    grid_slots_.assign(static_cast<std::size_t>(ncx_ * ncy_), -1);
+    for (std::size_t s = 0; s < clusters_.size(); ++s)
+      index_insert(clusters_[s].key, static_cast<std::int32_t>(s));
+  }
+  std::int32_t slot = slot_of(ci, cj);
+  if (slot < 0) {
+    slot = static_cast<std::int32_t>(clusters_.size());
+    clusters_.push_back(make_cluster(key));
+    index_insert(key, slot);
+  }
+  return slot;
+}
+
+void FarFieldAggregate::fold_cluster(
+    Cluster& c, const std::vector<std::uint32_t>& victims,
+    const std::vector<geo::Point>& centers, const geo::GridIndex& tsv_index,
+    const ana::InteractiveStressModel& model, const InteractiveOptions& stage2,
+    std::size_t& surrogate_pairs, std::size_t& table_pairs,
+    std::size_t& series_pairs) const {
+  const std::size_t nsamp = c.nx * c.ny;
+  c.pairs = 0;
+  std::vector<num::SymTensor2> acc(nsamp);
+  if (!victims.empty()) {
+    const std::shared_ptr<const ana::PairSurrogate> surrogate =
+        stage2.allow_surrogate
+            ? model.surrogate_for(stage2.surrogate_tolerance,
+                                  stage2.influence_radius)
+            : nullptr;
+    const double infl = influence_radius_;
+    const double infl2 = infl * infl;
+    std::vector<std::uint32_t> nearby;
+    std::vector<std::size_t> sample_idx;
+    std::vector<geo::Point> pts;
+    std::vector<double> wts;
+    std::vector<num::SymTensor2> contrib;
+    for (const std::uint32_t v : victims) {
+      const geo::Point& victim = centers[v];
+      tsv_index.query_radius(victim, pair_pitch_cutoff_, nearby);
+      bool has_partner = false;
+      for (const std::uint32_t a : nearby) {
+        if (a != v) {
+          has_partner = true;
+          break;
+        }
+      }
+      if (!has_partner) continue;
+      // Gather the annulus of tile samples this victim's far part reaches
+      // (w > 0, inside the influence radius), once for all its partners.
+      sample_idx.clear();
+      pts.clear();
+      wts.clear();
+      const auto lo_of = [](double x, double lo, double h) {
+        return std::max<std::int64_t>(
+            0, static_cast<std::int64_t>(std::floor((x - lo) / h)) - 1);
+      };
+      const auto hi_of = [](double x, double lo, double h, std::size_t n) {
+        return std::min<std::int64_t>(
+            static_cast<std::int64_t>(n) - 1,
+            static_cast<std::int64_t>(std::ceil((x - lo) / h)) + 1);
+      };
+      const std::int64_t ix0 =
+          lo_of(victim.x - infl, c.support.lo.x, c.hx);
+      const std::int64_t ix1 =
+          hi_of(victim.x + infl, c.support.lo.x, c.hx, c.nx);
+      const std::int64_t iy0 =
+          lo_of(victim.y - infl, c.support.lo.y, c.hy);
+      const std::int64_t iy1 =
+          hi_of(victim.y + infl, c.support.lo.y, c.hy, c.ny);
+      for (std::int64_t iy = iy0; iy <= iy1; ++iy) {
+        for (std::int64_t ix = ix0; ix <= ix1; ++ix) {
+          const geo::Point p{
+              c.support.lo.x + static_cast<double>(ix) * c.hx,
+              c.support.lo.y + static_cast<double>(iy) * c.hy};
+          const double r2 = geo::distance_squared(p, victim);
+          if (r2 > infl2) continue;
+          const double w = tile_weight(std::sqrt(r2), options_, infl);
+          if (w <= 0.0) continue;
+          sample_idx.push_back(static_cast<std::size_t>(iy) * c.nx +
+                               static_cast<std::size_t>(ix));
+          pts.push_back(p);
+          wts.push_back(w);
+        }
+      }
+      for (const std::uint32_t a : nearby) {
+        if (a == v) continue;
+        ++c.pairs;
+        if (pts.empty()) continue;
+        const geo::Point& aggressor = centers[a];
+        contrib.assign(pts.size(), num::SymTensor2{});
+        if (surrogate != nullptr &&
+            surrogate->try_accumulate(victim, aggressor, pts.data(),
+                                      pts.size(), contrib.data())) {
+          ++surrogate_pairs;
+        } else if (stage2.use_lookup_table) {
+          const ana::PairStressTable& table = model.table_for_pitch(
+              geo::distance(victim, aggressor), stage2.influence_radius,
+              stage2.pitch_quant_step);
+          table.accumulate(victim, aggressor, pts.data(), pts.size(),
+                           contrib.data());
+          ++table_pairs;
+        } else {
+          const double pitch = geo::distance(victim, aggressor);
+          const ana::RegionField& combined = model.combined_for_pitch(pitch);
+          for (std::size_t j = 0; j < pts.size(); ++j) {
+            contrib[j] = model.stress_with_combined(combined, victim,
+                                                    aggressor, pitch, pts[j]);
+          }
+          ++series_pairs;
+        }
+        for (std::size_t j = 0; j < pts.size(); ++j)
+          acc[sample_idx[j]] += wts[j] * contrib[j];
+      }
+    }
+  }
+  c.s11.resize(nsamp);
+  c.s22.resize(nsamp);
+  c.s12.resize(nsamp);
+  for (std::size_t i = 0; i < nsamp; ++i) {
+    c.s11[i] = static_cast<float>(acc[i].s11);
+    c.s22[i] = static_cast<float>(acc[i].s22);
+    c.s12[i] = static_cast<float>(acc[i].s12);
+  }
+}
+
+namespace {
+
+/// Catmull-Rom weights at parameter t in [0, 1] for nodes -1, 0, 1, 2.
+inline void catmull_rom(double t, double w[4]) {
+  const double t2 = t * t;
+  const double t3 = t2 * t;
+  w[0] = 0.5 * (-t3 + 2.0 * t2 - t);
+  w[1] = 0.5 * (3.0 * t3 - 5.0 * t2 + 2.0);
+  w[2] = 0.5 * (-3.0 * t3 + 4.0 * t2 + t);
+  w[3] = 0.5 * (t3 - t2);
+}
+
+/// Bicubic (Catmull-Rom) tile read with edge-replicated nodes; the caller
+/// guarantees support.contains(p). The tiles hold a C1 field (the blend and
+/// edge tapers are smoothsteps and the support margin is zero), so the
+/// read converges ~h^4 where bilinear stalls at the blend-ramp curvature
+/// (~h^2 with a large constant) — that's what lets tile_spacing sit at the
+/// simulation grid pitch instead of half of it.
+num::SymTensor2 interp_tile(const std::vector<float>& s11,
+                            const std::vector<float>& s22,
+                            const std::vector<float>& s12, std::size_t nx,
+                            std::size_t ny, const geo::Box& support, double hx,
+                            double hy, const geo::Point& p) {
+  const double fx = (p.x - support.lo.x) / hx;
+  const double fy = (p.y - support.lo.y) / hy;
+  const std::size_t ix = std::min(static_cast<std::size_t>(std::max(fx, 0.0)),
+                                  nx - 2);
+  const std::size_t iy = std::min(static_cast<std::size_t>(std::max(fy, 0.0)),
+                                  ny - 2);
+  const double tx = std::clamp(fx - static_cast<double>(ix), 0.0, 1.0);
+  const double ty = std::clamp(fy - static_cast<double>(iy), 0.0, 1.0);
+  double wx[4];
+  double wy[4];
+  catmull_rom(tx, wx);
+  catmull_rom(ty, wy);
+  // Edge-replicated node indices (the support margin rows/cols are zero,
+  // so replication never invents field).
+  const auto node = [](std::size_t i, long d, std::size_t n) {
+    const long j = static_cast<long>(i) + d;
+    return static_cast<std::size_t>(
+        std::clamp(j, 0L, static_cast<long>(n) - 1));
+  };
+  std::size_t col[4];
+  std::size_t row[4];
+  for (long d = 0; d < 4; ++d) {
+    col[d] = node(ix, d - 1, nx);
+    row[d] = node(iy, d - 1, ny) * nx;
+  }
+  num::SymTensor2 out;
+  for (int b = 0; b < 4; ++b) {
+    double r11 = 0.0, r22 = 0.0, r12 = 0.0;
+    const std::size_t base = row[b];
+    for (int a = 0; a < 4; ++a) {
+      const std::size_t idx = base + col[a];
+      r11 += wx[a] * s11[idx];
+      r22 += wx[a] * s22[idx];
+      r12 += wx[a] * s12[idx];
+    }
+    out.s11 += wy[b] * r11;
+    out.s22 += wy[b] * r22;
+    out.s12 += wy[b] * r12;
+  }
+  return out;
+}
+
+}  // namespace
+
+num::SymTensor2 FarFieldAggregate::eval(const geo::Point& p) const {
+  num::SymTensor2 sum;
+  if (clusters_.empty()) return sum;
+  const std::int64_t ci = cell_coord(p.x, options_.cell_size);
+  const std::int64_t cj = cell_coord(p.y, options_.cell_size);
+  for (std::int64_t dj = -reach_; dj <= reach_; ++dj) {
+    for (std::int64_t di = -reach_; di <= reach_; ++di) {
+      const std::int32_t s = slot_of(ci + di, cj + dj);
+      if (s < 0) continue;
+      const Cluster& c = clusters_[static_cast<std::size_t>(s)];
+      if (c.pairs == 0 || !c.support.contains(p)) continue;
+      sum += interp_tile(c.s11, c.s22, c.s12, c.nx, c.ny, c.support, c.hx,
+                         c.hy, p);
+    }
+  }
+  return sum;
+}
+
+void FarFieldAggregate::accumulate(const geo::Point* points, std::size_t n,
+                                   num::SymTensor2* out) const {
+  for (std::size_t i = 0; i < n; ++i) out[i] += eval(points[i]);
+}
+
+num::SymTensor2 FarFieldAggregate::eval_cell(std::int64_t key,
+                                             const geo::Point& p) const {
+  const std::int32_t s = slot_of(unpack_ci(key), unpack_cj(key));
+  if (s < 0) return {};
+  const Cluster& c = clusters_[static_cast<std::size_t>(s)];
+  if (c.pairs == 0 || !c.support.contains(p)) return {};
+  return interp_tile(c.s11, c.s22, c.s12, c.nx, c.ny, c.support, c.hx, c.hy,
+                     p);
+}
+
+void FarFieldAggregate::rebuild_cell(std::int64_t key,
+                                     const std::vector<geo::Point>& centers,
+                                     const geo::GridIndex& tsv_index,
+                                     const ana::InteractiveStressModel& model,
+                                     const InteractiveOptions& stage2) {
+  TSV_REQUIRE(compatible_with(stage2),
+              "far field: rebuild with mismatched Stage II cutoffs");
+  const std::int32_t slot = ensure_slot(key);
+  Cluster& c = clusters_[static_cast<std::size_t>(slot)];
+  // The cell's victims, ascending index (query_radius returns index order):
+  // the same canonical enumeration build() uses, so the re-folded tile is
+  // bitwise what a fresh build over these centers would produce.
+  std::vector<std::uint32_t> victims;
+  const double L = options_.cell_size;
+  const geo::Point cc{(static_cast<double>(unpack_ci(key)) + 0.5) * L,
+                      (static_cast<double>(unpack_cj(key)) + 0.5) * L};
+  std::vector<std::uint32_t> candidates;
+  tsv_index.query_radius(cc, std::hypot(L, L) / 2.0 + 1.0, candidates);
+  for (const std::uint32_t v : candidates)
+    if (cell_key(centers[v]) == key) victims.push_back(v);
+
+  if (victims.empty()) {
+    // The cell's last victim moved away or was removed. A fresh build over
+    // these centers would not create the cluster at all, so drop it —
+    // cluster_count stays exactly what build() would report. Swap-and-pop
+    // is safe: eval walks the positional grid index, never slot order.
+    stats_.pairs -= c.pairs;
+    const std::size_t dead = static_cast<std::size_t>(slot);
+    const std::int64_t dead_key = clusters_[dead].key;
+    const std::size_t last = clusters_.size() - 1;
+    if (dead != last) {
+      clusters_[dead] = std::move(clusters_[last]);
+      index_insert(clusters_[dead].key, slot);
+    }
+    clusters_.pop_back();
+    index_insert(dead_key, -1);
+    ++stats_.clusters_rebuilt;
+    return;
+  }
+
+  const std::size_t old_pairs = c.pairs;
+  std::size_t sur = 0, tab = 0, ser = 0;
+  fold_cluster(c, victims, centers, tsv_index, model, stage2, sur, tab, ser);
+  stats_.pairs = stats_.pairs - old_pairs + c.pairs;
+  stats_.surrogate_pairs += sur;
+  stats_.table_pairs += tab;
+  stats_.series_pairs += ser;
+  ++stats_.clusters_rebuilt;
+}
+
+void FarFieldAggregate::refresh_fingerprint(
+    const std::vector<geo::Point>& centers) {
+  fingerprint_ = fingerprint_centers(centers);
+}
+
+void FarFieldAggregate::certify(const tsvlib::Placement& placement,
+                                const geo::GridIndex& tsv_index,
+                                const ana::InteractiveStressModel& model,
+                                const InteractiveOptions& stage2) {
+  certificate_ = FarFieldCertificate{};
+  certificate_.cell_size = options_.cell_size;
+  certificate_.tile_spacing = options_.tile_spacing;
+  certificate_.blend_r0 = options_.blend_r0;
+  certificate_.blend_r1 = options_.blend_r1;
+  certificate_.edge_width = options_.edge_width;
+  certificate_.cluster_count = clusters_.size();
+  if (clusters_.empty()) return;
+
+  // Even stride over the deterministic cluster order; skip pairless cells
+  // (their tiles are exactly zero and there is nothing to measure).
+  const std::size_t want = std::max<std::size_t>(1, options_.cert_max_clusters);
+  const std::size_t stride = std::max<std::size_t>(1, clusters_.size() / want);
+  const std::vector<geo::Point>& centers = placement.centers();
+  std::vector<std::uint32_t> victims;
+  std::vector<std::uint32_t> partners;
+  double max_err = 0.0;
+  double scale = 0.0;
+  std::uint64_t samples = 0;
+  std::uint64_t probed = 0;
+  for (std::size_t s = 0; s < clusters_.size() && probed < want; s += stride) {
+    const Cluster& c = clusters_[s];
+    if (c.pairs == 0) continue;
+    ++probed;
+    ProbeRng rng(c.key);
+    for (std::size_t k = 0; k < options_.cert_samples_per_cluster; ++k) {
+      const geo::Point p{c.support.lo.x + rng.next() * c.support.width(),
+                         c.support.lo.y + rng.next() * c.support.height()};
+      // Exact reference: tile-weighted series far field and total Stage II
+      // field at p, enumerating the same ordered pairs the direct path
+      // would.
+      num::SymTensor2 far_exact;
+      num::SymTensor2 total;
+      tsv_index.query_radius(p, influence_radius_, victims);
+      for (const std::uint32_t v : victims) {
+        const double w = tile_weight(geo::distance(p, centers[v]), options_,
+                                     influence_radius_);
+        tsv_index.query_radius(centers[v], pair_pitch_cutoff_, partners);
+        for (const std::uint32_t a : partners) {
+          if (a == v) continue;
+          const num::SymTensor2 exact =
+              model.stress_at(centers[v], centers[a], p);
+          total += exact;
+          if (w > 0.0) far_exact += w * exact;
+        }
+      }
+      const num::SymTensor2 approx = eval(p);
+      max_err = std::max(max_err, max_abs_component(approx - far_exact));
+      scale = std::max(scale, max_abs_component(total));
+      ++samples;
+    }
+  }
+  certificate_.probed_clusters = probed;
+  certificate_.sample_count = samples;
+  certificate_.field_scale = scale;
+  certificate_.max_abs_error = max_err;
+  certificate_.certified_rel_bound =
+      scale > 0.0 ? options_.cert_margin * max_err / scale : 0.0;
+  (void)stage2;
+}
+
+}  // namespace tsv::core

@@ -1,0 +1,97 @@
+#include "io/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "core/error.h"
+
+namespace tsv::io {
+namespace {
+
+[[noreturn]] void open_error(const std::string& path, const char* what) {
+  throw InvalidInputError("mapped file '" + path + "': " + what + " (" +
+                          std::strerror(errno) + ")");
+}
+
+}  // namespace
+
+MappedFile::MappedFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) open_error(path, "cannot open for reading");
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    open_error(path, "cannot stat");
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ == 0) {
+    // mmap rejects zero-length mappings; an empty file needs no buffer at
+    // all (data() may be null, size() is 0 — readers reject it as
+    // truncated before ever dereferencing).
+    ::close(fd);
+    return;
+  }
+  void* map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  if (map != MAP_FAILED) {
+    data_ = static_cast<char*>(map);
+    mapped_ = true;
+    ::close(fd);
+    return;
+  }
+  // Fallback: plain buffered read (e.g. filesystems without mmap support).
+  data_ = new char[size_];
+  std::size_t off = 0;
+  while (off < size_) {
+    const ssize_t got = ::read(fd, data_ + off, size_ - off);
+    if (got <= 0) {
+      const int saved = errno;
+      delete[] data_;
+      data_ = nullptr;
+      ::close(fd);
+      errno = got == 0 ? EIO : saved;
+      open_error(path, "short read");
+    }
+    off += static_cast<std::size_t>(got);
+  }
+  ::close(fd);
+}
+
+void MappedFile::release() noexcept {
+  if (data_ != nullptr) {
+    if (mapped_) {
+      ::munmap(data_, size_);
+    } else {
+      delete[] data_;
+    }
+  }
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+MappedFile::~MappedFile() { release(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      mapped_(std::exchange(other.mapped_, false)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    release();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    mapped_ = std::exchange(other.mapped_, false);
+  }
+  return *this;
+}
+
+}  // namespace tsv::io

@@ -10,6 +10,7 @@
 #include "analytic/mode_solver.h"
 #include "core/error.h"
 #include "io/atomic_file.h"
+#include "io/mapped_file.h"
 #include "numeric/fault_injection.h"
 
 namespace tsv::io {
@@ -17,13 +18,17 @@ namespace {
 
 constexpr char kMagic[8] = {'T', 'S', 'V', 'S', 'N', 'A', 'P', '\0'};
 
-std::uint64_t fnv1a64(const std::string& bytes) {
+std::uint64_t fnv1a64(const char* bytes, std::size_t n) {
   std::uint64_t h = 1469598103934665603ull;
-  for (const char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(bytes[i]);
     h *= 1099511628211ull;
   }
   return h;
+}
+
+std::uint64_t fnv1a64(const std::string& bytes) {
+  return fnv1a64(bytes.data(), bytes.size());
 }
 
 [[noreturn]] void snapshot_error(const std::string& path,
@@ -50,6 +55,12 @@ class Writer {
   void f64_vec(const std::vector<double>& v) {
     size(v.size());
     for (const double x : v) f64(x);
+  }
+  void f32_vec(const std::vector<float>& v) {
+    // Bulk append (native little-endian IEEE floats) — the float32 storage
+    // tier for bulk table tensors.
+    size(v.size());
+    raw(v.data(), v.size() * sizeof(float));
   }
   void point(const geo::Point& p) {
     f64(p.x);
@@ -79,12 +90,12 @@ class Writer {
   /// `durable=false` skips the fsync (see atomic_write_file). Returns the
   /// payload checksum — the identity the eco journal anchors replay to.
   std::uint64_t commit(const std::string& path, SnapshotKind kind,
-                       bool durable = true) const {
+                       bool durable = true,
+                       std::uint32_t version = kSnapshotVersion) const {
     std::string bytes;
     bytes.reserve(sizeof(kMagic) + 2 * sizeof(std::uint32_t) +
                   2 * sizeof(std::uint64_t) + buffer_.size());
     bytes.append(kMagic, sizeof(kMagic));
-    const std::uint32_t version = kSnapshotVersion;
     const std::uint32_t kind_u = static_cast<std::uint32_t>(kind);
     const std::uint64_t payload = buffer_.size();
     const std::uint64_t checksum = fnv1a64(buffer_);
@@ -109,13 +120,21 @@ class Writer {
 
 /// Validated payload cursor: every get_* bounds-checks before reading, so
 /// malformed payloads fail with a clear error instead of reading garbage.
+/// Non-owning: decodes straight out of the caller's buffer (a MappedFile
+/// for snapshot loads, a std::string for embedded payloads), which must
+/// outlive the Reader.
 class Reader {
  public:
-  Reader(std::string payload, std::string path,
+  Reader(const char* payload, std::size_t payload_size, std::string path,
          std::uint32_t version = kSnapshotVersion)
-      : payload_(std::move(payload)),
+      : payload_(payload),
+        payload_size_(payload_size),
         path_(std::move(path)),
         version_(version) {}
+
+  Reader(const std::string& payload, std::string path,
+         std::uint32_t version = kSnapshotVersion)
+      : Reader(payload.data(), payload.size(), std::move(path), version) {}
 
   /// Format version of the file this payload came from; decoders branch on
   /// it for sections added after version 1.
@@ -130,7 +149,7 @@ class Reader {
     const std::uint64_t n = u64();
     // An impossible element count (larger than the remaining payload)
     // means a corrupt length field; fail before trying to allocate it.
-    if (n > payload_.size() - cursor_)
+    if (n > payload_size_ - cursor_)
       snapshot_error(path_, "malformed payload (impossible element count)");
     return static_cast<std::size_t>(n);
   }
@@ -138,7 +157,7 @@ class Reader {
   std::string str() {
     const std::size_t n = size();
     need(n);
-    std::string s = payload_.substr(cursor_, n);
+    std::string s(payload_ + cursor_, n);
     cursor_ += n;
     return s;
   }
@@ -146,6 +165,16 @@ class Reader {
     const std::size_t n = size();
     std::vector<double> v(n);
     for (std::size_t i = 0; i < n; ++i) v[i] = f64();
+    return v;
+  }
+  std::vector<float> f32_vec() {
+    // Bulk read, mirroring Writer::f32_vec.
+    const std::size_t n = size();
+    std::vector<float> v(n);
+    const std::size_t bytes = n * sizeof(float);
+    need(bytes);
+    if (bytes != 0) std::memcpy(v.data(), payload_ + cursor_, bytes);
+    cursor_ += bytes;
     return v;
   }
   geo::Point point() {
@@ -169,13 +198,13 @@ class Reader {
     need(bytes);
     // n == 0 leaves v.data() null, and memcpy's pointer arguments must be
     // valid even for a zero count (UBSan enforces this).
-    if (bytes != 0) std::memcpy(v.data(), payload_.data() + cursor_, bytes);
+    if (bytes != 0) std::memcpy(v.data(), payload_ + cursor_, bytes);
     cursor_ += bytes;
     return v;
   }
 
   void expect_end() const {
-    if (cursor_ != payload_.size())
+    if (cursor_ != payload_size_)
       snapshot_error(path_, "malformed payload (trailing bytes)");
   }
 
@@ -184,91 +213,93 @@ class Reader {
   T get() {
     need(sizeof(T));
     T v;
-    std::memcpy(&v, payload_.data() + cursor_, sizeof(T));
+    std::memcpy(&v, payload_ + cursor_, sizeof(T));
     cursor_ += sizeof(T);
     return v;
   }
   void need(std::size_t n) const {
-    if (cursor_ + n > payload_.size())
+    if (cursor_ + n > payload_size_)
       snapshot_error(path_, "malformed payload (truncated field)");
   }
 
-  std::string payload_;
+  const char* payload_ = nullptr;
+  std::size_t payload_size_ = 0;
   std::string path_;
   std::uint32_t version_ = kSnapshotVersion;
   std::size_t cursor_ = 0;
 };
 
-struct FileContents {
+/// A validated, still-open snapshot file: `reader` decodes directly out of
+/// the mapping, so this object must stay alive until decoding finishes.
+struct OpenedSnapshot {
+  MappedFile file;
   SnapshotInfo info;
-  std::string payload;
+  Reader reader;
 };
 
-/// Reads the whole file, validating magic, version, size, and checksum.
-FileContents read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  // A missing/unreadable path is the caller's mistake, not disk corruption.
-  if (!in) throw InvalidInputError("snapshot '" + path +
-                                   "': cannot open for reading");
-  std::ostringstream buf;
-  buf << in.rdbuf();
-  std::string bytes = std::move(buf).str();
+/// Maps the file and validates magic, version, size, and checksum. The
+/// returned reader points into the mapping — no heap copy of the payload.
+OpenedSnapshot read_file(const std::string& path) {
+  MappedFile file(path);
+  const char* bytes = file.data();
+  const std::size_t total = file.size();
 
   constexpr std::size_t kHeader = sizeof(kMagic) + 2 * sizeof(std::uint32_t) +
                                   sizeof(std::uint64_t);
-  if (bytes.size() < kHeader + sizeof(std::uint64_t))
+  if (total < kHeader + sizeof(std::uint64_t))
     snapshot_error(path, "truncated file (shorter than the header)");
-  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+  if (std::memcmp(bytes, kMagic, sizeof(kMagic)) != 0)
     snapshot_error(path, "not a tsvstress snapshot (bad magic)");
 
-  FileContents fc;
+  SnapshotInfo info;
   std::size_t off = sizeof(kMagic);
   const auto read_pod = [&](auto& v) {
-    std::memcpy(&v, bytes.data() + off, sizeof(v));
+    std::memcpy(&v, bytes + off, sizeof(v));
     off += sizeof(v);
   };
   std::uint32_t kind_u = 0;
-  read_pod(fc.info.version);
+  read_pod(info.version);
   read_pod(kind_u);
-  read_pod(fc.info.payload_bytes);
-  fc.info.kind = static_cast<SnapshotKind>(kind_u);
+  read_pod(info.payload_bytes);
+  info.kind = static_cast<SnapshotKind>(kind_u);
 
-  if (fc.info.version < kMinSnapshotVersion ||
-      fc.info.version > kSnapshotVersion) {
+  if (info.version < kMinSnapshotVersion ||
+      info.version > kSnapshotVersion) {
     std::ostringstream os;
-    os << "format version mismatch: file has version " << fc.info.version
+    os << "format version mismatch: file has version " << info.version
        << ", this build reads versions " << kMinSnapshotVersion << ".."
        << kSnapshotVersion;
     snapshot_error(path, os.str());
   }
-  if (bytes.size() != off + fc.info.payload_bytes + sizeof(std::uint64_t))
+  if (total != off + info.payload_bytes + sizeof(std::uint64_t))
     snapshot_error(path, "truncated file (payload size does not match)");
 
-  fc.payload = bytes.substr(off, static_cast<std::size_t>(
-                                     fc.info.payload_bytes));
+  const char* payload = bytes + off;
+  const std::size_t payload_bytes =
+      static_cast<std::size_t>(info.payload_bytes);
   std::uint64_t stored = 0;
-  std::memcpy(&stored, bytes.data() + off + fc.payload.size(),
-              sizeof(stored));
-  fc.info.checksum = stored;
-  const std::uint64_t computed = fnv1a64(fc.payload);
+  std::memcpy(&stored, payload + payload_bytes, sizeof(stored));
+  info.checksum = stored;
+  const std::uint64_t computed = fnv1a64(payload, payload_bytes);
   if (computed != stored) {
     std::ostringstream os;
     os << "checksum mismatch (file is corrupt): stored " << std::hex << stored
        << ", computed " << computed;
     snapshot_error(path, os.str());
   }
-  return fc;
+  Reader reader(payload, payload_bytes, path, info.version);
+  return OpenedSnapshot{std::move(file), info, std::move(reader)};
 }
 
-Reader open_kind(const std::string& path, SnapshotKind expected) {
-  FileContents fc = read_file(path);
-  if (fc.info.kind != expected) {
+OpenedSnapshot open_kind(const std::string& path, SnapshotKind expected) {
+  OpenedSnapshot opened = read_file(path);
+  if (opened.info.kind != expected) {
     std::ostringstream os;
     os << "kind mismatch: expected " << to_string(expected) << ", file holds "
-       << to_string(fc.info.kind);
+       << to_string(opened.info.kind);
     snapshot_error(path, os.str());
   }
-  return Reader(std::move(fc.payload), path, fc.info.version);
+  return opened;
 }
 
 // --- shared sub-encoders -------------------------------------------------
@@ -324,7 +355,13 @@ core::RadialStressTable get_radial_table(Reader& r) {
 }
 
 void put_pair_tables(Writer& w,
-                     const std::vector<ana::PairStressTable::Data>& tables) {
+                     const std::vector<ana::PairStressTable::Data>& tables,
+                     std::uint32_t version = kSnapshotVersion) {
+  // Format v3: the float32 SoA samples are written verbatim (they ARE the
+  // table's storage), so save -> load -> save round-trips bitwise and the
+  // section is ~6x smaller than the v2 f64 tensor layout. The compat
+  // writers (version < 3) widen the floats back into the old f64 tensor
+  // layout; re-narrowing on load restores the identical bits.
   w.size(tables.size());
   for (const ana::PairStressTable::Data& t : tables) {
     w.f64(t.pitch);
@@ -334,7 +371,19 @@ void put_pair_tables(Writer& w,
       w.f64(seg.r0);
       w.f64(seg.r1);
       w.size(seg.nr);
-      w.tensor_vec(seg.values);
+      if (version >= 3) {
+        w.f32_vec(seg.s11);
+        w.f32_vec(seg.s22);
+        w.f32_vec(seg.s12);
+      } else {
+        std::vector<num::SymTensor2> values(seg.s11.size());
+        for (std::size_t k = 0; k < values.size(); ++k) {
+          values[k] = num::SymTensor2{static_cast<double>(seg.s11[k]),
+                                      static_cast<double>(seg.s22[k]),
+                                      static_cast<double>(seg.s12[k])};
+        }
+        w.tensor_vec(values);
+      }
     }
   }
 }
@@ -350,7 +399,24 @@ std::vector<ana::PairStressTable::Data> get_pair_tables(Reader& r) {
       seg.r0 = r.f64();
       seg.r1 = r.f64();
       seg.nr = r.size();
-      seg.values = r.tensor_vec();
+      if (r.version() >= 3) {
+        seg.s11 = r.f32_vec();
+        seg.s22 = r.f32_vec();
+        seg.s12 = r.f32_vec();
+      } else {
+        // v1/v2 payloads stored f64 AoS tensors; narrow them into the
+        // float tier exactly like a fresh table build would (the same
+        // static_cast, so upgraded and cold tables stay bitwise equal).
+        const std::vector<num::SymTensor2> values = r.tensor_vec();
+        seg.s11.reserve(values.size());
+        seg.s22.reserve(values.size());
+        seg.s12.reserve(values.size());
+        for (const num::SymTensor2& v : values) {
+          seg.s11.push_back(static_cast<float>(v.s11));
+          seg.s22.push_back(static_cast<float>(v.s22));
+          seg.s12.push_back(static_cast<float>(v.s12));
+        }
+      }
     }
   }
   return tables;
@@ -441,7 +507,8 @@ void save_radial_table(const std::string& path,
 }
 
 core::RadialStressTable load_radial_table(const std::string& path) {
-  Reader r = open_kind(path, SnapshotKind::kRadialTable);
+  OpenedSnapshot opened = open_kind(path, SnapshotKind::kRadialTable);
+  Reader& r = opened.reader;
   core::RadialStressTable table = get_radial_table(r);
   r.expect_end();
   return table;
@@ -459,7 +526,8 @@ std::size_t save_pair_table_cache(const std::string& path,
 
 std::size_t load_pair_table_cache(const std::string& path,
                                   const ana::InteractiveStressModel& model) {
-  Reader r = open_kind(path, SnapshotKind::kPairTableCache);
+  OpenedSnapshot opened = open_kind(path, SnapshotKind::kPairTableCache);
+  Reader& r = opened.reader;
   std::vector<ana::PairStressTable::Data> tables = get_pair_tables(r);
   r.expect_end();
   return model.import_table_cache(std::move(tables));
@@ -487,7 +555,8 @@ void save_surrogate(const std::string& path,
 }
 
 ana::PairSurrogate load_surrogate(const std::string& path) {
-  Reader r = open_kind(path, SnapshotKind::kSurrogate);
+  OpenedSnapshot opened = open_kind(path, SnapshotKind::kSurrogate);
+  Reader& r = opened.reader;
   ana::PairSurrogate surrogate = get_surrogate(r);
   r.expect_end();
   return surrogate;
@@ -513,7 +582,8 @@ void save_placement(const std::string& path, const tsvlib::Placement& p) {
 }
 
 tsvlib::Placement load_placement(const std::string& path) {
-  Reader r = open_kind(path, SnapshotKind::kPlacement);
+  OpenedSnapshot opened = open_kind(path, SnapshotKind::kPlacement);
+  Reader& r = opened.reader;
   tsvlib::TsvStructure structure = get_structure(r);
   const std::size_t n = r.size();
   std::vector<geo::Point> centers(n);
@@ -540,8 +610,11 @@ tsvlib::Placement decode_placement(const std::string& bytes) {
   return tsvlib::Placement(structure, std::move(centers));
 }
 
-std::uint64_t save_engine_state(const std::string& path,
-                                const core::IncrementalEngine& engine) {
+namespace {
+
+std::uint64_t save_engine_state_as(const std::string& path,
+                                   const core::IncrementalEngine& engine,
+                                   std::uint32_t version) {
   const auto* radial =
       dynamic_cast<const core::RadialStressTable*>(&engine.table());
   TSV_REQUIRE(radial != nullptr,
@@ -564,6 +637,20 @@ std::uint64_t save_engine_state(const std::string& path,
   w.u8(opt.stage2.allow_surrogate ? 1 : 0);
   w.f64(opt.stage2.surrogate_tolerance);
   w.size(opt.stage2.num_threads);
+  if (version >= 3) {
+    // Far-field routing (format version 3; absent and defaulted in older
+    // payloads).
+    w.u8(opt.stage2.use_far_field ? 1 : 0);
+    w.f64(opt.stage2.far_field_tolerance);
+    w.f64(opt.stage2.far_field.cell_size);
+    w.f64(opt.stage2.far_field.tile_spacing);
+    w.f64(opt.stage2.far_field.blend_r0);
+    w.f64(opt.stage2.far_field.blend_r1);
+    w.f64(opt.stage2.far_field.edge_width);
+    w.size(opt.stage2.far_field.cert_max_clusters);
+    w.size(opt.stage2.far_field.cert_samples_per_cluster);
+    w.f64(opt.stage2.far_field.cert_margin);
+  }
   w.u8(opt.enable_interactive ? 1 : 0);
   w.size(opt.num_threads);
 
@@ -586,22 +673,42 @@ std::uint64_t save_engine_state(const std::string& path,
   w.tensor_vec(state.stage2);
 
   put_radial_table(w, *radial);
-  put_pair_tables(w, model != nullptr
-                         ? model->export_table_cache()
-                         : std::vector<ana::PairStressTable::Data>{});
+  put_pair_tables(w,
+                  model != nullptr
+                      ? model->export_table_cache()
+                      : std::vector<ana::PairStressTable::Data>{},
+                  version);
 
   // Optional embedded surrogate (format version 2): ECO warm starts reuse
   // the fitted-and-certified coefficients instead of refitting per process.
-  const std::shared_ptr<const ana::PairSurrogate> surrogate =
-      model != nullptr ? model->surrogate() : nullptr;
-  w.u8(surrogate != nullptr ? 1 : 0);
-  if (surrogate != nullptr) put_surrogate(w, *surrogate);
+  if (version >= 2) {
+    const std::shared_ptr<const ana::PairSurrogate> surrogate =
+        model != nullptr ? model->surrogate() : nullptr;
+    w.u8(surrogate != nullptr ? 1 : 0);
+    if (surrogate != nullptr) put_surrogate(w, *surrogate);
+  }
 
-  return w.commit(path, SnapshotKind::kEngineState);
+  return w.commit(path, SnapshotKind::kEngineState, /*durable=*/true, version);
+}
+
+}  // namespace
+
+std::uint64_t save_engine_state(const std::string& path,
+                                const core::IncrementalEngine& engine) {
+  return save_engine_state_as(path, engine, kSnapshotVersion);
+}
+
+std::uint64_t save_engine_state_compat(const std::string& path,
+                                       const core::IncrementalEngine& engine,
+                                       std::uint32_t version) {
+  TSV_REQUIRE(version >= kMinSnapshotVersion && version <= kSnapshotVersion,
+              "engine snapshot: unsupported compat version");
+  return save_engine_state_as(path, engine, version);
 }
 
 core::IncrementalEngine load_engine_state(const std::string& path) {
-  Reader r = open_kind(path, SnapshotKind::kEngineState);
+  OpenedSnapshot opened = open_kind(path, SnapshotKind::kEngineState);
+  Reader& r = opened.reader;
   core::IncrementalEngine::State state;
   state.structure = get_structure(r);
   const geo::Point lo = r.point();
@@ -619,6 +726,18 @@ core::IncrementalEngine load_engine_state(const std::string& path) {
   opt.stage2.allow_surrogate = r.u8() != 0;
   opt.stage2.surrogate_tolerance = r.f64();
   opt.stage2.num_threads = r.size();
+  if (r.version() >= 3) {
+    opt.stage2.use_far_field = r.u8() != 0;
+    opt.stage2.far_field_tolerance = r.f64();
+    opt.stage2.far_field.cell_size = r.f64();
+    opt.stage2.far_field.tile_spacing = r.f64();
+    opt.stage2.far_field.blend_r0 = r.f64();
+    opt.stage2.far_field.blend_r1 = r.f64();
+    opt.stage2.far_field.edge_width = r.f64();
+    opt.stage2.far_field.cert_max_clusters = r.size();
+    opt.stage2.far_field.cert_samples_per_cluster = r.size();
+    opt.stage2.far_field.cert_margin = r.f64();
+  }
   opt.enable_interactive = r.u8() != 0;
   opt.num_threads = r.size();
 
@@ -692,7 +811,8 @@ void save_tiled_checkpoint(const std::string& path,
 }
 
 core::TiledCheckpoint load_tiled_checkpoint(const std::string& path) {
-  Reader r = open_kind(path, SnapshotKind::kTiledCheckpoint);
+  OpenedSnapshot opened = open_kind(path, SnapshotKind::kTiledCheckpoint);
+  Reader& r = opened.reader;
   core::TiledCheckpoint cp;
   cp.fingerprint = r.u64();
   cp.tiles_done = r.size();

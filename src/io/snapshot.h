@@ -45,7 +45,18 @@ namespace tsv::io {
 // next save writes the current version (the upgrade path). Versions
 // outside [kMinSnapshotVersion, kSnapshotVersion] are rejected with a
 // clear mismatch error.
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+//
+// Version 3: (a) pair-table samples are stored as float32 SoA — the
+// table's native storage tier — shrinking pair-table-cache and
+// engine-state payloads ~6x for that section (v1/v2 payloads still load;
+// their f64 tensors are narrowed into the float tier on read, and the
+// next save writes v3); (b) engine-state options gained the Stage II
+// far-field fields (use_far_field, tolerance, FarFieldOptions), absent
+// and defaulted in older payloads. Reads go through a memory-mapped view
+// (io/mapped_file.h) instead of double-buffering the file in the heap.
+// Fields that remain f64 (engine stage fields, radial table, surrogate
+// coefficients) still round-trip bitwise.
+inline constexpr std::uint32_t kSnapshotVersion = 3;
 inline constexpr std::uint32_t kMinSnapshotVersion = 1;
 
 enum class SnapshotKind : std::uint32_t {
@@ -131,6 +142,16 @@ tsvlib::Placement decode_placement(const std::string& bytes);
 /// journal suffix is already folded into the on-disk snapshot.
 std::uint64_t save_engine_state(const std::string& path,
                                 const core::IncrementalEngine& engine);
+
+/// Writes an engine snapshot in an OLDER format version's exact layout
+/// (f64 pair tables and no surrogate section for v1, no far-field option
+/// fields below v3), stamped with that version. Exists so downgrade
+/// interop and the version-upgrade tests exercise the real old layouts
+/// instead of re-stamped current payloads. Throws std::invalid_argument
+/// outside [kMinSnapshotVersion, kSnapshotVersion].
+std::uint64_t save_engine_state_compat(const std::string& path,
+                                       const core::IncrementalEngine& engine,
+                                       std::uint32_t version);
 
 /// Rebuilds an engine from a snapshot without re-evaluating anything: the
 /// radial table is decoded, the interactive model is re-characterized from

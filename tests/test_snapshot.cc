@@ -236,36 +236,6 @@ TEST(Snapshot, EngineStateEmbedsTheFittedSurrogate) {
   EXPECT_EQ(warmed_plain.model()->surrogate(), nullptr);
 }
 
-/// FNV-1a 64 over the payload, mirroring the writer (layout documented in
-/// snapshot.h) so tests can synthesize old-format files byte by byte.
-std::uint64_t fnv1a64(const char* data, std::size_t n) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= static_cast<unsigned char>(data[i]);
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
-/// Turns a current-format snapshot into a version-1 file: drops the last
-/// `drop` payload bytes, stamps version 1, and re-seals the header sizes
-/// and trailing checksum.
-std::string as_version1(const std::string& bytes, std::size_t drop) {
-  constexpr std::size_t kHeader = 24;  // magic + version + kind + payload
-  std::uint64_t payload_bytes = 0;
-  std::memcpy(&payload_bytes, bytes.data() + 16, sizeof(payload_bytes));
-  payload_bytes -= drop;
-
-  std::string v1 = bytes.substr(0, kHeader + payload_bytes);
-  const std::uint32_t version = 1;
-  std::memcpy(v1.data() + 8, &version, sizeof(version));
-  std::memcpy(v1.data() + 16, &payload_bytes, sizeof(payload_bytes));
-  const std::uint64_t checksum =
-      fnv1a64(v1.data() + kHeader, static_cast<std::size_t>(payload_bytes));
-  v1.append(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
-  return v1;
-}
-
 TEST(Snapshot, VersionOneEngineSnapshotLoadsAndRefitsOnDemand) {
   const tsvlib::Placement placement = tsvlib::make_five_cross(kS, 12.0);
   const geo::SampleGrid grid =
@@ -275,13 +245,12 @@ TEST(Snapshot, VersionOneEngineSnapshotLoadsAndRefitsOnDemand) {
       std::make_shared<const core::RadialStressTable>(make_table());
   core::IncrementalEngine engine(placement, grid, table, make_model(), {});
   engine.apply({core::EcoOp::move(0, {2.0, 1.0})});
-  const std::string path = temp_path("engine_v2_for_v1.snap");
-  save_engine_state(path, engine);
 
-  // A version-1 engine snapshot is the current payload minus the trailing
-  // surrogate section — here just the has_surrogate = 0 byte.
+  // A genuine version-1 layout: f64 pair tables, no far-field option
+  // fields, no surrogate section (the compat writer emits the real old
+  // format, not a re-stamped current payload).
   const std::string v1_path = temp_path("engine_v1.snap");
-  write_bytes(v1_path, as_version1(read_bytes(path), 1));
+  save_engine_state_compat(v1_path, engine, 1);
   EXPECT_EQ(read_snapshot_info(v1_path).version, 1u);
 
   // It loads: same slots, bitwise-identical fields, no surrogate attached.

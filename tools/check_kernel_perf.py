@@ -21,12 +21,17 @@ cheaper than a cold full recompute (speedup_cold in the row — fresh
 characterization + engine build per sample). Host-speed independent, like
 the batch-speedup floors.
 
-With --fullchip, the guard also compares bench_fullchip's peak_rss_mb (at
-the baseline's "rss" TSV count and grid spacing) against the committed
-peak. This check is WARN-ONLY: peak RSS depends on the allocator and host
-far more than the timed kernels do, so growth beyond `max_growth` prints a
-loud warning for a human to triage instead of failing the job (the
-unnoticed 1.67 -> 3.3 GB regression is the motivating miss).
+With --fullchip, the guard also compares bench_fullchip's peak_rss_mb
+against the committed per-design peaks in the baseline's "rss" section
+(a list of {tsvs, spacing_um, peak_rss_mb, max_growth} entries). This
+check FAILS the job on growth beyond `max_growth`: the float32 table
+tier cut the fast-mode peak from 3.3 GB to under 1 GB, and the gate keeps
+it there (the earlier warn-only variant let a 2x regression linger).
+The baseline's "farfield" section additionally locks the hierarchical
+far-field row at its design point: the aggregate must be ACTIVE (its
+machine-checked certificate passed the tolerance), the certificate bound
+must stay under `max_cert_bound`, and the far-field Stage II time must
+beat the quantized row by at least `min_speedup_vs_quant`.
 
 Usage:
   tools/check_kernel_perf.py <kernels.jsonl> <baseline.json>
@@ -81,6 +86,8 @@ def write_baseline(rows, baseline_path, old, max_regression):
         data["variation"] = old["variation"]
     if "rss" in old:
         data["rss"] = old["rss"]
+    if "farfield" in old:
+        data["farfield"] = old["farfield"]
     with open(baseline_path, "w", encoding="utf-8") as f:
         json.dump(data, f, indent=2)
         f.write("\n")
@@ -144,35 +151,78 @@ def latest_fullchip_row(path, tsvs, spacing):
 
 
 def check_rss(path, baseline):
-    """Warn-only memory guard: prints a warning (never fails) when the
-    fullchip peak RSS grew more than the baseline's `max_growth` fraction.
+    """Failing memory guard: each committed per-design peak in the
+    baseline's "rss" list must not grow more than its `max_growth`
+    fraction. Accepts the legacy single-dict form too.
     """
-    spec = baseline.get("rss")
-    if spec is None:
+    specs = baseline.get("rss")
+    if specs is None:
         print("rss: baseline has no 'rss' section; skipping")
-        return
+        return []
+    if isinstance(specs, dict):
+        specs = [specs]
+    failures = []
+    for spec in specs:
+        tsvs = spec.get("tsvs", 1000)
+        spacing = spec.get("spacing_um")
+        row = latest_fullchip_row(path, tsvs, spacing)
+        if row is None:
+            where = f"tsvs == {tsvs}"
+            if spacing is not None:
+                where += f", spacing_um == {spacing}"
+            failures.append(f"rss: no fullchip row with {where} in {path}")
+            continue
+        measured = row.get("peak_rss_mb", 0.0)
+        base = spec["peak_rss_mb"]
+        max_growth = spec.get("max_growth", 0.25)
+        allowed = base * (1.0 + max_growth)
+        verdict = "ok" if measured <= allowed else "GREW"
+        print(f"fullchip rss @ {tsvs} TSVs: peak {measured:.1f} MB "
+              f"(baseline {base:.1f}, allowed <= {allowed:.1f}) {verdict}")
+        if measured > allowed:
+            failures.append(
+                f"fullchip peak RSS {measured:.1f} MB at {tsvs} TSVs "
+                f"exceeds the baseline {base:.1f} MB by more than "
+                f"{100 * max_growth:.0f}%")
+    return failures
+
+
+def check_farfield(path, baseline):
+    """Far-field floor: the hierarchical row must be active (certificate
+    passed), its bound under max_cert_bound, and its Stage II time at
+    least min_speedup_vs_quant times faster than the quantized row.
+    """
+    spec = baseline.get("farfield")
+    if spec is None:
+        print("farfield: baseline has no 'farfield' section; skipping")
+        return []
     tsvs = spec.get("tsvs", 1000)
     spacing = spec.get("spacing_um")
     row = latest_fullchip_row(path, tsvs, spacing)
     if row is None:
-        where = f"tsvs == {tsvs}"
-        if spacing is not None:
-            where += f", spacing_um == {spacing}"
-        print(f"WARNING: rss: no fullchip row with {where} in {path}",
-              file=sys.stderr)
-        return
-    measured = row.get("peak_rss_mb", 0.0)
-    base = spec["peak_rss_mb"]
-    max_growth = spec.get("max_growth", 0.25)
-    allowed = base * (1.0 + max_growth)
-    verdict = "ok" if measured <= allowed else "GREW"
-    print(f"fullchip rss @ {tsvs} TSVs: peak {measured:.1f} MB "
-          f"(baseline {base:.1f}, allowed <= {allowed:.1f}) {verdict}")
-    if measured > allowed:
-        print(f"WARNING: fullchip peak RSS {measured:.1f} MB exceeds the "
-              f"baseline {base:.1f} MB by more than "
-              f"{100 * max_growth:.0f}% (warn-only, not failing the job)",
-              file=sys.stderr)
+        return [f"farfield: no fullchip row with tsvs == {tsvs} in {path}"]
+    failures = []
+    active = row.get("farfield_active", 0) == 1
+    bound = row.get("farfield_cert_bound", -1.0)
+    max_bound = spec.get("max_cert_bound", 0.01)
+    quant_s = row.get("stage2_quant_s", 0.0)
+    far_s = row.get("stage2_farfield_s", 0.0)
+    floor = spec.get("min_speedup_vs_quant", 1.5)
+    speedup = quant_s / far_s if far_s > 0.0 else 0.0
+    print(f"fullchip farfield @ {tsvs} TSVs: "
+          f"{'ACTIVE' if active else 'INERT'}, cert bound {bound:.5f} "
+          f"(max {max_bound}), stage II {far_s:.3f} s vs quant "
+          f"{quant_s:.3f} s -> {speedup:.2f}x (floor {floor}x)")
+    if not active:
+        failures.append(f"farfield: aggregate INERT at {tsvs} TSVs (the "
+                        f"certificate gate rejected it)")
+    if bound < 0.0 or bound > max_bound:
+        failures.append(f"farfield: certificate bound {bound:.5f} exceeds "
+                        f"{max_bound}")
+    if speedup < floor:
+        failures.append(f"farfield: stage II speedup {speedup:.2f}x vs the "
+                        f"quantized row is below the floor {floor}x")
+    return failures
 
 
 def check(rows, baseline):
@@ -222,9 +272,9 @@ def main():
                         help="also check bench_variation's variation.jsonl "
                              "against the baseline's per-sample floor")
     parser.add_argument("--fullchip", metavar="PATH", default=None,
-                        help="also compare bench_fullchip's peak_rss_mb "
-                             "against the baseline's 'rss' section "
-                             "(warn-only)")
+                        help="also gate bench_fullchip's per-design peak "
+                             "RSS ('rss' section) and the hierarchical "
+                             "far-field floor ('farfield' section)")
     parser.add_argument("--max-regression", type=float, default=None,
                         help="override the baseline's allowed fraction")
     args = parser.parse_args()
@@ -256,7 +306,8 @@ def main():
     if args.variation is not None:
         failures += check_variation(args.variation, baseline)
     if args.fullchip is not None:
-        check_rss(args.fullchip, baseline)  # warn-only, never a failure
+        failures += check_rss(args.fullchip, baseline)
+        failures += check_farfield(args.fullchip, baseline)
     if failures:
         print("\nkernel perf guard FAILED:", file=sys.stderr)
         for f in failures:

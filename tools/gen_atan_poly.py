@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Generates the odd-polynomial atan coefficients used by
+num::detail::atan_core (src/numeric/kernels.h).
+
+The Stage II table batch kernel folds its per-point lookup angle
+atan2(y, x) (y >= 0) onto a single atan(t) with |t| <= tan(pi/8) via the
+octant identities, so one polynomial on that short interval replaces the
+libm call.  atan(t) = t * q(t^2) where q(s) = atan(sqrt(s))/sqrt(s) is
+analytic on s in [0, tan(pi/8)^2] (nearest singularity at s = -1), so a
+Chebyshev interpolant of q converges geometrically: degree 11 in s
+(degree 23 in t) already leaves the truncation error below double
+rounding (~1e-16 rad absolute; test_kernels sweeps this against
+std::atan2).
+
+Pure stdlib on purpose: the CI image has no numpy.  Run from the repo
+root and paste the emitted array over kAtanCoeffs when retuning:
+
+  python3 tools/gen_atan_poly.py
+"""
+
+import math
+
+A = math.tan(math.pi / 8.0)  # fold bound
+B = A * A                    # s-domain upper end
+M = 11                       # Chebyshev degree in s
+
+
+def g(s):
+    """atan(sqrt(s)) / sqrt(s), continuous at 0."""
+    if s <= 0.0:
+        return 1.0
+    t = math.sqrt(s)
+    return math.atan(t) / t
+
+
+def cheb_coeffs(f, degree):
+    """Chebyshev-interpolation coefficients of f on [-1, 1]."""
+    n = degree + 1
+    nodes = [math.cos(math.pi * (j + 0.5) / n) for j in range(n)]
+    vals = [f(u) for u in nodes]
+    coeffs = []
+    for k in range(n):
+        c = 2.0 / n * sum(vals[j] * math.cos(math.pi * k * (j + 0.5) / n)
+                          for j in range(n))
+        coeffs.append(c / 2.0 if k == 0 else c)
+    return coeffs
+
+
+def cheb_to_monomial(coeffs):
+    """Sum c_k T_k(u) as monomial coefficients in u (ascending)."""
+    # T_0 = 1, T_1 = u, T_{k+1} = 2u T_k - T_{k-1}
+    t_prev, t_cur = [1.0], [0.0, 1.0]
+    out = [0.0] * len(coeffs)
+
+    def add(poly, scale):
+        for i, p in enumerate(poly):
+            out[i] += scale * p
+
+    add(t_prev, coeffs[0])
+    if len(coeffs) > 1:
+        add(t_cur, coeffs[1])
+    for k in range(2, len(coeffs)):
+        t_next = [0.0] + [2.0 * c for c in t_cur]
+        for i, p in enumerate(t_prev):
+            t_next[i] -= p
+        add(t_next, coeffs[k])
+        t_prev, t_cur = t_cur, t_next
+    return out
+
+
+def substitute_affine(poly_u, alpha, beta):
+    """p(u) with u = alpha*s + beta -> coefficients in s (ascending)."""
+    # Horner over polynomial arithmetic.
+    out = [poly_u[-1]]
+    for c in reversed(poly_u[:-1]):
+        nxt = [0.0] * (len(out) + 1)
+        for i, p in enumerate(out):
+            nxt[i + 1] += alpha * p
+            nxt[i] += beta * p
+        nxt[0] += c
+        out = nxt
+    return out
+
+
+def main():
+    cheb = cheb_coeffs(lambda u: g(B * (u + 1.0) / 2.0), M)
+    poly_s = substitute_affine(cheb_to_monomial(cheb), 2.0 / B, -1.0)
+
+    # Verify: dense sweep of t * q(t^2) against math.atan over the fold range.
+    worst = 0.0
+    n = 200001
+    for i in range(n):
+        t = -A + 2.0 * A * i / (n - 1)
+        s = t * t
+        q = 0.0
+        for c in reversed(poly_s):
+            q = q * s + c
+        worst = max(worst, abs(t * q - math.atan(t)))
+    print(f"// max |poly - atan| over [-tan(pi/8), tan(pi/8)]: {worst:.3e} rad")
+    print("inline constexpr double kAtanCoeffs[] = {")
+    for c in poly_s:
+        print(f"    {c!r},")
+    print("};")
+
+
+if __name__ == "__main__":
+    main()
